@@ -1,0 +1,94 @@
+// Figure 14: Storage System Design — cost and performance/price of
+// candidate DRAM×NVM grids over a fixed SSD, per workload, plus the grid
+// search for the best configuration (Section 6.6).
+//
+// Scaled grid (paper GB → MB): DRAM ∈ {0, 4, 8, 32} MB, NVM ∈ {0, 40, 80,
+// 160} MB, SSD 200 MB, 100 MB database, zipf 0.5, Spitfire-Lazy on
+// three-tier points.
+//
+// Expected shape: read-heavy → small-DRAM + large-NVM three-tier wins on
+// perf/price; write-heavy → the NVM-SSD hierarchy wins (no dirty-page
+// flushing); adding DRAM beyond a few MB barely moves throughput but
+// raises cost.
+#include <cstdio>
+#include <vector>
+
+#include "adaptive/grid_search.h"
+#include "bench_util.h"
+
+using namespace spitfire;          // NOLINT
+using namespace spitfire::bench;   // NOLINT
+
+int main() {
+  LatencySimulator::SetScale(EnvScale());
+  PrintBanner("Figure 14", "Storage System Design (grid search)");
+  const double kDbMb = 100, kSsdMb = 200;
+  const double seconds = EnvSeconds(0.3);
+  const double dram_grid[] = {0, 4, 8, 32};
+  const double nvm_grid[] = {0, 40, 80, 160};
+
+  // (a) cost grid
+  std::printf("\n(a) Storage system cost ($, scaled MB capacities)\n");
+  std::printf("%10s", "DRAM\\NVM");
+  for (double n : nvm_grid) std::printf(" %9.0fMB", n);
+  std::printf("\n");
+  for (double d : dram_grid) {
+    std::printf("%8.0fMB", d);
+    for (double n : nvm_grid) {
+      StorageConfig c{static_cast<uint64_t>(d * 1024 * 1024),
+                      static_cast<uint64_t>(n * 1024 * 1024),
+                      static_cast<uint64_t>(kSsdMb * 1024 * 1024)};
+      std::printf(" %11.4f", c.CostDollars());
+    }
+    std::printf("\n");
+  }
+
+  const AccessPattern pats[] = {YcsbRo(kDbMb, 0.5), YcsbBa(kDbMb, 0.5),
+                                YcsbWh(kDbMb, 0.5)};
+  const char* figs[] = {"(b)", "(c)", "(d)"};
+  int fig_i = 0;
+  for (const AccessPattern& pat : pats) {
+    std::printf("\n%s %s — throughput/cost (ops/s/$)\n", figs[fig_i++],
+                pat.name.c_str());
+    std::printf("%10s", "DRAM\\NVM");
+    for (double n : nvm_grid) std::printf(" %9.0fMB", n);
+    std::printf("\n");
+    std::vector<GridPoint> grid;
+    for (double d : dram_grid) {
+      std::printf("%8.0fMB", d);
+      for (double n : nvm_grid) {
+        if (d == 0 && n == 0) {
+          std::printf(" %11s", "-");
+          continue;
+        }
+        HierarchySpec spec;
+        spec.dram_mb = d;
+        spec.nvm_mb = n;
+        spec.ssd_mb = kSsdMb;
+        spec.policy = (d > 0 && n > 0) ? MigrationPolicy::Lazy()
+                                       : MigrationPolicy::Eager();
+        RunResult r = RunPoint(spec, pat, /*threads=*/2, seconds);
+        GridPoint p;
+        p.config = StorageConfig{static_cast<uint64_t>(d * 1024 * 1024),
+                                 static_cast<uint64_t>(n * 1024 * 1024),
+                                 static_cast<uint64_t>(kSsdMb * 1024 * 1024)};
+        p.throughput = r.ops_per_sec;
+        grid.push_back(p);
+        std::printf(" %11.0f", p.PerfPerPrice());
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    const GridPoint* best_pp = GridSearch::BestPerfPerPrice(grid);
+    const GridPoint* best_t = GridSearch::BestThroughput(grid);
+    if (best_pp != nullptr) {
+      std::printf("  best perf/price : %s (%.0f ops/s/$)\n",
+                  best_pp->config.ToString().c_str(), best_pp->PerfPerPrice());
+    }
+    if (best_t != nullptr) {
+      std::printf("  best throughput : %s (%.0f ops/s)\n",
+                  best_t->config.ToString().c_str(), best_t->throughput);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 15: Impact of Database Size — five configurations (three-tier
+// Spitfire-Eager / Spitfire-Lazy / HyMem, plus equi-cost two-tier NVM-SSD
+// and DRAM-SSD) as the database grows from buffer-resident to far larger
+// than the buffers.
+//
+// Scaled capacities (paper GB → MB): three-tier 20 MB DRAM + 60 MB NVM;
+// DRAM-SSD 46 MB; NVM-SSD 104 MB (similarly priced).
+//
+// Expected shape: while DRAM-cacheable everything is close (DRAM-SSD
+// slightly ahead, NVM-SSD ~1.3x behind); past the DRAM capacity the
+// NVM-SSD hierarchy wins (bigger buffer, no dirty flushes); among
+// three-tier policies Spitfire-Lazy dominates.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace spitfire;          // NOLINT
+using namespace spitfire::bench;   // NOLINT
+
+int main() {
+  LatencySimulator::SetScale(EnvScale());
+  PrintBanner("Figure 15", "Impact of Database Size");
+  const double seconds = EnvSeconds(0.3);
+  const double db_sizes[] = {5, 20, 50, 80, 110, 140};
+  const double kDram3 = 20, kNvm3 = 60;       // three-tier
+  const double kDram2 = 46, kNvm2 = 104;      // equi-cost two-tier
+
+  struct Mix {
+    const char* name;
+    int kind;  // 0 = RO, 1 = BA, 2 = WH, 3 = TPCC
+  };
+  const Mix mixes[] = {{"YCSB-RO", 0}, {"YCSB-BA", 1}, {"YCSB-WH", 2},
+                       {"TPC-C", 3}};
+
+  for (const Mix& mix : mixes) {
+    std::printf("\n--- %s (ops/s) ---\n", mix.name);
+    std::printf("%-8s %11s %11s %11s %11s %11s\n", "DB(MB)", "HyMem",
+                "Spf-Eager", "Spf-Lazy", "NVM-SSD", "DRAM-SSD");
+    for (double db_mb : db_sizes) {
+      AccessPattern pat;
+      switch (mix.kind) {
+        case 0: pat = YcsbRo(db_mb); break;
+        case 1: pat = YcsbBa(db_mb); break;
+        case 2: pat = YcsbWh(db_mb); break;
+        default: pat = TpccLike(db_mb); break;
+      }
+      std::printf("%-8.0f", db_mb);
+
+      // Three-tier: HyMem (with its optimizations), Spf-Eager, Spf-Lazy
+      // (both with HyMem's optimizations enabled, as in §6.7).
+      for (int which = 0; which < 3; ++which) {
+        HierarchySpec spec;
+        spec.dram_mb = kDram3;
+        spec.nvm_mb = kNvm3;
+        spec.ssd_mb = db_mb + 32;
+        spec.fine_grained = true;
+        spec.granularity = 256;
+        if (which == 0) {
+          spec.policy = MigrationPolicy::Hymem();
+          spec.admission = NvmAdmissionMode::kAdmissionQueue;
+          spec.admission_queue_capacity = FramesForMb(kNvm3) / 2;
+        } else if (which == 1) {
+          spec.policy = MigrationPolicy::Eager();
+        } else {
+          spec.policy = MigrationPolicy::Lazy();
+        }
+        RunResult r = RunPoint(spec, pat, /*threads=*/2, seconds);
+        std::printf(" %11.0f", r.ops_per_sec);
+        std::fflush(stdout);
+      }
+      // Two-tier NVM-SSD.
+      {
+        HierarchySpec spec;
+        spec.dram_mb = 0;
+        spec.nvm_mb = kNvm2;
+        spec.ssd_mb = db_mb + 32;
+        spec.policy = MigrationPolicy::Eager();
+        RunResult r = RunPoint(spec, pat, /*threads=*/2, seconds);
+        std::printf(" %11.0f", r.ops_per_sec);
+        std::fflush(stdout);
+      }
+      // Two-tier DRAM-SSD.
+      {
+        HierarchySpec spec;
+        spec.dram_mb = kDram2;
+        spec.nvm_mb = 0;
+        spec.ssd_mb = db_mb + 32;
+        spec.policy = MigrationPolicy::Eager();
+        RunResult r = RunPoint(spec, pat, /*threads=*/2, seconds);
+        std::printf(" %11.0f\n", r.ops_per_sec);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 7: Performance Impact of Bypassing NVM — throughput as the NVM
+// migration probabilities (Nr, Nw) vary in lockstep over {0, 0.01, 0.1, 1}
+// with an eager DRAM policy (Dr = Dw = 1).
+//
+// Hierarchy (scaled): 12.5 MB DRAM + 50 MB NVM over SSD; ~100 MB database.
+// Expected shape: lazy N (≈0.01) peaks (lower inclusivity buffers more
+// distinct pages); N = 0 disables the NVM buffer and collapses capacity.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace spitfire;          // NOLINT
+using namespace spitfire::bench;   // NOLINT
+
+int main() {
+  LatencySimulator::SetScale(EnvScale());
+  PrintBanner("Figure 7", "Performance Impact of Bypassing NVM");
+  const double kDramMb = 12.5, kNvmMb = 50, kDbMb = 100;
+  const double seconds = EnvSeconds(0.4);
+  const double probs[] = {0.0, 0.01, 0.1, 1.0};
+  const AccessPattern pats[] = {YcsbRo(kDbMb), YcsbBa(kDbMb), YcsbWh(kDbMb),
+                                TpccLike(kDbMb)};
+
+  for (int threads : {1, 2}) {
+    std::printf("\n--- %d worker%s (paper: %s) ---\n", threads,
+                threads > 1 ? "s" : "", threads > 1 ? "16" : "1");
+    std::printf("%-10s %12s %12s %12s %12s   (ops/s)\n", "N =", "0", "0.01",
+                "0.1", "1");
+    for (const AccessPattern& pat : pats) {
+      std::printf("%-10s", pat.name.c_str());
+      for (double n : probs) {
+        HierarchySpec spec;
+        spec.dram_mb = kDramMb;
+        spec.nvm_mb = kNvmMb;
+        spec.ssd_mb = kDbMb + 32;
+        spec.policy = MigrationPolicy{1.0, 1.0, n, n};
+        RunResult r = RunPoint(spec, pat, threads, seconds);
+        std::printf(" %12.0f", r.ops_per_sec);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

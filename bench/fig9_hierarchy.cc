@@ -1,0 +1,47 @@
+// Figure 9: Impact of Storage Hierarchy — the optimal DRAM migration
+// probability shifts with the DRAM:NVM capacity ratio (1:2, 1:4, 1:8) on
+// YCSB-RO with a 10 MB NVM buffer.
+//
+// Expected shape: at 1:8 (tiny DRAM) the best policy disables DRAM
+// entirely (D = 0) — migration churn outweighs the small buffer's value;
+// as DRAM grows, a lazy D (0.01) wins.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace spitfire;          // NOLINT
+using namespace spitfire::bench;   // NOLINT
+
+int main() {
+  LatencySimulator::SetScale(EnvScale());
+  PrintBanner("Figure 9", "Impact of Storage Hierarchy on Optimal Policy");
+  const double kNvmMb = 10, kDbMb = 40;
+  const double seconds = EnvSeconds(0.4);
+  const double dram_sizes[] = {5.0, 2.5, 1.25};  // 1:2, 1:4, 1:8
+  const double probs[] = {0.0, 0.01, 0.1, 1.0};
+
+  std::printf("\nYCSB-RO, 10 MB NVM buffer, varying DRAM (ops/s)\n");
+  std::printf("%-8s %12s %12s %12s %12s   best D\n", "ratio", "D=0", "D=0.01",
+              "D=0.1", "D=1");
+  for (double dram_mb : dram_sizes) {
+    std::printf("1:%-6.0f", kNvmMb / dram_mb);
+    double best_tput = -1, best_d = 0;
+    for (double d : probs) {
+      HierarchySpec spec;
+      spec.dram_mb = dram_mb;
+      spec.nvm_mb = kNvmMb;
+      spec.ssd_mb = kDbMb + 16;
+      spec.policy = MigrationPolicy{d, d, 1.0, 1.0};
+      AccessPattern pat = YcsbRo(kDbMb);
+      RunResult r = RunPoint(spec, pat, /*threads=*/1, seconds);
+      std::printf(" %12.0f", r.ops_per_sec);
+      std::fflush(stdout);
+      if (r.ops_per_sec > best_tput) {
+        best_tput = r.ops_per_sec;
+        best_d = d;
+      }
+    }
+    std::printf("   %g\n", best_d);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 1: Device Characteristics — prints the DRAM / NVM / SSD profiles
+// the simulation substrate is calibrated to (latencies, bandwidths,
+// granularity, persistence, price).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace spitfire;  // NOLINT
+
+int main() {
+  bench::PrintBanner("Table 1", "Device Characteristics");
+  const DeviceProfile profiles[] = {
+      DeviceProfile::Dram(),
+      DeviceProfile::OptaneNvm(),
+      DeviceProfile::OptaneSsd(),
+  };
+  std::printf("%-28s %12s %12s %12s\n", "", "DRAM", "NVM", "SSD");
+  auto row_u = [&](const char* name, auto getter, const char* unit) {
+    std::printf("%-28s", name);
+    for (const auto& p : profiles) {
+      std::printf(" %9.1f %s", static_cast<double>(getter(p)), unit);
+    }
+    std::printf("\n");
+  };
+  std::printf("Latency\n");
+  row_u("  Idle Seq Read Latency",
+        [](const DeviceProfile& p) { return p.seq_read_latency_ns; }, "ns");
+  row_u("  Idle Rand Read Latency",
+        [](const DeviceProfile& p) { return p.rand_read_latency_ns; }, "ns");
+  std::printf("Bandwidth\n");
+  row_u("  Sequential Read",
+        [](const DeviceProfile& p) { return p.seq_read_bw / 1e9; }, "GB/s");
+  row_u("  Random Read",
+        [](const DeviceProfile& p) { return p.rand_read_bw / 1e9; }, "GB/s");
+  row_u("  Sequential Write",
+        [](const DeviceProfile& p) { return p.seq_write_bw / 1e9; }, "GB/s");
+  row_u("  Random Write",
+        [](const DeviceProfile& p) { return p.rand_write_bw / 1e9; }, "GB/s");
+  std::printf("Other Key Attributes\n");
+  row_u("  Price ($/GB)",
+        [](const DeviceProfile& p) { return p.price_per_gb; }, "$   ");
+  row_u("  Media Granularity",
+        [](const DeviceProfile& p) { return static_cast<double>(p.media_granularity); },
+        "B   ");
+  std::printf("%-28s", "  Byte-addressable");
+  for (const auto& p : profiles) {
+    std::printf(" %12s", p.byte_addressable ? "yes" : "no");
+  }
+  std::printf("\n%-28s", "  Persistent");
+  for (const auto& p : profiles) {
+    std::printf(" %12s", p.persistent ? "yes" : "no");
+  }
+  std::printf("\n\nEnd-to-end 16 KB page transfer (latency + bandwidth):\n");
+  for (const auto& p : profiles) {
+    std::printf("  %-24s read %8.2f us   write %8.2f us\n", p.name.c_str(),
+                p.ReadLatencyNanos(kPageSize, false) / 1000.0,
+                p.WriteLatencyNanos(kPageSize, false) / 1000.0);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 2: Inclusivity Ratio of DRAM & NVM Buffers — the degree of page
+// duplication across the two buffers as the DRAM migration probabilities
+// (top half) and NVM migration probabilities (bottom half) vary in
+// lockstep over {0, 0.01, 0.1, 1}.
+//
+// Hierarchy (scaled): 12.5 MB DRAM + 50 MB NVM over SSD (paper: GB).
+// Expected shape: inclusivity 0 at probability 0, growing with eagerness;
+// lazy policies keep duplication (and wasted capacity) low.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace spitfire;          // NOLINT
+using namespace spitfire::bench;   // NOLINT
+
+int main() {
+  LatencySimulator::SetScale(EnvScale());
+  PrintBanner("Table 2", "Inclusivity Ratio of DRAM & NVM Buffers");
+  const double kDramMb = 12.5, kNvmMb = 50, kDbMb = 100;
+  const double seconds = EnvSeconds(0.3);
+  const double probs[] = {0.0, 0.01, 0.1, 1.0};
+
+  const AccessPattern pats[] = {YcsbRo(kDbMb), YcsbBa(kDbMb), YcsbWh(kDbMb),
+                                TpccLike(kDbMb)};
+
+  std::printf("\nMigration Probabilities %10s %10s %10s %10s\n", "0", "0.01",
+              "0.1", "1");
+  std::printf("Bypassing DRAM (D = Dr = Dw, with N = 1)\n");
+  for (const AccessPattern& pat : pats) {
+    std::printf("%-22s", pat.name.c_str());
+    for (double d : probs) {
+      HierarchySpec spec;
+      spec.dram_mb = kDramMb;
+      spec.nvm_mb = kNvmMb;
+      spec.ssd_mb = kDbMb + 32;
+      spec.policy = MigrationPolicy{d, d, 1.0, 1.0};
+      RunResult r = RunPoint(spec, pat, /*threads=*/1, seconds);
+      std::printf(" %10.3f", r.inclusivity);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Bypassing NVM (N = Nr = Nw, with D = 1)\n");
+  for (const AccessPattern& pat : pats) {
+    std::printf("%-22s", pat.name.c_str());
+    for (double n : probs) {
+      HierarchySpec spec;
+      spec.dram_mb = kDramMb;
+      spec.nvm_mb = kNvmMb;
+      spec.ssd_mb = kDbMb + 32;
+      spec.policy = MigrationPolicy{1.0, 1.0, n, n};
+      RunResult r = RunPoint(spec, pat, /*threads=*/1, seconds);
+      std::printf(" %10.3f", r.inclusivity);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(lower non-zero values are better — less duplication)\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Crash-recovery demo (Section 5.2): run transactions, crash the engine
+// without flushing, and recover from the surviving NVM + SSD devices. The
+// NVM buffer's pages and the staged log records persist across the crash;
+// recovery rebuilds the mapping table from the NVM frame table, appends
+// the NVM log tail to the log file, and replays committed transactions.
+//
+// Build & run:   ./build/examples/crash_recovery
+
+#include <cstdio>
+
+#include "db/database.h"
+#include "storage/perf_model.h"
+
+using namespace spitfire;  // NOLINT — example brevity
+
+namespace {
+
+struct Account {
+  uint64_t balance;
+  uint64_t updates;
+};
+
+constexpr uint32_t kAccountsTable = 1;
+constexpr uint64_t kNumAccounts = 500;
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  LatencySimulator::SetScale(1.0);
+
+  DatabaseOptions options;
+  options.dram_frames = 64;
+  options.nvm_frames = 256;
+  options.policy = MigrationPolicy::Lazy();
+  options.enable_wal = true;
+
+  DatabaseEnv env;
+  uint64_t expected_total = 0;
+
+  // Phase 1: load, update, then crash mid-flight.
+  {
+    auto db = Database::Create(options).MoveValue();
+    Table* accounts = db->CreateTable(kAccountsTable, sizeof(Account)).value();
+
+    auto load = db->Begin();
+    for (uint64_t id = 0; id < kNumAccounts; ++id) {
+      Account a{1000, 0};
+      Check(accounts->Insert(load.get(), id, &a), "Insert");
+    }
+    Check(db->Commit(load.get()), "Commit(load)");
+    expected_total = kNumAccounts * 1000;
+
+    // Committed transfers: move 10 from account i to account i+1.
+    for (uint64_t i = 0; i < 200; ++i) {
+      auto txn = db->Begin();
+      Account from{}, to{};
+      Check(accounts->Read(txn.get(), i, &from), "Read(from)");
+      Check(accounts->Read(txn.get(), i + 1, &to), "Read(to)");
+      from.balance -= 10;
+      from.updates++;
+      to.balance += 10;
+      to.updates++;
+      Check(accounts->Update(txn.get(), i, &from), "Update(from)");
+      Check(accounts->Update(txn.get(), i + 1, &to), "Update(to)");
+      Check(db->Commit(txn.get()), "Commit(transfer)");
+    }
+
+    // One transaction is still in flight when the "power fails" — it must
+    // NOT survive recovery.
+    auto loser = db->Begin();
+    Account a{};
+    Check(accounts->Read(loser.get(), 0, &a), "Read(loser)");
+    a.balance += 1'000'000;
+    Check(accounts->Update(loser.get(), 0, &a), "Update(loser)");
+
+    std::printf("crashing with 1 uncommitted transaction in flight...\n");
+    env = Database::Crash(std::move(db));
+  }
+
+  // Phase 2: recover from the surviving devices.
+  {
+    auto db_r = Database::Recover(options, std::move(env));
+    Check(db_r.status(), "Recover");
+    auto db = db_r.MoveValue();
+    Table* accounts = db->GetTable(kAccountsTable);
+
+    auto txn = db->Begin();
+    uint64_t total = 0;
+    uint64_t updated_accounts = 0;
+    for (uint64_t id = 0; id < kNumAccounts; ++id) {
+      Account a{};
+      Check(accounts->Read(txn.get(), id, &a), "Read(verify)");
+      total += a.balance;
+      if (a.updates > 0) ++updated_accounts;
+    }
+    Check(db->Commit(txn.get()), "Commit(verify)");
+
+    std::printf("recovered: total balance %llu (expected %llu)\n",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(expected_total));
+    std::printf("accounts touched by committed transfers: %llu\n",
+                static_cast<unsigned long long>(updated_accounts));
+    if (total != expected_total) {
+      std::fprintf(stderr, "RECOVERY FAILED: money was created/destroyed\n");
+      return 1;
+    }
+    std::printf("invariant holds — the uncommitted update was discarded, "
+                "all 200 committed transfers survived.\n");
+
+    // The recovered database remains fully operational.
+    auto txn2 = db->Begin();
+    Account fresh{42, 0};
+    Check(accounts->Insert(txn2.get(), 9999, &fresh), "Insert(post)");
+    Check(db->Commit(txn2.get()), "Commit(post)");
+    std::printf("post-recovery insert committed. done.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "adaptive/annealing_tuner.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace spitfire {
+
+AnnealingTuner::AnnealingTuner(const AnnealingOptions& options,
+                               MigrationPolicy initial)
+    : options_(options),
+      rng_(options.seed),
+      accepted_(initial),
+      accepted_cost_(std::numeric_limits<double>::infinity()),
+      candidate_(initial),
+      best_(initial),
+      temperature_(options.initial_temperature) {
+  SPITFIRE_CHECK(!options_.lattice.empty());
+}
+
+int AnnealingTuner::LatticeIndex(double v) const {
+  int best = 0;
+  double best_d = std::abs(options_.lattice[0] - v);
+  for (size_t i = 1; i < options_.lattice.size(); ++i) {
+    const double d = std::abs(options_.lattice[i] - v);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+MigrationPolicy AnnealingTuner::ProposeNeighbor(const MigrationPolicy& from) {
+  MigrationPolicy next = from;
+  // Pick one of the four dimensions and move it to an adjacent lattice
+  // value.
+  double* dims[4] = {&next.dr, &next.dw, &next.nr, &next.nw};
+  double* dim = dims[rng_.NextUint64(4)];
+  const int idx = LatticeIndex(*dim);
+  const int last = static_cast<int>(options_.lattice.size()) - 1;
+  int nidx;
+  if (idx == 0) {
+    nidx = 1;
+  } else if (idx == last) {
+    nidx = last - 1;
+  } else {
+    nidx = rng_.Bernoulli(0.5) ? idx - 1 : idx + 1;
+  }
+  *dim = options_.lattice[static_cast<size_t>(nidx)];
+  return next;
+}
+
+MigrationPolicy AnnealingTuner::OnEpochComplete(double throughput) {
+  ++epochs_;
+  const double cost = throughput > 0
+                          ? options_.cost_scale / throughput
+                          : std::numeric_limits<double>::infinity();
+  if (throughput > best_throughput_) {
+    best_throughput_ = throughput;
+    best_ = candidate_;
+  }
+
+  bool accept;
+  if (cost <= accepted_cost_) {
+    accept = true;
+  } else {
+    const double delta = cost - accepted_cost_;
+    accept = rng_.NextDouble() < std::exp(-delta / temperature_);
+  }
+  if (accept) {
+    accepted_ = candidate_;
+    accepted_cost_ = cost;
+  }
+
+  temperature_ =
+      std::max(options_.min_temperature, temperature_ * options_.cooling_rate);
+
+  if (converged()) {
+    // Exploit: stick to the best policy found.
+    candidate_ = best_;
+  } else {
+    candidate_ = ProposeNeighbor(accepted_);
+  }
+  return candidate_;
+}
+
+}  // namespace spitfire

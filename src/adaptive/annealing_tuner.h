@@ -1,0 +1,64 @@
+#ifndef SPITFIRE_ADAPTIVE_ANNEALING_TUNER_H_
+#define SPITFIRE_ADAPTIVE_ANNEALING_TUNER_H_
+
+#include <vector>
+
+#include "buffer/migration_policy.h"
+#include "common/random.h"
+
+namespace spitfire {
+
+// Simulated-annealing search over the migration-policy lattice
+// (Section 4). Spitfire measures throughput over an epoch, converts it to
+// a cost (cost = scale / throughput), and anneals: worse policies are
+// accepted with probability exp(-Δcost / t), with the temperature t
+// cooling geometrically so the search narrows onto a near-optimal policy.
+struct AnnealingOptions {
+  double initial_temperature = 800.0;   // paper's t0
+  double min_temperature = 0.00008;     // paper's final temperature
+  double cooling_rate = 0.9;            // paper's alpha
+  double cost_scale = 1e6;              // cost = cost_scale / throughput
+  // Candidate values for each probability; the neighbor move changes one
+  // dimension to an adjacent lattice point.
+  std::vector<double> lattice = {0.0, 0.01, 0.1, 0.5, 1.0};
+  uint64_t seed = 0x5A5A;
+};
+
+class AnnealingTuner {
+ public:
+  AnnealingTuner(const AnnealingOptions& options, MigrationPolicy initial);
+
+  // The policy the caller should run for the next epoch.
+  const MigrationPolicy& current() const { return candidate_; }
+
+  // Reports the throughput observed while running current(); returns the
+  // policy for the next epoch (accepting or rejecting the last move and
+  // proposing a new neighbor).
+  MigrationPolicy OnEpochComplete(double throughput);
+
+  // Best policy (lowest cost) observed so far.
+  const MigrationPolicy& best() const { return best_; }
+  double best_throughput() const { return best_throughput_; }
+  double temperature() const { return temperature_; }
+  uint64_t epochs() const { return epochs_; }
+  bool converged() const { return temperature_ <= options_.min_temperature; }
+
+ private:
+  MigrationPolicy ProposeNeighbor(const MigrationPolicy& from);
+  int LatticeIndex(double v) const;
+
+  AnnealingOptions options_;
+  Xoshiro256 rng_;
+
+  MigrationPolicy accepted_;   // last accepted policy
+  double accepted_cost_;
+  MigrationPolicy candidate_;  // policy being evaluated this epoch
+  MigrationPolicy best_;
+  double best_throughput_ = 0;
+  double temperature_;
+  uint64_t epochs_ = 0;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_ADAPTIVE_ANNEALING_TUNER_H_

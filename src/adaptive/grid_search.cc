@@ -1,0 +1,45 @@
+#include "adaptive/grid_search.h"
+
+#include <cstdio>
+
+namespace spitfire {
+
+std::string StorageConfig::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "DRAM=%lluMB NVM=%lluMB SSD=%lluMB ($%.0f)",
+                static_cast<unsigned long long>(dram_bytes >> 20),
+                static_cast<unsigned long long>(nvm_bytes >> 20),
+                static_cast<unsigned long long>(ssd_bytes >> 20),
+                CostDollars());
+  return buf;
+}
+
+const GridPoint* GridSearch::BestPerfPerPrice(
+    const std::vector<GridPoint>& grid) {
+  const GridPoint* best = nullptr;
+  for (const GridPoint& p : grid) {
+    if (best == nullptr || p.PerfPerPrice() > best->PerfPerPrice()) best = &p;
+  }
+  return best;
+}
+
+const GridPoint* GridSearch::BestThroughput(
+    const std::vector<GridPoint>& grid) {
+  const GridPoint* best = nullptr;
+  for (const GridPoint& p : grid) {
+    if (best == nullptr || p.throughput > best->throughput) best = &p;
+  }
+  return best;
+}
+
+const GridPoint* GridSearch::BestWithinBudget(
+    const std::vector<GridPoint>& grid, double budget_dollars) {
+  const GridPoint* best = nullptr;
+  for (const GridPoint& p : grid) {
+    if (p.config.CostDollars() > budget_dollars) continue;
+    if (best == nullptr || p.PerfPerPrice() > best->PerfPerPrice()) best = &p;
+  }
+  return best;
+}
+
+}  // namespace spitfire

@@ -1,0 +1,62 @@
+#ifndef SPITFIRE_ADAPTIVE_GRID_SEARCH_H_
+#define SPITFIRE_ADAPTIVE_GRID_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/perf_model.h"
+
+namespace spitfire {
+
+// A candidate multi-tier storage hierarchy for the storage-system-design
+// problem of Sections 5.3 / 6.6: DRAM and NVM buffer capacities on top of
+// a fixed SSD.
+struct StorageConfig {
+  uint64_t dram_bytes = 0;
+  uint64_t nvm_bytes = 0;
+  uint64_t ssd_bytes = 0;
+
+  // Total device cost in dollars using the Table 1 prices.
+  double CostDollars() const {
+    return static_cast<double>(dram_bytes) / 1e9 *
+               DeviceProfile::Dram().price_per_gb +
+           static_cast<double>(nvm_bytes) / 1e9 *
+               DeviceProfile::OptaneNvm().price_per_gb +
+           static_cast<double>(ssd_bytes) / 1e9 *
+               DeviceProfile::OptaneSsd().price_per_gb;
+  }
+
+  std::string ToString() const;
+};
+
+// One measured grid point: a hierarchy and the throughput a workload
+// achieved on it.
+struct GridPoint {
+  StorageConfig config;
+  double throughput = 0;
+
+  // Operations per second per dollar — the paper's performance/price
+  // metric (Section 6.6).
+  double PerfPerPrice() const {
+    const double cost = config.CostDollars();
+    return cost > 0 ? throughput / cost : 0.0;
+  }
+};
+
+// Utilities over a measured grid (Figure 14's analysis).
+class GridSearch {
+ public:
+  // The grid point with the highest performance/price.
+  static const GridPoint* BestPerfPerPrice(const std::vector<GridPoint>& grid);
+  // The grid point with the highest absolute throughput.
+  static const GridPoint* BestThroughput(const std::vector<GridPoint>& grid);
+  // The best performance/price among configurations costing at most
+  // `budget_dollars`. Returns nullptr if none qualify.
+  static const GridPoint* BestWithinBudget(const std::vector<GridPoint>& grid,
+                                           double budget_dollars);
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_ADAPTIVE_GRID_SEARCH_H_

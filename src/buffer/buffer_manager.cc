@@ -1,0 +1,1134 @@
+#include "buffer/buffer_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hymem/mini_page.h"
+#include "storage/dram_device.h"
+
+namespace spitfire {
+
+namespace {
+constexpr int kFetchMaxAttempts = 8192;
+// How long a promotion waits for NVM readers to drain (Section 5.2) before
+// giving up and serving the access from NVM instead.
+constexpr int kPinDrainSpins = 4096;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PageGuard
+// ---------------------------------------------------------------------------
+
+Status PageGuard::ReadAt(size_t offset, size_t size, void* dst) {
+  SPITFIRE_DCHECK(valid());
+  return bm_->GuardRead(desc_, tier_, offset, size, dst);
+}
+
+Status PageGuard::WriteAt(size_t offset, size_t size, const void* src) {
+  SPITFIRE_DCHECK(valid());
+  return bm_->GuardWrite(desc_, tier_, offset, size, src);
+}
+
+std::byte* PageGuard::RawData(bool for_write) {
+  SPITFIRE_DCHECK(valid());
+  return bm_->GuardRawData(desc_, tier_, for_write);
+}
+
+void PageGuard::MarkDirty() {
+  SPITFIRE_DCHECK(valid());
+  if (tier_ == Tier::kDram) {
+    desc_->dram.dirty.store(true, std::memory_order_release);
+  } else {
+    desc_->nvm.dirty.store(true, std::memory_order_release);
+  }
+}
+
+void PageGuard::Release() {
+  if (desc_ != nullptr) {
+    bm_->Unpin(desc_, tier_);
+    desc_ = nullptr;
+    bm_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+BufferManager::BufferManager(const BufferManagerOptions& options)
+    : options_(options) {
+  SPITFIRE_CHECK(options_.ssd != nullptr);
+  ssd_ = options_.ssd;
+  SetPolicy(options_.policy);
+
+  if (options_.nvm_frames > 0) {
+    if (options_.nvm != nullptr) {
+      nvm_ = options_.nvm;
+    } else {
+      owned_nvm_ = std::make_unique<NvmDevice>(BufferPool::RequiredCapacity(
+          options_.nvm_frames, /*persistent_frame_table=*/true));
+      nvm_ = owned_nvm_.get();
+    }
+    nvm_pool_ = std::make_unique<BufferPool>(Tier::kNvm, nvm_,
+                                             options_.nvm_frames,
+                                             /*persistent_frame_table=*/true);
+    if (options_.nvm_admission == NvmAdmissionMode::kAdmissionQueue) {
+      size_t cap = options_.admission_queue_capacity;
+      if (cap == 0) cap = std::max<size_t>(1, options_.nvm_frames / 2);
+      admission_queue_ = std::make_unique<AdmissionQueue>(cap);
+    }
+  }
+
+  if (options_.dram_frames > 0) {
+    if (options_.dram_backing != nullptr) {
+      dram_backing_ = options_.dram_backing;
+    } else {
+      owned_dram_ = std::make_unique<DramDevice>(BufferPool::RequiredCapacity(
+          options_.dram_frames, /*persistent_frame_table=*/false));
+      dram_backing_ = owned_dram_.get();
+    }
+    dram_pool_ = std::make_unique<BufferPool>(
+        Tier::kDram, dram_backing_, options_.dram_frames,
+        /*persistent_frame_table=*/false);
+
+    if (options_.enable_mini_pages && nvm_pool_ != nullptr) {
+      size_t host = options_.mini_host_frames;
+      if (host == 0) host = std::max<size_t>(1, options_.dram_frames / 8);
+      host = std::min(host, options_.dram_frames);
+      mini_.per_frame = MiniPageView::PerFrame(options_.load_granularity);
+      for (size_t i = 0; i < host; ++i) {
+        frame_id_t f;
+        if (!dram_pool_->TryAllocateFrame(&f)) break;
+        mini_.host_frames.push_back(f);
+      }
+      mini_.capacity = mini_.host_frames.size() * mini_.per_frame;
+      if (mini_.capacity > 0) {
+        mini_.free_list = std::make_unique<MpmcQueue<uint32_t>>(mini_.capacity);
+        mini_.replacer = std::make_unique<ClockReplacer>(mini_.capacity);
+        mini_.owners = std::vector<std::atomic<SharedPageDescriptor*>>(
+            mini_.capacity);
+        for (uint32_t m = 0; m < mini_.capacity; ++m) {
+          mini_.owners[m].store(nullptr, std::memory_order_relaxed);
+          SPITFIRE_CHECK(mini_.free_list->TryPush(m));
+        }
+      }
+    }
+  }
+  SPITFIRE_CHECK(dram_pool_ != nullptr || nvm_pool_ != nullptr);
+}
+
+BufferManager::~BufferManager() = default;
+
+SharedPageDescriptor* BufferManager::GetOrCreateDescriptor(page_id_t pid) {
+  return mapping_table_.GetOrCreate(pid, [this, pid]() {
+    auto d = std::make_unique<SharedPageDescriptor>(pid);
+    SharedPageDescriptor* raw = d.get();
+    std::lock_guard<std::mutex> g(desc_mu_);
+    descriptors_.push_back(std::move(d));
+    return raw;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pinning
+// ---------------------------------------------------------------------------
+
+bool BufferManager::TryPinDram(SharedPageDescriptor* d) {
+  SpinLatchGuard g(d->dram_latch);
+  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  if (mode == DramMode::kNone) return false;
+  d->dram.pins.fetch_add(1, std::memory_order_acquire);
+  if (mode == DramMode::kMini) {
+    mini_.replacer->RecordAccess(d->mini_id);
+  } else {
+    dram_pool_->replacer().RecordAccess(
+        d->dram.frame.load(std::memory_order_relaxed));
+  }
+  return true;
+}
+
+bool BufferManager::TryPinNvm(SharedPageDescriptor* d) {
+  SpinLatchGuard g(d->nvm_latch);
+  const frame_id_t f = d->nvm.frame.load(std::memory_order_relaxed);
+  if (f == kInvalidFrameId) return false;
+  d->nvm.pins.fetch_add(1, std::memory_order_acquire);
+  nvm_pool_->replacer().RecordAccess(f);
+  return true;
+}
+
+void BufferManager::Unpin(SharedPageDescriptor* d, Tier tier) {
+  TierState& ts = tier == Tier::kDram ? d->dram : d->nvm;
+  const uint32_t prev = ts.pins.fetch_sub(1, std::memory_order_release);
+  SPITFIRE_DCHECK(prev > 0);
+  (void)prev;
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------------
+
+Result<PageGuard> BufferManager::FetchPage(page_id_t pid,
+                                           AccessIntent intent) {
+  if (pid >= next_page_id_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("fetch of unallocated page");
+  }
+  SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+  const MigrationPolicy pol = policy();
+
+  for (int attempt = 0; attempt < kFetchMaxAttempts; ++attempt) {
+    // 1. DRAM hit.
+    if (TryPinDram(d)) {
+      stats_.dram_hits.fetch_add(1, std::memory_order_relaxed);
+      return PageGuard(this, d, Tier::kDram);
+    }
+
+    // 2. NVM hit: possibly migrate up (Dr / Dw), else serve in place.
+    if (d->NvmResident()) {
+      const bool promote =
+          dram_pool_ != nullptr &&
+          (intent == AccessIntent::kRead ? pol.MigrateNvmToDramOnRead()
+                                         : pol.UseDramOnWrite());
+      if (promote) {
+        const Status st = PromoteToDram(d);
+        if (st.ok()) continue;  // retry: should pin DRAM now
+        // Busy: fall through and serve from NVM.
+      }
+      if (TryPinNvm(d)) {
+        stats_.nvm_hits.fetch_add(1, std::memory_order_relaxed);
+        return PageGuard(this, d, Tier::kNvm);
+      }
+      continue;  // raced with an NVM eviction
+    }
+
+    // 3. Miss: fetch from SSD.
+    Result<PageGuard> r = InstallFromSsd(d, intent);
+    if (r.ok()) return r;
+    if (!r.status().IsBusy()) return r;
+    __builtin_ia32_pause();
+  }
+  return Status::Busy("FetchPage exceeded retry budget");
+}
+
+Result<PageGuard> BufferManager::NewPage(uint32_t page_type) {
+  const page_id_t pid = next_page_id_.fetch_add(1, std::memory_order_relaxed);
+  if (SsdOffset(pid) + kPageSize > ssd_->capacity()) {
+    return Status::OutOfMemory("SSD device full");
+  }
+  SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+  SpinLatchGuard gd(d->dram_latch);
+  SpinLatchGuard gn(d->nvm_latch);
+  if (dram_pool_ != nullptr) {
+    const frame_id_t f = AcquireDramFrame();
+    if (f != kInvalidFrameId) {
+      PageView(dram_pool_->FramePtr(f)).Format(pid, page_type);
+      dram_pool_->SetOwner(f, d, pid);
+      d->dram.frame.store(f, std::memory_order_relaxed);
+      d->dram.dirty.store(true, std::memory_order_relaxed);
+      d->dram_mode.store(DramMode::kFull, std::memory_order_release);
+      d->dram.pins.fetch_add(1, std::memory_order_relaxed);
+      dram_pool_->replacer().RecordAccess(f);
+      return PageGuard(this, d, Tier::kDram);
+    }
+  }
+  if (nvm_pool_ != nullptr) {
+    const frame_id_t f = AcquireNvmFrame();
+    if (f != kInvalidFrameId) {
+      PageView(nvm_pool_->FramePtr(f)).Format(pid, page_type);
+      nvm_->OnDirectWrite(nvm_pool_->FrameOffset(f), kPageSize,
+                          /*sequential=*/true);
+      nvm_pool_->SetOwner(f, d, pid);
+      d->nvm.frame.store(f, std::memory_order_relaxed);
+      d->nvm.dirty.store(true, std::memory_order_relaxed);
+      d->nvm.pins.fetch_add(1, std::memory_order_relaxed);
+      nvm_pool_->replacer().RecordAccess(f);
+      return PageGuard(this, d, Tier::kNvm);
+    }
+  }
+  return Status::OutOfMemory("no frame available for new page");
+}
+
+Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
+                                                AccessIntent intent) {
+  SpinLatchGuard gd(d->dram_latch);
+  SpinLatchGuard gn(d->nvm_latch);
+  if (d->DramResident() || d->NvmResident()) {
+    return Status::Busy("page appeared while installing");
+  }
+  const MigrationPolicy pol = policy();
+  const bool have_dram = dram_pool_ != nullptr;
+  const bool have_nvm = nvm_pool_ != nullptr;
+
+  // Where does the page land? Bypassing NVM on the read path happens with
+  // probability 1 - Nr (Section 3.3); without a DRAM tier everything goes
+  // to NVM and vice versa.
+  bool to_nvm;
+  if (!have_dram) {
+    to_nvm = true;
+  } else if (!have_nvm) {
+    to_nvm = false;
+  } else {
+    to_nvm = pol.InstallSsdToNvmOnRead();
+  }
+
+  if (to_nvm) {
+    const frame_id_t f = AcquireNvmFrame();
+    if (f == kInvalidFrameId) {
+      if (!have_dram) return Status::Busy("NVM pool exhausted; retry");
+      to_nvm = false;  // fall back to DRAM
+    } else {
+      std::byte* ptr = nvm_pool_->FramePtr(f);
+      const Status st = ssd_->Read(SsdOffset(d->pid), ptr, kPageSize);
+      if (!st.ok()) {
+        nvm_pool_->FreeFrame(f);
+        return st;
+      }
+      nvm_->OnDirectWrite(nvm_pool_->FrameOffset(f), kPageSize,
+                          /*sequential=*/true);
+      nvm_pool_->SetOwner(f, d, d->pid);
+      d->nvm.frame.store(f, std::memory_order_relaxed);
+      d->nvm.dirty.store(false, std::memory_order_relaxed);
+      d->nvm.pins.fetch_add(1, std::memory_order_relaxed);
+      nvm_pool_->replacer().RecordAccess(f);
+      stats_.ssd_fetches.fetch_add(1, std::memory_order_relaxed);
+      stats_.nvm_installs.fetch_add(1, std::memory_order_relaxed);
+      return PageGuard(this, d, Tier::kNvm);
+    }
+  }
+
+  frame_id_t f = AcquireDramFrame();
+  if (f == kInvalidFrameId) {
+    // Transient exhaustion (every frame pinned or latched). If NVM has
+    // room, land the page there instead; otherwise let the caller retry.
+    if (have_nvm) {
+      const frame_id_t nf = AcquireNvmFrame();
+      if (nf != kInvalidFrameId) {
+        std::byte* nptr = nvm_pool_->FramePtr(nf);
+        const Status st = ssd_->Read(SsdOffset(d->pid), nptr, kPageSize);
+        if (!st.ok()) {
+          nvm_pool_->FreeFrame(nf);
+          return st;
+        }
+        nvm_->OnDirectWrite(nvm_pool_->FrameOffset(nf), kPageSize,
+                            /*sequential=*/true);
+        nvm_pool_->SetOwner(nf, d, d->pid);
+        d->nvm.frame.store(nf, std::memory_order_relaxed);
+        d->nvm.dirty.store(false, std::memory_order_relaxed);
+        d->nvm.pins.fetch_add(1, std::memory_order_relaxed);
+        nvm_pool_->replacer().RecordAccess(nf);
+        stats_.ssd_fetches.fetch_add(1, std::memory_order_relaxed);
+        stats_.nvm_installs.fetch_add(1, std::memory_order_relaxed);
+        return PageGuard(this, d, Tier::kNvm);
+      }
+    }
+    return Status::Busy("DRAM pool exhausted; retry");
+  }
+  std::byte* ptr = dram_pool_->FramePtr(f);
+  const Status st = ssd_->Read(SsdOffset(d->pid), ptr, kPageSize);
+  if (!st.ok()) {
+    dram_pool_->FreeFrame(f);
+    return st;
+  }
+  dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f), kPageSize,
+                               /*sequential=*/true);
+  dram_pool_->SetOwner(f, d, d->pid);
+  d->dram.frame.store(f, std::memory_order_relaxed);
+  d->dram.dirty.store(false, std::memory_order_relaxed);
+  d->dram_mode.store(DramMode::kFull, std::memory_order_release);
+  d->dram.pins.fetch_add(1, std::memory_order_relaxed);
+  dram_pool_->replacer().RecordAccess(f);
+  stats_.ssd_fetches.fetch_add(1, std::memory_order_relaxed);
+  return PageGuard(this, d, Tier::kDram);
+}
+
+// ---------------------------------------------------------------------------
+// Promotion (NVM → DRAM, data flow path 7)
+// ---------------------------------------------------------------------------
+
+Status BufferManager::PromoteToDram(SharedPageDescriptor* d) {
+  SPITFIRE_DCHECK(dram_pool_ != nullptr);
+  SpinLatchGuard gd(d->dram_latch);
+  if (d->DramResident()) return Status::OK();
+  SpinLatchGuard gn(d->nvm_latch);
+  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+  if (nf == kInvalidFrameId) return Status::Busy("NVM copy gone");
+
+  // Wait for in-flight NVM references to drain so the DRAM copy includes
+  // every modification made in place on NVM (Section 5.2).
+  int spins = 0;
+  while (d->nvm.pins.load(std::memory_order_acquire) > 0) {
+    if (++spins > kPinDrainSpins) {
+      return Status::Busy("NVM readers did not drain");
+    }
+    __builtin_ia32_pause();
+  }
+
+  const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+
+  // HyMem-style admissions: mini page first, then cache-line-grained.
+  if (options_.enable_mini_pages && mini_.capacity > 0) {
+    const uint32_t m = AcquireMiniSlot();
+    if (m != UINT32_MAX) {
+      MiniPageView mp(MiniPtr(m));
+      mp.Format(d->pid, options_.load_granularity);
+      d->mini_id = m;
+      mini_.owners[m].store(d, std::memory_order_release);
+      d->dram.dirty.store(false, std::memory_order_relaxed);
+      d->dram_mode.store(DramMode::kMini, std::memory_order_release);
+      mini_.replacer->RecordAccess(m);
+      stats_.mini_page_admits.fetch_add(1, std::memory_order_relaxed);
+      stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+
+  const frame_id_t f = AcquireDramFrame();
+  if (f == kInvalidFrameId) return Status::Busy("no DRAM frame");
+
+  if (options_.enable_fine_grained_loading) {
+    // No bytes move yet: units are loaded on demand from the NVM copy.
+    d->cl.Reset(options_.load_granularity);
+    dram_pool_->SetOwner(f, d, d->pid);
+    d->dram.frame.store(f, std::memory_order_relaxed);
+    d->dram.dirty.store(false, std::memory_order_relaxed);
+    d->dram_mode.store(DramMode::kCacheLineGrained, std::memory_order_release);
+  } else {
+    const Status st = nvm_->Read(nvm_off, dram_pool_->FramePtr(f), kPageSize);
+    if (!st.ok()) {
+      dram_pool_->FreeFrame(f);
+      return st;
+    }
+    dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f), kPageSize,
+                                 /*sequential=*/true);
+    dram_pool_->SetOwner(f, d, d->pid);
+    d->dram.frame.store(f, std::memory_order_relaxed);
+    d->dram.dirty.store(false, std::memory_order_relaxed);
+    d->dram_mode.store(DramMode::kFull, std::memory_order_release);
+  }
+  dram_pool_->replacer().RecordAccess(f);
+  stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Frame acquisition & eviction
+// ---------------------------------------------------------------------------
+
+frame_id_t BufferManager::AcquireDramFrame() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    frame_id_t f;
+    if (dram_pool_->TryAllocateFrame(&f)) return f;
+    dram_pool_->replacer().PickVictim(
+        [this](frame_id_t v) { return TryEvictDramFrame(v); });
+  }
+  return kInvalidFrameId;
+}
+
+frame_id_t BufferManager::AcquireNvmFrame() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    frame_id_t f;
+    if (nvm_pool_->TryAllocateFrame(&f)) return f;
+    nvm_pool_->replacer().PickVictim(
+        [this](frame_id_t v) { return TryEvictNvmFrame(v); });
+  }
+  return kInvalidFrameId;
+}
+
+bool BufferManager::DecideNvmAdmission(page_id_t pid) {
+  if (admission_queue_ != nullptr) return admission_queue_->ShouldAdmit(pid);
+  return policy().AdmitToNvmOnDramEviction();
+}
+
+void BufferManager::WriteBackUnitsToNvm(SharedPageDescriptor* d) {
+  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+  SPITFIRE_DCHECK(nf != kInvalidFrameId);
+  const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+  const frame_id_t df = d->dram.frame.load(std::memory_order_relaxed);
+  std::byte* dram_ptr = dram_pool_->FramePtr(df);
+  const uint32_t usize = d->cl.unit_size;
+  const size_t units = d->cl.UnitsPerPage();
+  bool any = false;
+  for (size_t u = 0; u < units; ++u) {
+    if (!d->cl.dirty.Test(u)) continue;
+    (void)nvm_->Write(nvm_off + u * usize, dram_ptr + u * usize, usize);
+    any = true;
+  }
+  if (any) d->nvm.dirty.store(true, std::memory_order_relaxed);
+}
+
+bool BufferManager::TryEvictDramFrame(frame_id_t f) {
+  SharedPageDescriptor* d = dram_pool_->Owner(f);
+  if (d == nullptr) return false;
+  if (!d->dram_latch.TryLock()) return false;
+
+  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  const bool owns = (mode == DramMode::kFull ||
+                     mode == DramMode::kCacheLineGrained) &&
+                    d->dram.frame.load(std::memory_order_relaxed) == f &&
+                    dram_pool_->Owner(f) == d;
+  if (!owns || d->dram.pins.load(std::memory_order_acquire) != 0) {
+    d->dram_latch.Unlock();
+    return false;
+  }
+
+  const bool dirty = d->dram.dirty.load(std::memory_order_relaxed) ||
+                     (mode == DramMode::kCacheLineGrained &&
+                      d->cl.dirty.Any());
+
+  if (!dirty) {
+    // HyMem's admission queue considers EVERY page evicted from DRAM, not
+    // just dirty ones (Section 1): a clean page admitted on its second
+    // consideration is copied into NVM so future reads skip the SSD. The
+    // probabilistic (Spitfire) mode discards clean pages (Section 3.3).
+    if (admission_queue_ != nullptr && nvm_pool_ != nullptr &&
+        mode == DramMode::kFull && !d->NvmResident() &&
+        d->nvm_latch.TryLock()) {
+      if (!d->NvmResident() && admission_queue_->ShouldAdmit(d->pid)) {
+        const frame_id_t nf = AcquireNvmFrame();
+        if (nf != kInvalidFrameId) {
+          (void)nvm_->Write(nvm_pool_->FrameOffset(nf),
+                            dram_pool_->FramePtr(f), kPageSize);
+          nvm_pool_->SetOwner(nf, d, d->pid);
+          d->nvm.frame.store(nf, std::memory_order_relaxed);
+          d->nvm.dirty.store(false, std::memory_order_relaxed);
+          nvm_pool_->replacer().RecordAccess(nf);
+          stats_.demotions_to_nvm.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      d->nvm_latch.Unlock();
+    }
+    d->dram_mode.store(DramMode::kNone, std::memory_order_release);
+    d->dram.frame.store(kInvalidFrameId, std::memory_order_relaxed);
+    dram_pool_->FreeFrame(f);
+    d->dram_latch.Unlock();
+    stats_.dram_evictions.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  if (mode == DramMode::kCacheLineGrained) {
+    // Dirty units flow back into the (still-present) NVM copy.
+    if (!d->nvm_latch.TryLock()) {
+      d->dram_latch.Unlock();
+      return false;
+    }
+    WriteBackUnitsToNvm(d);
+    d->dram_mode.store(DramMode::kNone, std::memory_order_release);
+    d->dram.frame.store(kInvalidFrameId, std::memory_order_relaxed);
+    d->dram.dirty.store(false, std::memory_order_relaxed);
+    dram_pool_->FreeFrame(f);
+    d->nvm_latch.Unlock();
+    d->dram_latch.Unlock();
+    stats_.dram_evictions.fetch_add(1, std::memory_order_relaxed);
+    stats_.demotions_to_nvm.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Full dirty page: update the NVM copy in place, admit into NVM
+  // (probability Nw / HyMem admission queue), or bypass NVM down to SSD
+  // (Section 3.4).
+  if (!d->nvm_latch.TryLock()) {
+    d->dram_latch.Unlock();
+    return false;
+  }
+  std::byte* dram_ptr = dram_pool_->FramePtr(f);
+  bool wrote = false;
+  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+  if (nf != kInvalidFrameId) {
+    (void)nvm_->Write(nvm_pool_->FrameOffset(nf), dram_ptr, kPageSize);
+    d->nvm.dirty.store(true, std::memory_order_relaxed);
+    stats_.demotions_to_nvm.fetch_add(1, std::memory_order_relaxed);
+    wrote = true;
+  } else if (nvm_pool_ != nullptr && DecideNvmAdmission(d->pid)) {
+    const frame_id_t newf = AcquireNvmFrame();
+    if (newf != kInvalidFrameId) {
+      (void)nvm_->Write(nvm_pool_->FrameOffset(newf), dram_ptr, kPageSize);
+      nvm_pool_->SetOwner(newf, d, d->pid);
+      d->nvm.frame.store(newf, std::memory_order_relaxed);
+      d->nvm.dirty.store(true, std::memory_order_relaxed);
+      nvm_pool_->replacer().RecordAccess(newf);
+      stats_.demotions_to_nvm.fetch_add(1, std::memory_order_relaxed);
+      wrote = true;
+    }
+  }
+  if (!wrote) {
+    if (!d->ssd_latch.TryLock()) {
+      d->nvm_latch.Unlock();
+      d->dram_latch.Unlock();
+      return false;
+    }
+    const Status st = WriteToSsd(d->pid, dram_ptr);
+    d->ssd_latch.Unlock();
+    if (!st.ok()) {
+      d->nvm_latch.Unlock();
+      d->dram_latch.Unlock();
+      return false;
+    }
+    stats_.demotions_to_ssd.fetch_add(1, std::memory_order_relaxed);
+  }
+  d->dram_mode.store(DramMode::kNone, std::memory_order_release);
+  d->dram.frame.store(kInvalidFrameId, std::memory_order_relaxed);
+  d->dram.dirty.store(false, std::memory_order_relaxed);
+  dram_pool_->FreeFrame(f);
+  d->nvm_latch.Unlock();
+  d->dram_latch.Unlock();
+  stats_.dram_evictions.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool BufferManager::TryEvictNvmFrame(frame_id_t f) {
+  SharedPageDescriptor* d = nvm_pool_->Owner(f);
+  if (d == nullptr) return false;
+  if (!d->nvm_latch.TryLock()) return false;
+  if (d->nvm.frame.load(std::memory_order_relaxed) != f ||
+      d->nvm.pins.load(std::memory_order_acquire) != 0) {
+    d->nvm_latch.Unlock();
+    return false;
+  }
+  // A cache-line-grained or mini DRAM copy loads its units from this NVM
+  // frame; it pins the NVM copy implicitly.
+  const DramMode mode = d->dram_mode.load(std::memory_order_acquire);
+  if (mode == DramMode::kCacheLineGrained || mode == DramMode::kMini) {
+    d->nvm_latch.Unlock();
+    return false;
+  }
+  if (d->nvm.dirty.load(std::memory_order_relaxed)) {
+    if (!d->ssd_latch.TryLock()) {
+      d->nvm_latch.Unlock();
+      return false;
+    }
+    std::byte* ptr = nvm_pool_->FramePtr(f);
+    nvm_->OnDirectRead(nvm_pool_->FrameOffset(f), kPageSize,
+                       /*sequential=*/true);
+    const Status st = WriteToSsd(d->pid, ptr);
+    d->ssd_latch.Unlock();
+    if (!st.ok()) {
+      d->nvm_latch.Unlock();
+      return false;
+    }
+    d->nvm.dirty.store(false, std::memory_order_relaxed);
+  }
+  d->nvm.frame.store(kInvalidFrameId, std::memory_order_relaxed);
+  nvm_pool_->FreeFrame(f);
+  d->nvm_latch.Unlock();
+  stats_.nvm_evictions.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Mini pages
+// ---------------------------------------------------------------------------
+
+std::byte* BufferManager::MiniPtr(uint32_t mini_id) {
+  const size_t host = mini_id / mini_.per_frame;
+  const size_t slot = mini_id % mini_.per_frame;
+  return dram_pool_->FramePtr(mini_.host_frames[host]) +
+         slot * MiniPageView::BytesRequired(options_.load_granularity);
+}
+
+uint32_t BufferManager::AcquireMiniSlot() {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    uint32_t m;
+    if (mini_.free_list->TryPop(&m)) return m;
+    mini_.replacer->PickVictim(
+        [this](frame_id_t v) { return TryEvictMini(v); });
+  }
+  return UINT32_MAX;
+}
+
+bool BufferManager::TryEvictMini(uint32_t mini_id) {
+  SharedPageDescriptor* d =
+      mini_.owners[mini_id].load(std::memory_order_acquire);
+  if (d == nullptr) return false;
+  if (!d->dram_latch.TryLock()) return false;
+  if (d->dram_mode.load(std::memory_order_relaxed) != DramMode::kMini ||
+      d->mini_id != mini_id ||
+      d->dram.pins.load(std::memory_order_acquire) != 0) {
+    d->dram_latch.Unlock();
+    return false;
+  }
+  MiniPageView mp(MiniPtr(mini_id));
+  if (mp.AnyDirty()) {
+    if (!d->nvm_latch.TryLock()) {
+      d->dram_latch.Unlock();
+      return false;
+    }
+    const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+    SPITFIRE_DCHECK(nf != kInvalidFrameId);
+    const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+    const uint32_t usize = mp.meta()->unit_size;
+    for (size_t s = 0; s < mp.count(); ++s) {
+      if (!mp.IsDirty(s)) continue;
+      const uint16_t unit = mp.meta()->slots[s];
+      (void)nvm_->Write(nvm_off + static_cast<uint64_t>(unit) * usize,
+                        mp.UnitPtr(s), usize);
+    }
+    d->nvm.dirty.store(true, std::memory_order_relaxed);
+    d->nvm_latch.Unlock();
+  }
+  d->dram_mode.store(DramMode::kNone, std::memory_order_release);
+  mini_.owners[mini_id].store(nullptr, std::memory_order_release);
+  while (!mini_.free_list->TryPush(mini_id)) __builtin_ia32_pause();
+  d->dram_latch.Unlock();
+  stats_.dram_evictions.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status BufferManager::PromoteMiniToFull(SharedPageDescriptor* d) {
+  // dram latch held; mode == kMini.
+  const uint32_t mini_id = d->mini_id;
+  MiniPageView mp(MiniPtr(mini_id));
+  const frame_id_t f = AcquireDramFrame();
+  if (f == kInvalidFrameId) return Status::OutOfMemory("no frame for overflow");
+
+  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+  SPITFIRE_DCHECK(nf != kInvalidFrameId);
+  std::byte* dst = dram_pool_->FramePtr(f);
+  SPITFIRE_RETURN_NOT_OK(
+      nvm_->Read(nvm_pool_->FrameOffset(nf), dst, kPageSize));
+  // Overlay units dirtied while in the mini page: they are newer than the
+  // NVM copy.
+  const uint32_t usize = mp.meta()->unit_size;
+  bool any_dirty = false;
+  for (size_t s = 0; s < mp.count(); ++s) {
+    if (!mp.IsDirty(s)) continue;
+    const uint16_t unit = mp.meta()->slots[s];
+    std::memcpy(dst + static_cast<size_t>(unit) * usize, mp.UnitPtr(s), usize);
+    any_dirty = true;
+  }
+  dram_pool_->SetOwner(f, d, d->pid);
+  d->dram.frame.store(f, std::memory_order_relaxed);
+  if (any_dirty) d->dram.dirty.store(true, std::memory_order_relaxed);
+  d->dram_mode.store(DramMode::kFull, std::memory_order_release);
+  dram_pool_->replacer().RecordAccess(f);
+  mini_.owners[mini_id].store(nullptr, std::memory_order_release);
+  while (!mini_.free_list->TryPush(mini_id)) __builtin_ia32_pause();
+  stats_.mini_page_promotions.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Guard data plane
+// ---------------------------------------------------------------------------
+
+void BufferManager::EnsureUnitsResident(SharedPageDescriptor* d, size_t offset,
+                                        size_t size) {
+  const uint32_t usize = d->cl.unit_size;
+  const size_t first = offset / usize;
+  const size_t last = (offset + (size ? size : 1) - 1) / usize;
+  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+  SPITFIRE_DCHECK(nf != kInvalidFrameId);
+  const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+  std::byte* dram_ptr =
+      dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
+  for (size_t u = first; u <= last; ++u) {
+    if (d->cl.resident.Test(u)) continue;
+    (void)nvm_->ReadFineGrained(nvm_off + u * usize, dram_ptr + u * usize,
+                                usize);
+    d->cl.resident.Set(u);
+    stats_.fine_grained_loads.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status BufferManager::GuardRead(SharedPageDescriptor* d, Tier tier,
+                                size_t offset, size_t size, void* dst) {
+  if (offset + size > kPageSize) {
+    return Status::InvalidArgument("page access out of range");
+  }
+  if (tier == Tier::kNvm) {
+    const frame_id_t f = d->nvm.frame.load(std::memory_order_acquire);
+    SPITFIRE_DCHECK(f != kInvalidFrameId);
+    std::memcpy(dst, nvm_pool_->FramePtr(f) + offset, size);
+    nvm_->OnDirectRead(nvm_pool_->FrameOffset(f) + offset, size);
+    return Status::OK();
+  }
+
+  // Fast path for fully materialized DRAM pages.
+  if (d->dram_mode.load(std::memory_order_acquire) == DramMode::kFull) {
+    const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+    std::memcpy(dst, dram_pool_->FramePtr(f) + offset, size);
+    dram_backing_->OnDirectRead(dram_pool_->FrameOffset(f) + offset, size);
+    return Status::OK();
+  }
+
+  SpinLatchGuard g(d->dram_latch);
+  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  switch (mode) {
+    case DramMode::kFull: {
+      const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+      std::memcpy(dst, dram_pool_->FramePtr(f) + offset, size);
+      dram_backing_->OnDirectRead(dram_pool_->FrameOffset(f) + offset, size);
+      return Status::OK();
+    }
+    case DramMode::kCacheLineGrained: {
+      EnsureUnitsResident(d, offset, size);
+      const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+      std::memcpy(dst, dram_pool_->FramePtr(f) + offset, size);
+      dram_backing_->OnDirectRead(dram_pool_->FrameOffset(f) + offset, size);
+      return Status::OK();
+    }
+    case DramMode::kMini: {
+      MiniPageView mp(MiniPtr(d->mini_id));
+      const uint32_t usize = mp.meta()->unit_size;
+      const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+      const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+      size_t pos = offset;
+      const size_t end = offset + size;
+      auto* out = static_cast<std::byte*>(dst);
+      while (pos < end) {
+        const uint16_t unit = static_cast<uint16_t>(pos / usize);
+        int slot = mp.FindSlot(unit);
+        if (slot < 0) {
+          slot = mp.Insert(unit);
+          if (slot < 0) {
+            // Overflow: transparently promote to a full page and finish
+            // the read there.
+            SPITFIRE_RETURN_NOT_OK(PromoteMiniToFull(d));
+            const frame_id_t f =
+                d->dram.frame.load(std::memory_order_relaxed);
+            std::memcpy(out, dram_pool_->FramePtr(f) + pos, end - pos);
+            dram_backing_->OnDirectRead(dram_pool_->FrameOffset(f) + pos,
+                                        end - pos);
+            return Status::OK();
+          }
+          (void)nvm_->ReadFineGrained(
+              nvm_off + static_cast<uint64_t>(unit) * usize, mp.UnitPtr(slot),
+              usize);
+          stats_.fine_grained_loads.fetch_add(1, std::memory_order_relaxed);
+        }
+        const size_t unit_begin = static_cast<size_t>(unit) * usize;
+        const size_t in_off = pos - unit_begin;
+        const size_t n = std::min(end - pos, usize - in_off);
+        std::memcpy(out, mp.UnitPtr(slot) + in_off, n);
+        out += n;
+        pos += n;
+      }
+      return Status::OK();
+    }
+    case DramMode::kNone:
+      break;
+  }
+  SPITFIRE_CHECK(false && "GuardRead on non-resident page");
+  return Status::Corruption("unreachable");
+}
+
+Status BufferManager::GuardWrite(SharedPageDescriptor* d, Tier tier,
+                                 size_t offset, size_t size, const void* src) {
+  if (offset + size > kPageSize) {
+    return Status::InvalidArgument("page access out of range");
+  }
+  if (tier == Tier::kNvm) {
+    const frame_id_t f = d->nvm.frame.load(std::memory_order_acquire);
+    SPITFIRE_DCHECK(f != kInvalidFrameId);
+    std::memcpy(nvm_pool_->FramePtr(f) + offset, src, size);
+    nvm_->OnDirectWrite(nvm_pool_->FrameOffset(f) + offset, size);
+    d->nvm.dirty.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+
+  if (d->dram_mode.load(std::memory_order_acquire) == DramMode::kFull) {
+    const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+    std::memcpy(dram_pool_->FramePtr(f) + offset, src, size);
+    dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f) + offset, size);
+    d->dram.dirty.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+
+  SpinLatchGuard g(d->dram_latch);
+  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  switch (mode) {
+    case DramMode::kFull: {
+      const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+      std::memcpy(dram_pool_->FramePtr(f) + offset, src, size);
+      dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f) + offset, size);
+      d->dram.dirty.store(true, std::memory_order_release);
+      return Status::OK();
+    }
+    case DramMode::kCacheLineGrained: {
+      // Writes that do not cover whole units require the surrounding bytes
+      // to be resident first.
+      EnsureUnitsResident(d, offset, size);
+      const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+      std::memcpy(dram_pool_->FramePtr(f) + offset, src, size);
+      dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f) + offset, size);
+      const uint32_t usize = d->cl.unit_size;
+      for (size_t u = offset / usize; u <= (offset + size - 1) / usize; ++u) {
+        d->cl.dirty.Set(u);
+      }
+      d->dram.dirty.store(true, std::memory_order_release);
+      return Status::OK();
+    }
+    case DramMode::kMini: {
+      MiniPageView mp(MiniPtr(d->mini_id));
+      const uint32_t usize = mp.meta()->unit_size;
+      const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+      const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+      size_t pos = offset;
+      const size_t end = offset + size;
+      const auto* in = static_cast<const std::byte*>(src);
+      while (pos < end) {
+        const uint16_t unit = static_cast<uint16_t>(pos / usize);
+        int slot = mp.FindSlot(unit);
+        if (slot < 0) {
+          slot = mp.Insert(unit);
+          if (slot < 0) {
+            SPITFIRE_RETURN_NOT_OK(PromoteMiniToFull(d));
+            const frame_id_t f =
+                d->dram.frame.load(std::memory_order_relaxed);
+            std::memcpy(dram_pool_->FramePtr(f) + pos, in, end - pos);
+            dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f) + pos,
+                                         end - pos);
+            d->dram.dirty.store(true, std::memory_order_release);
+            return Status::OK();
+          }
+          (void)nvm_->ReadFineGrained(
+              nvm_off + static_cast<uint64_t>(unit) * usize, mp.UnitPtr(slot),
+              usize);
+          stats_.fine_grained_loads.fetch_add(1, std::memory_order_relaxed);
+        }
+        const size_t unit_begin = static_cast<size_t>(unit) * usize;
+        const size_t in_off = pos - unit_begin;
+        const size_t n = std::min(end - pos, usize - in_off);
+        std::memcpy(mp.UnitPtr(slot) + in_off, in, n);
+        mp.MarkDirty(static_cast<size_t>(slot));
+        in += n;
+        pos += n;
+      }
+      d->dram.dirty.store(true, std::memory_order_release);
+      return Status::OK();
+    }
+    case DramMode::kNone:
+      break;
+  }
+  SPITFIRE_CHECK(false && "GuardWrite on non-resident page");
+  return Status::Corruption("unreachable");
+}
+
+std::byte* BufferManager::GuardRawData(SharedPageDescriptor* d, Tier tier,
+                                       bool for_write) {
+  if (tier == Tier::kNvm) {
+    const frame_id_t f = d->nvm.frame.load(std::memory_order_acquire);
+    SPITFIRE_DCHECK(f != kInvalidFrameId);
+    if (for_write) d->nvm.dirty.store(true, std::memory_order_release);
+    nvm_->OnDirectRead(nvm_pool_->FrameOffset(f), 256);
+    return nvm_pool_->FramePtr(f);
+  }
+  if (d->dram_mode.load(std::memory_order_acquire) == DramMode::kFull) {
+    if (for_write) d->dram.dirty.store(true, std::memory_order_release);
+    return dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
+  }
+  // Materialize cache-line-grained / mini representations into a full
+  // frame so callers can treat the page as one contiguous 16 KB buffer.
+  SpinLatchGuard g(d->dram_latch);
+  DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  if (mode == DramMode::kMini) {
+    if (!PromoteMiniToFull(d).ok()) return nullptr;
+    mode = DramMode::kFull;
+  } else if (mode == DramMode::kCacheLineGrained) {
+    EnsureUnitsResident(d, 0, kPageSize);
+    if (d->cl.dirty.Any()) d->dram.dirty.store(true, std::memory_order_relaxed);
+    d->dram_mode.store(DramMode::kFull, std::memory_order_release);
+    mode = DramMode::kFull;
+  }
+  if (mode != DramMode::kFull) return nullptr;
+  if (for_write) d->dram.dirty.store(true, std::memory_order_release);
+  return dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
+}
+
+// ---------------------------------------------------------------------------
+// Flushing, recovery, introspection
+// ---------------------------------------------------------------------------
+
+Status BufferManager::WriteToSsd(page_id_t pid, const std::byte* data) {
+  return ssd_->Write(SsdOffset(pid), data, kPageSize);
+}
+
+Status BufferManager::FlushPage(page_id_t pid) {
+  SharedPageDescriptor* d = nullptr;
+  if (!mapping_table_.Find(pid, &d)) return Status::OK();  // never buffered
+  SpinLatchGuard gd(d->dram_latch);
+  SpinLatchGuard gn(d->nvm_latch);
+  SpinLatchGuard gs(d->ssd_latch);
+
+  // Guard holders may be mutating page contents; flushing a pinned page
+  // could persist a torn image. Skip it — the WAL keeps it recoverable and
+  // a later flush round will catch it. (Pins are taken under the tier
+  // latches we hold, so this check cannot race with a new pin.)
+  if (d->dram.pins.load(std::memory_order_acquire) != 0 ||
+      d->nvm.pins.load(std::memory_order_acquire) != 0) {
+    return Status::OK();
+  }
+
+  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  if (mode == DramMode::kCacheLineGrained && d->cl.dirty.Any()) {
+    WriteBackUnitsToNvm(d);
+    d->cl.dirty.Reset();
+    d->dram.dirty.store(false, std::memory_order_relaxed);
+  } else if (mode == DramMode::kMini) {
+    MiniPageView mp(MiniPtr(d->mini_id));
+    if (mp.AnyDirty()) {
+      const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+      const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+      const uint32_t usize = mp.meta()->unit_size;
+      for (size_t s = 0; s < mp.count(); ++s) {
+        if (!mp.IsDirty(s)) continue;
+        const uint16_t unit = mp.meta()->slots[s];
+        (void)nvm_->Write(nvm_off + static_cast<uint64_t>(unit) * usize,
+                          mp.UnitPtr(s), usize);
+      }
+      mp.meta()->dirty_mask = 0;
+      d->nvm.dirty.store(true, std::memory_order_relaxed);
+      d->dram.dirty.store(false, std::memory_order_relaxed);
+    }
+  } else if (mode == DramMode::kFull &&
+             d->dram.dirty.load(std::memory_order_relaxed)) {
+    std::byte* ptr =
+        dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
+    SPITFIRE_RETURN_NOT_OK(WriteToSsd(pid, ptr));
+    // Keep any NVM copy coherent with the freshest data so later direct
+    // NVM reads never observe stale bytes.
+    const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+    if (nf != kInvalidFrameId) {
+      (void)nvm_->Write(nvm_pool_->FrameOffset(nf), ptr, kPageSize);
+      d->nvm.dirty.store(false, std::memory_order_relaxed);
+    }
+    d->dram.dirty.store(false, std::memory_order_relaxed);
+  }
+
+  if (d->nvm.dirty.load(std::memory_order_relaxed)) {
+    const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+    if (nf != kInvalidFrameId) {
+      std::byte* ptr = nvm_pool_->FramePtr(nf);
+      nvm_->OnDirectRead(nvm_pool_->FrameOffset(nf), kPageSize,
+                         /*sequential=*/true);
+      SPITFIRE_RETURN_NOT_OK(WriteToSsd(pid, ptr));
+      d->nvm.dirty.store(false, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferManager::FlushAll(bool include_nvm) {
+  Status result = Status::OK();
+  if (include_nvm) {
+    // Collect first: FlushPage re-enters the mapping table, so it must not
+    // run under ForEach's shard latch.
+    std::vector<page_id_t> pids;
+    mapping_table_.ForEach(
+        [&](const page_id_t& pid, SharedPageDescriptor*&) {
+          pids.push_back(pid);
+        });
+    for (page_id_t pid : pids) {
+      const Status st = FlushPage(pid);
+      if (!st.ok()) result = st;
+    }
+    return result;
+  }
+  mapping_table_.ForEach([&](const page_id_t& pid, SharedPageDescriptor*& d) {
+    {
+      // Background checkpointing (Section 5.2): only dirty DRAM pages are
+      // pushed down; NVM-resident modifications are already persistent.
+      SpinLatchGuard gd(d->dram_latch);
+      if (d->dram.pins.load(std::memory_order_acquire) != 0) {
+        return;  // actively referenced; the next round gets it
+      }
+      const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+      if (mode == DramMode::kFull &&
+          d->dram.dirty.load(std::memory_order_relaxed)) {
+        SpinLatchGuard gn(d->nvm_latch);
+        SpinLatchGuard gs(d->ssd_latch);
+        std::byte* ptr = dram_pool_->FramePtr(
+            d->dram.frame.load(std::memory_order_relaxed));
+        const Status st = WriteToSsd(pid, ptr);
+        if (!st.ok()) {
+          result = st;
+          return;
+        }
+        const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+        if (nf != kInvalidFrameId) {
+          (void)nvm_->Write(nvm_pool_->FrameOffset(nf), ptr, kPageSize);
+          d->nvm.dirty.store(false, std::memory_order_relaxed);
+        }
+        d->dram.dirty.store(false, std::memory_order_relaxed);
+      } else if (mode == DramMode::kCacheLineGrained && d->cl.dirty.Any()) {
+        SpinLatchGuard gn(d->nvm_latch);
+        WriteBackUnitsToNvm(d);
+        d->cl.dirty.Reset();
+        d->dram.dirty.store(false, std::memory_order_relaxed);
+      }
+    }
+  });
+  return result;
+}
+
+Status BufferManager::RecoverNvmResidentPages() {
+  if (nvm_pool_ == nullptr) {
+    return Status::InvalidArgument("no NVM pool to recover");
+  }
+  // Drain the free list; re-add frames that the persistent frame table
+  // marks as free, claim the rest.
+  std::vector<frame_id_t> all;
+  frame_id_t f;
+  while (nvm_pool_->TryAllocateFrame(&f)) all.push_back(f);
+  size_t recovered = 0;
+  for (frame_id_t frame : all) {
+    const page_id_t pid = nvm_pool_->PersistedOwner(frame);
+    bool valid = pid != kInvalidPageId;
+    if (valid) {
+      PageView view(nvm_pool_->FramePtr(frame));
+      valid = view.header()->IsValid() && view.header()->page_id == pid;
+    }
+    if (!valid) {
+      nvm_pool_->FreeFrame(frame);
+      continue;
+    }
+    SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+    d->nvm.frame.store(frame, std::memory_order_relaxed);
+    // NVM copies may be newer than their SSD counterparts; treat them as
+    // dirty so they flow down before being dropped.
+    d->nvm.dirty.store(true, std::memory_order_relaxed);
+    nvm_pool_->SetOwner(frame, d, pid);
+    page_id_t expect = next_page_id_.load(std::memory_order_relaxed);
+    while (pid + 1 > expect &&
+           !next_page_id_.compare_exchange_weak(expect, pid + 1)) {
+    }
+    ++recovered;
+  }
+  (void)recovered;
+  return Status::OK();
+}
+
+double BufferManager::InclusivityRatio() const {
+  size_t both = 0;
+  size_t either = 0;
+  auto* self = const_cast<BufferManager*>(this);
+  self->mapping_table_.ForEach(
+      [&](const page_id_t&, SharedPageDescriptor*& d) {
+        const bool in_dram = d->DramResident();
+        const bool in_nvm = d->NvmResident();
+        if (in_dram && in_nvm) ++both;
+        if (in_dram || in_nvm) ++either;
+      });
+  return either == 0 ? 0.0
+                     : static_cast<double>(both) / static_cast<double>(either);
+}
+
+size_t BufferManager::DramResidentPages() const {
+  size_t n = 0;
+  auto* self = const_cast<BufferManager*>(this);
+  self->mapping_table_.ForEach(
+      [&](const page_id_t&, SharedPageDescriptor*& d) {
+        if (d->DramResident()) ++n;
+      });
+  return n;
+}
+
+size_t BufferManager::NvmResidentPages() const {
+  size_t n = 0;
+  auto* self = const_cast<BufferManager*>(this);
+  self->mapping_table_.ForEach(
+      [&](const page_id_t&, SharedPageDescriptor*& d) {
+        if (d->NvmResident()) ++n;
+      });
+  return n;
+}
+
+}  // namespace spitfire

@@ -1,0 +1,285 @@
+#ifndef SPITFIRE_BUFFER_BUFFER_MANAGER_H_
+#define SPITFIRE_BUFFER_BUFFER_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/migration_policy.h"
+#include "buffer/page.h"
+#include "buffer/page_descriptor.h"
+#include "buffer/stats.h"
+#include "common/status.h"
+#include "container/admission_queue.h"
+#include "container/concurrent_hash_table.h"
+#include "storage/device.h"
+#include "storage/nvm_device.h"
+
+namespace spitfire {
+
+class BufferManager;
+
+// Whether a page is being fetched to be read or modified. The intent picks
+// which migration probability applies: Dr for reads, Dw for writes
+// (Sections 3.1, 3.2).
+enum class AccessIntent { kRead, kWrite };
+
+// Configuration of a (possibly degenerate) three-tier buffer manager.
+// Setting dram_frames or nvm_frames to zero removes that tier, yielding
+// the paper's NVM-SSD and DRAM-SSD hierarchies.
+struct BufferManagerOptions {
+  size_t dram_frames = 0;
+  size_t nvm_frames = 0;
+
+  MigrationPolicy policy = MigrationPolicy::Eager();
+
+  // HyMem-style NVM admission (Section 6.5) instead of the probabilistic
+  // Nw decision.
+  NvmAdmissionMode nvm_admission = NvmAdmissionMode::kProbabilistic;
+  // 0 → half the NVM buffer's page count, the size the paper found to
+  // work well.
+  size_t admission_queue_capacity = 0;
+
+  // HyMem optimizations (Figure 12 ablation knobs).
+  bool enable_fine_grained_loading = false;
+  uint32_t load_granularity = 256;  // bytes; Figure 11 sweeps 64..512
+  bool enable_mini_pages = false;
+  // DRAM frames reserved to host mini pages; 0 → dram_frames / 8.
+  size_t mini_host_frames = 0;
+
+  // Devices. `ssd` is required and owned by the caller (it holds the
+  // database itself). `nvm` may be supplied by the caller so that its
+  // contents survive buffer manager teardown (recovery tests); when null
+  // and nvm_frames > 0 an internal NvmDevice is created. `dram_backing`
+  // lets experiments substitute a MemoryModeDevice for plain DRAM.
+  Device* ssd = nullptr;
+  NvmDevice* nvm = nullptr;
+  Device* dram_backing = nullptr;
+};
+
+// RAII pin on one tier's copy of a page. Obtained from
+// BufferManager::FetchPage / NewPage; releases the pin on destruction.
+//
+// Data access goes through ReadAt/WriteAt, which handle all DRAM
+// representations (full frame, cache-line-grained, mini page) and direct
+// NVM access, including on-demand unit loading and device cost accounting.
+// Like any buffer manager, page *contents* are not serialized between
+// guard holders: concurrent accesses to overlapping byte ranges of one
+// page must be coordinated by the caller (the table layer uses MVTO
+// version locks; the B+Tree uses its optimistic version latch).
+// RawData() exposes the full 16 KB frame and is only valid for guards
+// whose page is fully materialized (it loads all units of a cache-line-
+// grained page on first use; unsupported for mini pages).
+class PageGuard {
+ public:
+  PageGuard() = default;
+  ~PageGuard() { Release(); }
+
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    Release();
+    bm_ = o.bm_;
+    desc_ = o.desc_;
+    tier_ = o.tier_;
+    o.bm_ = nullptr;
+    o.desc_ = nullptr;
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return desc_ != nullptr; }
+  page_id_t pid() const { return desc_->pid; }
+  // The tier this guard pinned (kDram or kNvm).
+  Tier tier() const { return tier_; }
+  SharedPageDescriptor* descriptor() const { return desc_; }
+
+  // Copies `size` bytes at page offset `offset` into `dst`.
+  Status ReadAt(size_t offset, size_t size, void* dst);
+  // Writes `size` bytes at page offset `offset` and marks the page dirty.
+  Status WriteAt(size_t offset, size_t size, const void* src);
+
+  // Full-frame pointer (see class comment). `for_write` marks the page
+  // dirty. Returns nullptr for mini-page guards.
+  std::byte* RawData(bool for_write = false);
+
+  void MarkDirty();
+
+  // Releases the pin early.
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageGuard(BufferManager* bm, SharedPageDescriptor* desc, Tier tier)
+      : bm_(bm), desc_(desc), tier_(tier) {}
+
+  BufferManager* bm_ = nullptr;
+  SharedPageDescriptor* desc_ = nullptr;
+  Tier tier_ = Tier::kDram;
+};
+
+// The Spitfire multi-threaded three-tier buffer manager (Section 5).
+//
+// A unified DRAM-resident mapping table maps page ids to shared page
+// descriptors holding per-tier latches and residency state (Figure 4).
+// FetchPage serves pages from DRAM when possible, from NVM directly (the
+// CPU can operate on NVM in place), or from SSD, and migrates pages
+// between tiers according to the probabilistic policy <Dr, Dw, Nr, Nw>
+// (Section 3). CLOCK replacement reclaims space in both buffers.
+class BufferManager {
+ public:
+  explicit BufferManager(const BufferManagerOptions& options);
+  ~BufferManager();
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(BufferManager);
+
+  // Pins the page on some tier and returns a guard for it. Thread-safe.
+  // A thread must not fetch a page it already holds a guard on.
+  Result<PageGuard> FetchPage(page_id_t pid, AccessIntent intent);
+
+  // Allocates a fresh page id and materializes a zeroed, dirty page in the
+  // top available buffer, bypassing the SSD read.
+  Result<PageGuard> NewPage(uint32_t page_type = 0);
+
+  // Writes the freshest copy of `pid` down to SSD and marks copies clean.
+  Status FlushPage(page_id_t pid);
+
+  // Flushes every dirty page to SSD. When `include_nvm` is false, dirty
+  // NVM-resident pages are left in place (they are persistent — the
+  // paper's recovery-overhead advantage of app-direct mode).
+  Status FlushAll(bool include_nvm = false);
+
+  // Rebuilds the mapping table from the NVM device's persistent frame
+  // table after a restart (Section 5.2, Recovery). The NvmDevice must have
+  // been supplied externally via options.nvm.
+  Status RecoverNvmResidentPages();
+
+  // --- policy & introspection ---
+  MigrationPolicy policy() const {
+    return {dr_.load(std::memory_order_relaxed),
+            dw_.load(std::memory_order_relaxed),
+            nr_.load(std::memory_order_relaxed),
+            nw_.load(std::memory_order_relaxed)};
+  }
+  // Swaps the live migration policy (used by the adaptive tuner, §4).
+  // Lock-free so the tuner can adjust it mid-run.
+  void SetPolicy(const MigrationPolicy& p) {
+    dr_.store(p.dr, std::memory_order_relaxed);
+    dw_.store(p.dw, std::memory_order_relaxed);
+    nr_.store(p.nr, std::memory_order_relaxed);
+    nw_.store(p.nw, std::memory_order_relaxed);
+  }
+
+  BufferStats& stats() { return stats_; }
+
+  // Fraction of buffered pages resident in both DRAM and NVM (Section 3.3).
+  double InclusivityRatio() const;
+  size_t DramResidentPages() const;
+  size_t NvmResidentPages() const;
+
+  page_id_t next_page_id() const {
+    return next_page_id_.load(std::memory_order_relaxed);
+  }
+  void SetNextPageId(page_id_t pid) { next_page_id_.store(pid); }
+
+  Device* ssd() { return ssd_; }
+  NvmDevice* nvm_device() { return nvm_; }
+  Device* dram_device() { return dram_backing_; }
+  BufferPool* dram_pool() { return dram_pool_.get(); }
+  BufferPool* nvm_pool() { return nvm_pool_.get(); }
+  const BufferManagerOptions& options() const { return options_; }
+
+ private:
+  friend class PageGuard;
+
+  // --- mini page hosting ---
+  struct MiniRegion {
+    size_t per_frame = 0;
+    size_t capacity = 0;
+    std::vector<frame_id_t> host_frames;
+    std::unique_ptr<MpmcQueue<uint32_t>> free_list;
+    std::unique_ptr<ClockReplacer> replacer;
+    std::vector<std::atomic<SharedPageDescriptor*>> owners;
+  };
+
+  SharedPageDescriptor* GetOrCreateDescriptor(page_id_t pid);
+
+  // Pin helpers: return true with pins incremented if resident.
+  bool TryPinDram(SharedPageDescriptor* d);
+  bool TryPinNvm(SharedPageDescriptor* d);
+  void Unpin(SharedPageDescriptor* d, Tier tier);
+
+  // NVM → DRAM migration (path 7). Returns OK when the DRAM copy exists,
+  // Busy when the caller should serve the access from NVM instead.
+  Status PromoteToDram(SharedPageDescriptor* d);
+
+  // SSD miss path: installs into NVM (path 1, probability Nr) or directly
+  // into DRAM (path 8), then pins and returns a guard.
+  Result<PageGuard> InstallFromSsd(SharedPageDescriptor* d,
+                                   AccessIntent intent);
+
+  // Frame acquisition with eviction. Return kInvalidFrameId on failure.
+  frame_id_t AcquireDramFrame();
+  frame_id_t AcquireNvmFrame();
+  bool TryEvictDramFrame(frame_id_t f);
+  bool TryEvictNvmFrame(frame_id_t f);
+
+  // Mini pages.
+  uint32_t AcquireMiniSlot();
+  bool TryEvictMini(uint32_t mini_id);
+  std::byte* MiniPtr(uint32_t mini_id);
+  // Promotes a mini page to a full frame after overflow. Caller holds the
+  // descriptor's dram latch; mode is kMini on entry, kFull on success.
+  Status PromoteMiniToFull(SharedPageDescriptor* d);
+
+  // Writes the DRAM copy's dirty content back into the page's NVM frame.
+  // Caller holds the dram latch (and the nvm latch for full pages).
+  void WriteBackUnitsToNvm(SharedPageDescriptor* d);
+
+  // Decides whether a dirty page evicted from DRAM is admitted into NVM
+  // (probability Nw, or HyMem's admission queue).
+  bool DecideNvmAdmission(page_id_t pid);
+
+  uint64_t SsdOffset(page_id_t pid) const {
+    return static_cast<uint64_t>(pid) * kPageSize;
+  }
+
+  Status WriteToSsd(page_id_t pid, const std::byte* data);
+
+  // Loads the units covering [offset, offset+size) of a cache-line-grained
+  // page from its NVM copy. Caller holds the dram latch.
+  void EnsureUnitsResident(SharedPageDescriptor* d, size_t offset,
+                           size_t size);
+
+  // Data plane used by PageGuard.
+  Status GuardRead(SharedPageDescriptor* d, Tier tier, size_t offset,
+                   size_t size, void* dst);
+  Status GuardWrite(SharedPageDescriptor* d, Tier tier, size_t offset,
+                    size_t size, const void* src);
+  std::byte* GuardRawData(SharedPageDescriptor* d, Tier tier, bool for_write);
+
+  BufferManagerOptions options_;
+  std::atomic<double> dr_{1.0}, dw_{1.0}, nr_{1.0}, nw_{1.0};
+
+  Device* ssd_ = nullptr;
+  NvmDevice* nvm_ = nullptr;
+  Device* dram_backing_ = nullptr;
+  std::unique_ptr<NvmDevice> owned_nvm_;
+  std::unique_ptr<Device> owned_dram_;
+
+  std::unique_ptr<BufferPool> dram_pool_;
+  std::unique_ptr<BufferPool> nvm_pool_;
+  std::unique_ptr<AdmissionQueue> admission_queue_;
+  MiniRegion mini_;
+
+  ConcurrentHashTable<page_id_t, SharedPageDescriptor*> mapping_table_;
+  std::mutex desc_mu_;
+  std::vector<std::unique_ptr<SharedPageDescriptor>> descriptors_;
+
+  std::atomic<page_id_t> next_page_id_{0};
+  BufferStats stats_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_BUFFER_BUFFER_MANAGER_H_

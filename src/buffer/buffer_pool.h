@@ -1,0 +1,99 @@
+#ifndef SPITFIRE_BUFFER_BUFFER_POOL_H_
+#define SPITFIRE_BUFFER_BUFFER_POOL_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "buffer/clock_replacer.h"
+#include "buffer/page_descriptor.h"
+#include "common/constants.h"
+#include "container/mpmc_queue.h"
+#include "storage/device.h"
+
+namespace spitfire {
+
+// A buffer pool of fixed 16 KB frames carved out of one device (the DRAM
+// pool out of a DramDevice, the NVM pool out of an NvmDevice). Tracks the
+// free-frame list, the CLOCK reference bits, and the frame → descriptor
+// back-links that eviction follows.
+//
+// NVM pools additionally maintain a *persistent frame table* at the start
+// of the device: one page id per frame, updated and persisted whenever a
+// frame's owner changes. Recovery scans this table to rebuild the mapping
+// table after a crash (Section 5.2, "Recovery").
+class BufferPool {
+ public:
+  BufferPool(Tier tier, Device* device, size_t num_frames,
+             bool persistent_frame_table);
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(BufferPool);
+
+  Tier tier() const { return tier_; }
+  size_t num_frames() const { return num_frames_; }
+  Device* device() { return device_; }
+
+  std::byte* FramePtr(frame_id_t f) {
+    return device_->DirectPointer(FrameOffset(f));
+  }
+  uint64_t FrameOffset(frame_id_t f) const {
+    return frames_base_ + static_cast<uint64_t>(f) * kPageSize;
+  }
+
+  // Pops a frame from the free list. Returns false if none are free (the
+  // caller must evict).
+  bool TryAllocateFrame(frame_id_t* f) {
+    if (!free_list_.TryPop(f)) return false;
+    const bool was_free = in_free_list_[*f].exchange(false);
+    SPITFIRE_CHECK(was_free);
+    return true;
+  }
+  void FreeFrame(frame_id_t f) {
+    SetOwner(f, nullptr, kInvalidPageId);
+    const bool was_free = in_free_list_[f].exchange(true);
+    SPITFIRE_CHECK(!was_free && "double free of buffer frame");
+    // TryPush can fail transiently while a lapped consumer is mid-pop;
+    // the pool never holds more frames than capacity, so spin.
+    while (!free_list_.TryPush(f)) {
+      __builtin_ia32_pause();
+    }
+  }
+
+  // Registers/clears the descriptor owning a frame. For NVM pools this
+  // also persists the frame-table entry.
+  void SetOwner(frame_id_t f, SharedPageDescriptor* desc, page_id_t pid);
+  SharedPageDescriptor* Owner(frame_id_t f) const {
+    return owners_[f].load(std::memory_order_acquire);
+  }
+
+  ClockReplacer& replacer() { return replacer_; }
+
+  // Space the frame region occupies on the device, including the frame
+  // table if present.
+  static uint64_t RequiredCapacity(size_t num_frames,
+                                   bool persistent_frame_table);
+
+  // Reads the persistent frame table entry (NVM pools only); used by
+  // recovery. Returns kInvalidPageId for free frames.
+  page_id_t PersistedOwner(frame_id_t f) const;
+
+ private:
+  uint64_t FrameTableEntryOffset(frame_id_t f) const {
+    return static_cast<uint64_t>(f) * sizeof(page_id_t);
+  }
+
+  const Tier tier_;
+  Device* const device_;
+  const size_t num_frames_;
+  const bool persistent_frame_table_;
+  uint64_t frames_base_ = 0;
+
+  MpmcQueue<frame_id_t> free_list_;
+  ClockReplacer replacer_;
+  std::vector<std::atomic<SharedPageDescriptor*>> owners_;
+  // Guards against frame double-free bugs (one flag per frame).
+  std::vector<std::atomic<bool>> in_free_list_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_BUFFER_BUFFER_POOL_H_

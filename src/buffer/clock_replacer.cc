@@ -1,0 +1,4 @@
+#include "buffer/clock_replacer.h"
+
+// ClockReplacer is header-only (the victim callback is a template); this
+// file anchors the translation unit.

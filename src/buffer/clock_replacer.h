@@ -1,0 +1,52 @@
+#ifndef SPITFIRE_BUFFER_CLOCK_REPLACER_H_
+#define SPITFIRE_BUFFER_CLOCK_REPLACER_H_
+
+#include <atomic>
+
+#include "common/constants.h"
+#include "container/concurrent_bitmap.h"
+
+namespace spitfire {
+
+// Concurrent CLOCK page replacement (Section 3 / [34]), with reference
+// bits in a lock-free bitmap as in NB-GCLOCK [40]. Page hits set the
+// frame's reference bit without any latch. Eviction sweeps the clock hand:
+// frames with a set bit get a second chance (bit cleared); frames with a
+// clear bit are offered to the caller's try_evict callback, which attempts
+// the actual (latched) eviction and may refuse (pinned / latched / racing).
+class ClockReplacer {
+ public:
+  explicit ClockReplacer(size_t num_frames)
+      : num_frames_(num_frames), ref_bits_(num_frames ? num_frames : 1) {}
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(ClockReplacer);
+
+  void RecordAccess(frame_id_t f) { ref_bits_.Set(f); }
+
+  // Sweeps until try_evict succeeds or `max_rounds` full revolutions pass.
+  // Returns the evicted frame id or kInvalidFrameId.
+  template <typename TryEvict>
+  frame_id_t PickVictim(TryEvict&& try_evict, int max_rounds = 3) {
+    if (num_frames_ == 0) return kInvalidFrameId;
+    const size_t limit = num_frames_ * static_cast<size_t>(max_rounds);
+    for (size_t step = 0; step < limit; ++step) {
+      const size_t pos =
+          hand_.fetch_add(1, std::memory_order_relaxed) % num_frames_;
+      const frame_id_t f = static_cast<frame_id_t>(pos);
+      if (ref_bits_.TestAndClear(f)) continue;  // second chance
+      if (try_evict(f)) return f;
+    }
+    return kInvalidFrameId;
+  }
+
+  size_t num_frames() const { return num_frames_; }
+  size_t ReferencedCount() const { return ref_bits_.CountSet(); }
+
+ private:
+  const size_t num_frames_;
+  ConcurrentBitmap ref_bits_;
+  std::atomic<size_t> hand_{0};
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_BUFFER_CLOCK_REPLACER_H_

@@ -1,0 +1,3 @@
+#include "buffer/migration_policy.h"
+
+// MigrationPolicy is header-only; this file anchors the translation unit.

@@ -1,0 +1,61 @@
+#ifndef SPITFIRE_BUFFER_MIGRATION_POLICY_H_
+#define SPITFIRE_BUFFER_MIGRATION_POLICY_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+
+namespace spitfire {
+
+// How pages evicted from DRAM are considered for NVM admission.
+enum class NvmAdmissionMode {
+  // Spitfire: admit with probability Nw.
+  kProbabilistic,
+  // HyMem: admit on the second consideration via the admission queue.
+  kAdmissionQueue,
+};
+
+// The paper's four-probability data migration policy P = <Dr, Dw, Nr, Nw>
+// (Section 3.5):
+//   dr — probability of migrating NVM→DRAM while serving a read,
+//   dw — probability of using DRAM for a write (else write NVM in place),
+//   nr — probability of installing SSD→NVM while serving a read
+//        (else the page goes SSD→DRAM, bypassing NVM),
+//   nw — probability of admitting a DRAM-evicted page into NVM
+//        (else it goes straight down to SSD).
+struct MigrationPolicy {
+  double dr = 1.0;
+  double dw = 1.0;
+  double nr = 1.0;
+  double nw = 1.0;
+
+  // Decision helpers; each consults the calling thread's PRNG.
+  bool MigrateNvmToDramOnRead() const { return ThreadLocalRng().Bernoulli(dr); }
+  bool UseDramOnWrite() const { return ThreadLocalRng().Bernoulli(dw); }
+  bool InstallSsdToNvmOnRead() const { return ThreadLocalRng().Bernoulli(nr); }
+  bool AdmitToNvmOnDramEviction() const {
+    return ThreadLocalRng().Bernoulli(nw);
+  }
+
+  // Table 3 presets.
+  static MigrationPolicy Eager() { return {1.0, 1.0, 1.0, 1.0}; }
+  static MigrationPolicy Lazy() { return {0.01, 0.01, 0.2, 1.0}; }
+  // HyMem's probabilities; Nw is handled by the admission queue, so the nw
+  // field is unused in kAdmissionQueue mode. Nr = 0: HyMem never installs
+  // SSD pages into NVM on the read path.
+  static MigrationPolicy Hymem() { return {1.0, 1.0, 0.0, 1.0}; }
+
+  std::string ToString() const;
+};
+
+inline std::string MigrationPolicy::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "<Dr=%.3g, Dw=%.3g, Nr=%.3g, Nw=%.3g>", dr,
+                dw, nr, nw);
+  return buf;
+}
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_BUFFER_MIGRATION_POLICY_H_

@@ -1,0 +1,81 @@
+#ifndef SPITFIRE_BUFFER_PAGE_DESCRIPTOR_H_
+#define SPITFIRE_BUFFER_PAGE_DESCRIPTOR_H_
+
+#include <atomic>
+
+#include "common/constants.h"
+#include "common/macros.h"
+#include "hymem/cacheline_page.h"
+#include "sync/optimistic_latch.h"
+#include "sync/spin_latch.h"
+
+namespace spitfire {
+
+// Representation of a page's DRAM copy.
+//   kNone              — not DRAM resident
+//   kFull              — a whole 16 KB frame
+//   kCacheLineGrained  — a full frame, but only some loading units are
+//                        resident (HyMem Figure 2a)
+//   kMini              — a mini page holding at most sixteen units
+//                        (HyMem Figure 2b)
+enum class DramMode : uint8_t {
+  kNone = 0,
+  kFull = 1,
+  kCacheLineGrained = 2,
+  kMini = 3,
+};
+
+// Residency state of a page on one buffered tier. `pins` uses atomics so
+// unpinning never takes a latch; all other transitions happen under the
+// tier latch in the owning SharedPageDescriptor.
+struct TierState {
+  std::atomic<frame_id_t> frame{kInvalidFrameId};
+  std::atomic<uint32_t> pins{0};
+  std::atomic<bool> dirty{false};
+
+  bool Resident() const {
+    return frame.load(std::memory_order_acquire) != kInvalidFrameId;
+  }
+};
+
+// The shared page descriptor of Figure 4: one per logical page, stored in
+// the DRAM-resident mapping table. It carries one latch per storage tier —
+// a migration from tier X to tier Y takes only the X and Y latches, so
+// e.g. an NVM→SSD write-back never blocks operations on the DRAM copy
+// (Section 5.2, "Thread-Safe Page Migration").
+struct SharedPageDescriptor {
+  explicit SharedPageDescriptor(page_id_t id) : pid(id) {}
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(SharedPageDescriptor);
+
+  const page_id_t pid;
+
+  // Tier latches (latch_dram / latch_nvm / latch_ssd in Figure 4).
+  // Lock order: DRAM before NVM before SSD.
+  SpinLatch dram_latch;
+  SpinLatch nvm_latch;
+  SpinLatch ssd_latch;
+
+  // Version latch for optimistic lock coupling by indexes built on top of
+  // the buffer manager. Stable across migrations because the descriptor
+  // never moves.
+  OptimisticLatch version_latch;
+
+  TierState dram;
+  TierState nvm;
+
+  // --- DRAM representation details, guarded by dram_latch ---
+  std::atomic<DramMode> dram_mode{DramMode::kNone};
+  // Mini-page slot id when dram_mode == kMini (frame is then unused).
+  uint32_t mini_id = 0;
+  // Resident/dirty unit masks when dram_mode == kCacheLineGrained.
+  CacheLineState cl;
+
+  bool DramResident() const {
+    return dram_mode.load(std::memory_order_acquire) != DramMode::kNone;
+  }
+  bool NvmResident() const { return nvm.Resident(); }
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_BUFFER_PAGE_DESCRIPTOR_H_

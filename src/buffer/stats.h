@@ -1,0 +1,65 @@
+#ifndef SPITFIRE_BUFFER_STATS_H_
+#define SPITFIRE_BUFFER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace spitfire {
+
+// Buffer manager counters. All relaxed atomics; read for reporting only.
+struct BufferStats {
+  std::atomic<uint64_t> dram_hits{0};
+  std::atomic<uint64_t> nvm_hits{0};       // served directly from NVM
+  std::atomic<uint64_t> ssd_fetches{0};    // page misses that went to SSD
+  std::atomic<uint64_t> promotions{0};     // NVM → DRAM migrations
+  std::atomic<uint64_t> demotions_to_nvm{0};  // DRAM → NVM on eviction
+  std::atomic<uint64_t> demotions_to_ssd{0};  // DRAM → SSD (NVM bypassed)
+  std::atomic<uint64_t> nvm_installs{0};   // SSD → NVM on read (Nr path)
+  std::atomic<uint64_t> nvm_evictions{0};  // NVM → SSD / dropped
+  std::atomic<uint64_t> dram_evictions{0};
+  std::atomic<uint64_t> fine_grained_loads{0};  // cache-line units loaded
+  std::atomic<uint64_t> mini_page_admits{0};
+  std::atomic<uint64_t> mini_page_promotions{0};  // mini → full overflow
+
+  void Reset() {
+    dram_hits = 0;
+    nvm_hits = 0;
+    ssd_fetches = 0;
+    promotions = 0;
+    demotions_to_nvm = 0;
+    demotions_to_ssd = 0;
+    nvm_installs = 0;
+    nvm_evictions = 0;
+    dram_evictions = 0;
+    fine_grained_loads = 0;
+    mini_page_admits = 0;
+    mini_page_promotions = 0;
+  }
+
+  std::string ToString() const {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "dram_hits=%llu nvm_hits=%llu ssd_fetches=%llu promotions=%llu "
+        "dem_nvm=%llu dem_ssd=%llu nvm_installs=%llu nvm_evict=%llu "
+        "dram_evict=%llu fg_loads=%llu mini_admits=%llu mini_promos=%llu",
+        (unsigned long long)dram_hits.load(),
+        (unsigned long long)nvm_hits.load(),
+        (unsigned long long)ssd_fetches.load(),
+        (unsigned long long)promotions.load(),
+        (unsigned long long)demotions_to_nvm.load(),
+        (unsigned long long)demotions_to_ssd.load(),
+        (unsigned long long)nvm_installs.load(),
+        (unsigned long long)nvm_evictions.load(),
+        (unsigned long long)dram_evictions.load(),
+        (unsigned long long)fine_grained_loads.load(),
+        (unsigned long long)mini_page_admits.load(),
+        (unsigned long long)mini_page_promotions.load());
+    return buf;
+  }
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_BUFFER_STATS_H_

@@ -1,0 +1,53 @@
+#ifndef SPITFIRE_COMMON_CONSTANTS_H_
+#define SPITFIRE_COMMON_CONSTANTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace spitfire {
+
+// Logical page identifier. Page ids are allocated densely starting at 0.
+using page_id_t = uint64_t;
+inline constexpr page_id_t kInvalidPageId =
+    std::numeric_limits<page_id_t>::max();
+
+// Frame index within a buffer pool.
+using frame_id_t = uint32_t;
+inline constexpr frame_id_t kInvalidFrameId =
+    std::numeric_limits<frame_id_t>::max();
+
+// Transaction identifiers / timestamps (MVTO).
+using txn_id_t = uint64_t;
+using timestamp_t = uint64_t;
+inline constexpr txn_id_t kInvalidTxnId = 0;
+inline constexpr timestamp_t kMaxTimestamp =
+    std::numeric_limits<timestamp_t>::max();
+
+// Log sequence numbers.
+using lsn_t = uint64_t;
+inline constexpr lsn_t kInvalidLsn = std::numeric_limits<lsn_t>::max();
+
+// Page geometry, matching the paper: 16 KB pages composed of 256 cache
+// lines of 64 B each (Figure 2).
+inline constexpr size_t kPageSize = 16 * 1024;
+inline constexpr size_t kCacheLinesPerPage = kPageSize / 64;
+
+// Mini pages hold up to sixteen cache lines (Figure 2b).
+inline constexpr size_t kMiniPageSlots = 16;
+
+// Storage tiers of the hierarchy (Figure 3).
+enum class Tier : uint8_t { kDram = 0, kNvm = 1, kSsd = 2 };
+
+inline const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kDram: return "DRAM";
+    case Tier::kNvm: return "NVM";
+    case Tier::kSsd: return "SSD";
+  }
+  return "?";
+}
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_COMMON_CONSTANTS_H_

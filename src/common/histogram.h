@@ -1,0 +1,40 @@
+#ifndef SPITFIRE_COMMON_HISTOGRAM_H_
+#define SPITFIRE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spitfire {
+
+// Log-bucketed latency histogram (nanosecond samples). Not thread-safe;
+// each worker keeps its own and merges at the end of a run.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // Approximate percentile (p in [0, 100]) from bucket boundaries.
+  uint64_t Percentile(double p) const;
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static int BucketFor(uint64_t value);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_COMMON_HISTOGRAM_H_

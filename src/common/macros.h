@@ -1,0 +1,41 @@
+#ifndef SPITFIRE_COMMON_MACROS_H_
+#define SPITFIRE_COMMON_MACROS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+// Marks a class as neither copyable nor movable. Place in the public section.
+#define SPITFIRE_DISALLOW_COPY_AND_MOVE(cname)      \
+  cname(const cname&) = delete;                     \
+  cname& operator=(const cname&) = delete;          \
+  cname(cname&&) = delete;                          \
+  cname& operator=(cname&&) = delete
+
+// Internal invariant checks. DCHECK compiles out in release builds (NDEBUG);
+// CHECK always aborts with a message when the condition is violated.
+#define SPITFIRE_CHECK(expr)                                                \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #expr, __FILE__,  \
+                   __LINE__);                                               \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPITFIRE_DCHECK(expr) ((void)0)
+#else
+#define SPITFIRE_DCHECK(expr) SPITFIRE_CHECK(expr)
+#endif
+
+#define SPITFIRE_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SPITFIRE_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+namespace spitfire {
+
+inline constexpr size_t kCacheLineSize = 64;
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_COMMON_MACROS_H_

@@ -1,0 +1,93 @@
+#ifndef SPITFIRE_COMMON_RANDOM_H_
+#define SPITFIRE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace spitfire {
+
+// xoshiro256** 1.0 — a small, fast, high-quality PRNG. Each worker thread
+// owns one instance so no synchronization is needed on the hot path.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  uint64_t Next();
+
+  // Uniform in [0, n).
+  uint64_t NextUint64(uint64_t n) {
+    SPITFIRE_DCHECK(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Returns true with probability p.
+  bool Bernoulli(double p) {
+    if (p >= 1.0) return true;
+    if (p <= 0.0) return false;
+    return NextDouble() < p;
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Returns a reference to this thread's PRNG, seeded from the thread id.
+Xoshiro256& ThreadLocalRng();
+
+// Zipfian key generator over [0, n), following the rejection-free method of
+// Gray et al., "Quickly Generating Billion-Record Synthetic Databases"
+// (SIGMOD '94) — the same construction YCSB uses. theta in [0, 1): 0 is
+// uniform; the paper's experiments use 0.3 and 0.5.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Xoshiro256& rng);
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+// Scrambles zipfian output across the key space with a multiplicative hash
+// so hot keys are spread over pages (YCSB's "scrambled zipfian").
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta) : n_(n), zipf_(n, theta) {}
+
+  uint64_t Next(Xoshiro256& rng) {
+    uint64_t v = zipf_.Next(rng);
+    return Hash(v) % n_;
+  }
+
+  static uint64_t Hash(uint64_t v) {
+    v ^= v >> 33;
+    v *= 0xFF51AFD7ED558CCDULL;
+    v ^= v >> 33;
+    v *= 0xC4CEB9FE1A85EC53ULL;
+    v ^= v >> 33;
+    return v;
+  }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_COMMON_RANDOM_H_

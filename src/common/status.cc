@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace spitfire {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfMemory: return "OutOfMemory";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kBusy: return "Busy";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kNotSupported: return "NotSupported";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace spitfire

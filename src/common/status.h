@@ -1,0 +1,122 @@
+#ifndef SPITFIRE_COMMON_STATUS_H_
+#define SPITFIRE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace spitfire {
+
+// Error codes surfaced by the public API. Kept deliberately small; the
+// message carries the details.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kOutOfMemory,   // buffer pool or device exhausted
+  kIoError,       // simulated or real device I/O failure
+  kInvalidArgument,
+  kAborted,       // transaction aborted (MVTO conflict)
+  kBusy,          // resource latched / retry later
+  kCorruption,    // recovery or checksum failure
+  kNotSupported,
+};
+
+// Arrow/RocksDB-style status object. Functions that can fail return Status
+// (or Result<T> below) instead of throwing.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg = "") {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IoError(std::string msg = "") {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+// Returns early with the error if `expr` evaluates to a non-OK Status.
+#define SPITFIRE_RETURN_NOT_OK(expr)            \
+  do {                                          \
+    ::spitfire::Status _st = (expr);            \
+    if (SPITFIRE_UNLIKELY(!_st.ok())) return _st; \
+  } while (0)
+
+// A value-or-error holder, in the spirit of arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors arrow::Result.
+  Result(T value) : v_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {
+    SPITFIRE_DCHECK(!std::get<Status>(v_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+  T& value() {
+    SPITFIRE_DCHECK(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    SPITFIRE_DCHECK(ok());
+    return std::get<T>(v_);
+  }
+  T&& MoveValue() {
+    SPITFIRE_DCHECK(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define SPITFIRE_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  auto _res_##__LINE__ = (rexpr);                           \
+  if (SPITFIRE_UNLIKELY(!_res_##__LINE__.ok()))             \
+    return _res_##__LINE__.status();                        \
+  lhs = _res_##__LINE__.MoveValue()
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_COMMON_STATUS_H_

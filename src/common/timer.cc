@@ -1,0 +1,14 @@
+#include "common/timer.h"
+
+namespace spitfire {
+
+void SpinWaitNanos(uint64_t nanos) {
+  if (nanos == 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(nanos);
+  while (std::chrono::steady_clock::now() < deadline) {
+    __builtin_ia32_pause();
+  }
+}
+
+}  // namespace spitfire

@@ -1,0 +1,36 @@
+#ifndef SPITFIRE_COMMON_TIMER_H_
+#define SPITFIRE_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace spitfire {
+
+// Monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Busy-waits for approximately `nanos` nanoseconds. Used by the device
+// latency model: sleeping is far too coarse at the sub-microsecond scale of
+// DRAM/NVM accesses, so we spin on the TSC-backed steady clock instead.
+void SpinWaitNanos(uint64_t nanos);
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_COMMON_TIMER_H_

@@ -1,0 +1,48 @@
+#include "container/concurrent_bitmap.h"
+
+#include <bit>
+
+namespace spitfire {
+
+ConcurrentBitmap::ConcurrentBitmap(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64) {
+  Reset();
+}
+
+void ConcurrentBitmap::Set(size_t i) {
+  SPITFIRE_DCHECK(i < num_bits_);
+  words_[i / 64].fetch_or(1ULL << (i % 64), std::memory_order_relaxed);
+}
+
+void ConcurrentBitmap::Clear(size_t i) {
+  SPITFIRE_DCHECK(i < num_bits_);
+  words_[i / 64].fetch_and(~(1ULL << (i % 64)), std::memory_order_relaxed);
+}
+
+bool ConcurrentBitmap::Test(size_t i) const {
+  SPITFIRE_DCHECK(i < num_bits_);
+  return words_[i / 64].load(std::memory_order_relaxed) & (1ULL << (i % 64));
+}
+
+bool ConcurrentBitmap::TestAndClear(size_t i) {
+  SPITFIRE_DCHECK(i < num_bits_);
+  const uint64_t mask = 1ULL << (i % 64);
+  const uint64_t prev =
+      words_[i / 64].fetch_and(~mask, std::memory_order_relaxed);
+  return prev & mask;
+}
+
+size_t ConcurrentBitmap::CountSet() const {
+  size_t n = 0;
+  for (const auto& w : words_) {
+    n += static_cast<size_t>(
+        std::popcount(w.load(std::memory_order_relaxed)));
+  }
+  return n;
+}
+
+void ConcurrentBitmap::Reset() {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace spitfire

@@ -1,0 +1,43 @@
+#ifndef SPITFIRE_CONTAINER_CONCURRENT_BITMAP_H_
+#define SPITFIRE_CONTAINER_CONCURRENT_BITMAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace spitfire {
+
+// Fixed-size concurrent bitmap over atomic 64-bit words. Backs the CLOCK
+// reference bits, following the non-blocking design of NB-GCLOCK (Yui et
+// al., ICDE 2010): setting/clearing a reference bit is a single atomic RMW,
+// so page hits never serialize on a latch.
+class ConcurrentBitmap {
+ public:
+  explicit ConcurrentBitmap(size_t num_bits);
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(ConcurrentBitmap);
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  // Clears bit i and returns its previous value (the CLOCK sweep's
+  // "give a second chance" step in one atomic op).
+  bool TestAndClear(size_t i);
+
+  // Number of set bits (linear scan; for stats/tests only).
+  size_t CountSet() const;
+
+  void Reset();
+
+ private:
+  size_t num_bits_;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_CONTAINER_CONCURRENT_BITMAP_H_

@@ -1,0 +1,114 @@
+#ifndef SPITFIRE_CONTAINER_CONCURRENT_HASH_TABLE_H_
+#define SPITFIRE_CONTAINER_CONCURRENT_HASH_TABLE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "sync/rw_latch.h"
+
+namespace spitfire {
+
+// Sharded concurrent hash table. Replaces the Intel TBB concurrent hash map
+// the paper uses for the pid → shared-page-descriptor mapping table. Each
+// shard is an unordered_map behind a reader-writer spin latch; with the
+// default 64 shards, contention on the lookup path is negligible relative
+// to device latencies.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ConcurrentHashTable {
+ public:
+  explicit ConcurrentHashTable(size_t num_shards = 64)
+      : shards_(RoundUpPow2(num_shards)), mask_(shards_.size() - 1) {}
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(ConcurrentHashTable);
+
+  // Inserts (k, v) if absent. Returns true on insert, false if k existed.
+  bool Insert(const K& k, const V& v) {
+    Shard& s = ShardFor(k);
+    ExclusiveLatchGuard g(s.latch);
+    return s.map.emplace(k, v).second;
+  }
+
+  // Looks up k; copies the value into *out. Returns true if found.
+  bool Find(const K& k, V* out) const {
+    const Shard& s = ShardFor(k);
+    SharedLatchGuard g(const_cast<RwLatch&>(s.latch));
+    auto it = s.map.find(k);
+    if (it == s.map.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  bool Contains(const K& k) const {
+    const Shard& s = ShardFor(k);
+    SharedLatchGuard g(const_cast<RwLatch&>(s.latch));
+    return s.map.count(k) != 0;
+  }
+
+  // Removes k. Returns true if it was present.
+  bool Erase(const K& k) {
+    Shard& s = ShardFor(k);
+    ExclusiveLatchGuard g(s.latch);
+    return s.map.erase(k) != 0;
+  }
+
+  // Returns the value for k, inserting factory() under the shard lock if
+  // absent. The factory runs at most once per inserted key.
+  template <typename Factory>
+  V GetOrCreate(const K& k, Factory&& factory) {
+    Shard& s = ShardFor(k);
+    ExclusiveLatchGuard g(s.latch);
+    auto it = s.map.find(k);
+    if (it != s.map.end()) return it->second;
+    V v = factory();
+    s.map.emplace(k, v);
+    return v;
+  }
+
+  // Applies fn(k, v) to every entry. Takes shard locks one at a time, so fn
+  // must not re-enter the table.
+  void ForEach(const std::function<void(const K&, V&)>& fn) {
+    for (auto& s : shards_) {
+      ExclusiveLatchGuard g(s.latch);
+      for (auto& [k, v] : s.map) fn(k, v);
+    }
+  }
+
+  size_t Size() const {
+    size_t n = 0;
+    for (const auto& s : shards_) {
+      SharedLatchGuard g(const_cast<RwLatch&>(s.latch));
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  void Clear() {
+    for (auto& s : shards_) {
+      ExclusiveLatchGuard g(s.latch);
+      s.map.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    RwLatch latch;
+    std::unordered_map<K, V, Hash> map;
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  Shard& ShardFor(const K& k) { return shards_[Hash{}(k)&mask_]; }
+  const Shard& ShardFor(const K& k) const { return shards_[Hash{}(k)&mask_]; }
+
+  mutable std::vector<Shard> shards_;
+  size_t mask_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_CONTAINER_CONCURRENT_HASH_TABLE_H_

@@ -1,0 +1,99 @@
+#ifndef SPITFIRE_CONTAINER_MPMC_QUEUE_H_
+#define SPITFIRE_CONTAINER_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/macros.h"
+
+namespace spitfire {
+
+// Bounded lock-free multi-producer/multi-consumer queue (Vyukov's design).
+// Used for the buffer pools' free-frame lists: frame allocation and release
+// happen on every miss/eviction, so they must not serialize.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity)
+      : capacity_(RoundUpPow2(capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(MpmcQueue);
+
+  bool TryPush(const T& value) {
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = cell->value;
+    cell->sequence.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct alignas(kCacheLineSize) Cell {
+    std::atomic<size_t> sequence;
+    T value;
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_CONTAINER_MPMC_QUEUE_H_

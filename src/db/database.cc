@@ -1,0 +1,349 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "storage/dram_device.h"
+
+namespace spitfire {
+
+namespace {
+constexpr uint32_t kCatalogMagic = 0xCA7A106F;
+constexpr size_t kMaxTables = 64;
+
+struct CatalogEntry {
+  uint32_t table_id;
+  uint32_t tuple_size;
+  page_id_t index_meta_pid;
+};
+struct CatalogPayload {
+  uint32_t magic;
+  uint32_t num_tables;
+  CatalogEntry entries[kMaxTables];
+};
+static_assert(sizeof(CatalogPayload) <= kPagePayloadSize);
+}  // namespace
+
+Database::Database(const DatabaseOptions& opts, DatabaseEnv env)
+    : opts_(opts), env_(std::move(env)) {}
+
+Database::~Database() {
+  if (ckpt_ != nullptr) ckpt_->Stop();
+}
+
+Status Database::InitCommon(bool fresh) {
+  const bool have_nvm_tier = opts_.nvm_frames > 0;
+  const uint64_t pool_bytes = have_nvm_tier
+                                  ? BufferPool::RequiredCapacity(
+                                        opts_.nvm_frames, true)
+                                  : 0;
+
+  if (env_.db_ssd == nullptr) {
+    env_.db_ssd = opts_.ssd_path.empty()
+                      ? std::make_unique<SsdDevice>(opts_.ssd_capacity)
+                      : std::make_unique<SsdDevice>(opts_.ssd_path,
+                                                    opts_.ssd_capacity);
+  }
+  if (opts_.enable_wal && env_.log_ssd == nullptr) {
+    env_.log_ssd = std::make_unique<SsdDevice>(opts_.log_ssd_capacity);
+  }
+  if (have_nvm_tier && env_.nvm == nullptr) {
+    env_.nvm = std::make_unique<NvmDevice>(
+        pool_bytes + (opts_.enable_wal ? opts_.log_staging_size : 0));
+  }
+
+  BufferManagerOptions bopts;
+  bopts.dram_frames = opts_.dram_frames;
+  bopts.nvm_frames = opts_.nvm_frames;
+  bopts.policy = opts_.policy;
+  bopts.nvm_admission = opts_.nvm_admission;
+  bopts.admission_queue_capacity = opts_.admission_queue_capacity;
+  bopts.enable_fine_grained_loading = opts_.enable_fine_grained_loading;
+  bopts.load_granularity = opts_.load_granularity;
+  bopts.enable_mini_pages = opts_.enable_mini_pages;
+  bopts.ssd = env_.db_ssd.get();
+  bopts.nvm = env_.nvm.get();
+  bopts.dram_backing = opts_.dram_backing;
+  bm_ = std::make_unique<BufferManager>(bopts);
+
+  if (opts_.enable_wal) {
+    LogManager::Options lopts;
+    if (have_nvm_tier) {
+      // Stage on NVM: commits are durable at NVM write latency and the
+      // SSD append happens asynchronously.
+      lopts.nvm = env_.nvm.get();
+      lopts.nvm_offset = pool_bytes;
+      lopts.nvm_size = opts_.log_staging_size;
+      commit_forces_drain_ = false;
+    } else {
+      // No NVM: stage in DRAM, force an SSD drain at every commit (group
+      // commit against the SSD).
+      log_staging_dram_ =
+          std::make_unique<DramDevice>(opts_.log_staging_size);
+      lopts.nvm = log_staging_dram_.get();
+      lopts.nvm_offset = 0;
+      lopts.nvm_size = opts_.log_staging_size;
+      commit_forces_drain_ = true;
+    }
+    lopts.log_ssd = env_.log_ssd.get();
+    auto lm_r = fresh ? LogManager::Create(lopts) : LogManager::Attach(lopts);
+    SPITFIRE_RETURN_NOT_OK(lm_r.status());
+    lm_ = lm_r.MoveValue();
+  }
+
+  if (opts_.checkpoint_interval_ms > 0) {
+    ckpt_ = std::make_unique<Checkpointer>(bm_.get(), lm_.get(),
+                                           opts_.checkpoint_interval_ms);
+    ckpt_->Start();
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::Create(
+    const DatabaseOptions& opts) {
+  auto db = std::unique_ptr<Database>(new Database(opts, DatabaseEnv{}));
+  SPITFIRE_RETURN_NOT_OK(db->InitCommon(/*fresh=*/true));
+  // Page 0: the catalog.
+  auto cat = db->bm_->NewPage(kCatalogPageType);
+  SPITFIRE_RETURN_NOT_OK(cat.status());
+  SPITFIRE_CHECK(cat.value().pid() == kCatalogPid);
+  SPITFIRE_RETURN_NOT_OK(db->WriteCatalog());
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Recover(
+    const DatabaseOptions& opts, DatabaseEnv env) {
+  auto db = std::unique_ptr<Database>(new Database(opts, std::move(env)));
+  SPITFIRE_RETURN_NOT_OK(db->InitCommon(/*fresh=*/false));
+  SPITFIRE_RETURN_NOT_OK(db->RunRecovery());
+  return db;
+}
+
+DatabaseEnv Database::Crash(std::unique_ptr<Database> db) {
+  if (db->ckpt_ != nullptr) db->ckpt_->Stop();
+  // Destroy the engine without flushing anything: DRAM contents are lost;
+  // NVM and SSD device contents survive in the returned env.
+  DatabaseEnv env = std::move(db->env_);
+  db.reset();
+  return env;
+}
+
+Status Database::WriteCatalog() {
+  auto g_r = bm_->FetchPage(kCatalogPid, AccessIntent::kWrite);
+  SPITFIRE_RETURN_NOT_OK(g_r.status());
+  CatalogPayload payload{};
+  payload.magic = kCatalogMagic;
+  {
+    std::lock_guard<std::mutex> g(schema_mu_);
+    payload.num_tables = static_cast<uint32_t>(tables_.size());
+    size_t i = 0;
+    for (const auto& [id, entry] : tables_) {
+      payload.entries[i++] = CatalogEntry{
+          id, static_cast<uint32_t>(entry.tuple_size),
+          entry.index->meta_pid()};
+    }
+  }
+  SPITFIRE_RETURN_NOT_OK(
+      g_r.value().WriteAt(kPageHeaderSize, sizeof(payload), &payload));
+  g_r.value().Release();
+  return bm_->FlushPage(kCatalogPid);
+}
+
+Result<Table*> Database::CreateTable(uint32_t table_id, size_t tuple_size) {
+  {
+    std::lock_guard<std::mutex> g(schema_mu_);
+    if (tables_.count(table_id) != 0) {
+      return Status::InvalidArgument("table exists");
+    }
+    if (tables_.size() >= kMaxTables) {
+      return Status::InvalidArgument("too many tables");
+    }
+  }
+  auto idx_r = BTree::Create(bm_.get());
+  SPITFIRE_RETURN_NOT_OK(idx_r.status());
+  std::unique_ptr<BTree> index(idx_r.value());
+  Table::Options topts;
+  topts.table_id = table_id;
+  topts.tuple_size = tuple_size;
+  auto table = std::make_unique<Table>(topts, bm_.get(), &tm_, index.get(),
+                                       lm_.get());
+  Table* raw = table.get();
+  {
+    std::lock_guard<std::mutex> g(schema_mu_);
+    tables_[table_id] =
+        TableEntry{std::move(index), std::move(table), tuple_size};
+  }
+  SPITFIRE_RETURN_NOT_OK(WriteCatalog());
+  return raw;
+}
+
+Table* Database::GetTable(uint32_t table_id) {
+  std::lock_guard<std::mutex> g(schema_mu_);
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second.table.get();
+}
+
+std::unique_ptr<Transaction> Database::Begin() { return tm_.Begin(); }
+
+Status Database::Commit(Transaction* txn) {
+  SPITFIRE_DCHECK(txn->state() == TxnState::kActive);
+  if (!txn->write_set.empty() && lm_ != nullptr) {
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.txn_id = txn->id();
+    commit.prev_lsn = txn->last_lsn;
+    Result<lsn_t> lsn = lm_->Append(commit);
+    SPITFIRE_RETURN_NOT_OK(lsn.status());
+    // Without persistent staging, the commit is only durable on SSD.
+    if (commit_forces_drain_) {
+      SPITFIRE_RETURN_NOT_OK(lm_->Drain());
+    }
+  }
+  for (const auto& op : txn->write_set) {
+    Table* t = GetTable(op.table_id);
+    SPITFIRE_CHECK(t != nullptr);
+    t->FinalizeCommit(txn, op);
+  }
+  txn->set_state(TxnState::kCommitted);
+  tm_.Finish(txn);
+  return Status::OK();
+}
+
+Status Database::Abort(Transaction* txn) {
+  SPITFIRE_DCHECK(txn->state() == TxnState::kActive);
+  for (auto it = txn->write_set.rbegin(); it != txn->write_set.rend(); ++it) {
+    Table* t = GetTable(it->table_id);
+    SPITFIRE_CHECK(t != nullptr);
+    t->RollbackAbort(txn, *it);
+  }
+  if (!txn->write_set.empty() && lm_ != nullptr) {
+    LogRecord abort;
+    abort.type = LogRecordType::kAbort;
+    abort.txn_id = txn->id();
+    abort.prev_lsn = txn->last_lsn;
+    SPITFIRE_RETURN_NOT_OK(lm_->Append(abort).status());
+  }
+  txn->set_state(TxnState::kAborted);
+  tm_.Finish(txn);
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  SPITFIRE_RETURN_NOT_OK(bm_->FlushAll(/*include_nvm=*/false));
+  if (lm_ != nullptr) SPITFIRE_RETURN_NOT_OK(lm_->Drain());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery (Section 5.2): (1) rebuild the mapping table from the NVM
+// buffer, (2) append the persistent NVM log-buffer tail to the log file,
+// (3) analysis + logical redo of committed transactions, plus a scrub of
+// uncommitted versions (undo).
+// ---------------------------------------------------------------------------
+
+Status Database::RunRecovery() {
+  bm_->SetNextPageId(1);  // catalog must be addressable
+  if (bm_->nvm_pool() != nullptr) {
+    SPITFIRE_RETURN_NOT_OK(bm_->RecoverNvmResidentPages());
+  }
+
+  // Discover the page-id horizon from the SSD image (NVM-resident pages
+  // already advanced next_page_id above).
+  {
+    const page_id_t ssd_pages =
+        env_.db_ssd->capacity() / kPageSize;
+    page_id_t max_pid = bm_->next_page_id();
+    for (page_id_t pid = 0; pid < ssd_pages; ++pid) {
+      PageHeader hdr;
+      SPITFIRE_RETURN_NOT_OK(
+          env_.db_ssd->Read(pid * kPageSize, &hdr, sizeof(hdr)));
+      if (hdr.IsValid() && hdr.page_id == pid) max_pid = std::max(max_pid, pid + 1);
+    }
+    bm_->SetNextPageId(std::max(bm_->next_page_id(), max_pid));
+  }
+
+  // Read the catalog.
+  CatalogPayload payload{};
+  {
+    auto g_r = bm_->FetchPage(kCatalogPid, AccessIntent::kRead);
+    SPITFIRE_RETURN_NOT_OK(g_r.status());
+    SPITFIRE_RETURN_NOT_OK(
+        g_r.value().ReadAt(kPageHeaderSize, sizeof(payload), &payload));
+    if (payload.magic != kCatalogMagic) {
+      return Status::Corruption("catalog page invalid");
+    }
+  }
+
+  // Re-create tables with fresh indexes (the pre-crash index pages may be
+  // inconsistent; they are abandoned and rebuilt from the heap).
+  for (uint32_t i = 0; i < payload.num_tables; ++i) {
+    const CatalogEntry& e = payload.entries[i];
+    auto idx_r = BTree::Create(bm_.get());
+    SPITFIRE_RETURN_NOT_OK(idx_r.status());
+    std::unique_ptr<BTree> index(idx_r.value());
+    Table::Options topts;
+    topts.table_id = e.table_id;
+    topts.tuple_size = e.tuple_size;
+    auto table = std::make_unique<Table>(topts, bm_.get(), &tm_, index.get(),
+                                         lm_.get());
+    std::lock_guard<std::mutex> g(schema_mu_);
+    tables_[e.table_id] =
+        TableEntry{std::move(index), std::move(table), e.tuple_size};
+  }
+
+  // Classify surviving pages; heap pages are adopted by their tables.
+  const page_id_t horizon = bm_->next_page_id();
+  for (page_id_t pid = 1; pid < horizon; ++pid) {
+    auto g_r = bm_->FetchPage(pid, AccessIntent::kRead);
+    if (!g_r.ok()) continue;
+    PageHeader hdr;
+    SPITFIRE_RETURN_NOT_OK(g_r.value().ReadAt(0, sizeof(hdr), &hdr));
+    if (!hdr.IsValid() || hdr.page_id != pid) continue;
+    if (IsHeapPageType(hdr.page_type)) {
+      Table* t = GetTable(HeapPageTableId(hdr.page_type));
+      if (t != nullptr) t->AdoptPage(pid);
+    }
+  }
+
+  // Rebuild indexes from the heap, scrubbing uncommitted versions.
+  timestamp_t max_ts = 0;
+  {
+    std::lock_guard<std::mutex> g(schema_mu_);
+    for (auto& [id, entry] : tables_) {
+      SPITFIRE_RETURN_NOT_OK(entry.table->RebuildFromHeap(&max_ts));
+    }
+  }
+
+  // Analysis + redo from the log.
+  if (lm_ != nullptr) {
+    auto recs_r = lm_->ReadAll();
+    SPITFIRE_RETURN_NOT_OK(recs_r.status());
+    const std::vector<LogRecord>& recs = recs_r.value();
+    std::set<txn_id_t> committed;
+    for (const LogRecord& r : recs) {
+      max_ts = std::max(max_ts, r.txn_id);
+      if (r.type == LogRecordType::kCommit) committed.insert(r.txn_id);
+    }
+    for (const LogRecord& r : recs) {
+      if (committed.count(r.txn_id) == 0) continue;
+      if (r.type != LogRecordType::kInsert &&
+          r.type != LogRecordType::kUpdate &&
+          r.type != LogRecordType::kDelete) {
+        continue;
+      }
+      Table* t = GetTable(r.table_id);
+      if (t == nullptr) continue;
+      const void* after =
+          r.type == LogRecordType::kDelete ? nullptr : r.after.data();
+      SPITFIRE_RETURN_NOT_OK(t->RecoveryApply(r.key, after, /*ts=*/r.txn_id));
+    }
+  }
+  tm_.AdvanceTo(max_ts + 1);
+
+  // Persist the rebuilt catalog (fresh index roots) and checkpoint.
+  SPITFIRE_RETURN_NOT_OK(WriteCatalog());
+  return Checkpoint();
+}
+
+}  // namespace spitfire

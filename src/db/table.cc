@@ -1,0 +1,507 @@
+#include "db/table.h"
+
+#include <atomic>
+#include <cstring>
+#include <map>
+
+namespace spitfire {
+
+namespace {
+// Atomic views over header fields stored in page memory. Pages are pinned
+// for the duration of every access, so the bytes cannot move underneath.
+inline std::atomic_ref<uint64_t> AtomicField(uint64_t& f) {
+  return std::atomic_ref<uint64_t>(f);
+}
+}  // namespace
+
+Table::Table(const Options& opts, BufferManager* bm, TransactionManager* tm,
+             BTree* index, LogManager* lm)
+    : opts_(opts), bm_(bm), tm_(tm), index_(index), lm_(lm) {
+  SPITFIRE_CHECK(opts_.tuple_size > 0);
+  SPITFIRE_CHECK(slot_size() <= kPagePayloadSize);
+  slots_per_page_ = kPagePayloadSize / slot_size();
+}
+
+// ---------------------------------------------------------------------------
+// Slot management
+// ---------------------------------------------------------------------------
+
+Result<Table::SlotRef> Table::PinSlot(rid_t rid, AccessIntent intent) {
+  auto g_r = bm_->FetchPage(RidPage(rid), intent);
+  if (!g_r.ok()) return g_r.status();
+  PageGuard guard = g_r.MoveValue();
+  std::byte* raw = guard.RawData();
+  if (raw == nullptr) return Status::Busy("frame not materializable");
+  std::byte* slot = raw + SlotOffset(RidSlot(rid));
+  SlotRef ref{std::move(guard), reinterpret_cast<VersionHeader*>(slot),
+              slot + sizeof(VersionHeader)};
+  return ref;
+}
+
+Result<rid_t> Table::AllocateSlot() {
+  std::lock_guard<std::mutex> g(alloc_mu_);
+  // Recycle deferred frees whose grace period has passed: no transaction
+  // that could still traverse to the old version remains active.
+  if (!free_list_.empty() &&
+      free_list_.front().freed_at < tm_->MinActiveTs()) {
+    const rid_t rid = free_list_.front().rid;
+    free_list_.erase(free_list_.begin());
+    return rid;
+  }
+  if (pages_.empty() || bump_slot_ >= slots_per_page_) {
+    auto r = bm_->NewPage(HeapPageType(opts_.table_id));
+    if (!r.ok()) return r.status();
+    pages_.push_back(r.value().pid());
+    bump_slot_ = 0;
+  }
+  return MakeRid(pages_.back(), bump_slot_++);
+}
+
+void Table::DeferFree(rid_t rid) {
+  std::lock_guard<std::mutex> g(alloc_mu_);
+  free_list_.push_back({rid, tm_->LastAssignedTs() + 1});
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+Status Table::LogWrite(Transaction* txn, LogRecordType type, uint64_t key,
+                       const void* before, const void* after) {
+  if (lm_ == nullptr) return Status::OK();
+  LogRecord rec;
+  rec.type = type;
+  rec.txn_id = txn->id();
+  rec.prev_lsn = txn->last_lsn;
+  rec.table_id = opts_.table_id;
+  rec.key = key;
+  if (before != nullptr) {
+    const auto* b = static_cast<const std::byte*>(before);
+    rec.before.assign(b, b + opts_.tuple_size);
+  }
+  if (after != nullptr) {
+    const auto* a = static_cast<const std::byte*>(after);
+    rec.after.assign(a, a + opts_.tuple_size);
+  }
+  Result<lsn_t> lsn = lm_->Append(rec);
+  SPITFIRE_RETURN_NOT_OK(lsn.status());
+  txn->last_lsn = lsn.value();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Transactional operations
+// ---------------------------------------------------------------------------
+
+Status Table::Insert(Transaction* txn, uint64_t key, const void* tuple) {
+  SPITFIRE_ASSIGN_OR_RETURN(const rid_t rid, AllocateSlot());
+  {
+    SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(rid, AccessIntent::kWrite));
+    VersionHeader h{};
+    h.writer = txn->id();
+    h.begin_ts = kMaxTimestamp;  // uncommitted
+    h.read_ts = 0;
+    h.prev = kInvalidRid;
+    h.key = key;
+    h.flags = kFlagAllocated;
+    std::memcpy(ref.hdr, &h, sizeof(h));
+    std::memcpy(ref.payload, tuple, opts_.tuple_size);
+    ref.guard.MarkDirty();
+  }
+  const Status st = index_->Insert(key, rid);
+  if (!st.ok()) {
+    DeferFree(rid);
+    if (st.IsBusy()) return st;
+    // The key exists in the index — but it may be a committed tombstone,
+    // in which case the insert proceeds as a successor version.
+    return WriteInternal(txn, key, tuple, /*allow_tombstone_head=*/true);
+  }
+  SPITFIRE_RETURN_NOT_OK(
+      LogWrite(txn, LogRecordType::kInsert, key, nullptr, tuple));
+  txn->write_set.push_back(Transaction::WriteOp{
+      Transaction::WriteOp::Kind::kInsert, opts_.table_id, key, rid,
+      kInvalidRid});
+  return Status::OK();
+}
+
+Status Table::Read(Transaction* txn, uint64_t key, void* out) {
+  uint64_t head = 0;
+  Status st = index_->Lookup(key, &head);
+  if (!st.ok()) return st;
+
+  rid_t rid = head;
+  while (rid != kInvalidRid) {
+    SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(rid, AccessIntent::kRead));
+    const uint64_t writer = AtomicField(ref.hdr->writer).load(
+        std::memory_order_acquire);
+    const uint64_t begin = AtomicField(ref.hdr->begin_ts).load(
+        std::memory_order_acquire);
+    const bool own = writer == txn->id() && begin == kMaxTimestamp;
+    if (!own && writer != 0 && writer != txn->id() && writer < txn->ts()) {
+      // An older transaction has a write in flight on this version (either
+      // an uncommitted successor, or a lock on the committed head). If it
+      // commits, its timestamp precedes ours and we would have read a
+      // stale value — the classic MVTO unsafe read. No-wait policy: abort
+      // instead of blocking (Wu et al. [39]).
+      return Status::Aborted("older write in flight");
+    }
+    const bool committed_visible =
+        begin != kMaxTimestamp && begin <= txn->ts();
+    if (own || committed_visible) {
+      if (!own) {
+        // MVTO bookkeeping: advance read_ts to our timestamp. This dirties
+        // the page — the metadata writes Section 6.4 mentions.
+        uint64_t cur =
+            AtomicField(ref.hdr->read_ts).load(std::memory_order_relaxed);
+        bool bumped = false;
+        while (cur < txn->ts()) {
+          if (AtomicField(ref.hdr->read_ts)
+                  .compare_exchange_weak(cur, txn->ts(),
+                                         std::memory_order_acq_rel)) {
+            bumped = true;
+            break;
+          }
+        }
+        if (bumped) ref.guard.MarkDirty();
+      }
+      if (ref.hdr->flags & kFlagTombstone) {
+        // The key was deleted as of this snapshot. (read_ts was still
+        // advanced above so older writers correctly abort.)
+        return Status::NotFound("deleted");
+      }
+      std::memcpy(out, ref.payload, opts_.tuple_size);
+      return Status::OK();
+    }
+    rid = ref.hdr->prev;
+  }
+  return Status::NotFound("no visible version");
+}
+
+Status Table::Update(Transaction* txn, uint64_t key, const void* tuple) {
+  SPITFIRE_DCHECK(tuple != nullptr);
+  return WriteInternal(txn, key, tuple, /*allow_tombstone_head=*/false);
+}
+
+Status Table::Delete(Transaction* txn, uint64_t key) {
+  return WriteInternal(txn, key, /*tuple=*/nullptr,
+                       /*allow_tombstone_head=*/false);
+}
+
+// Shared write path for Update (tuple != nullptr), Delete (tuple ==
+// nullptr: installs a tombstone), and insert-over-tombstone
+// (allow_tombstone_head = true).
+Status Table::WriteInternal(Transaction* txn, uint64_t key, const void* tuple,
+                            bool allow_tombstone_head) {
+  const bool tombstone = tuple == nullptr && !allow_tombstone_head;
+  uint64_t head = 0;
+  SPITFIRE_RETURN_NOT_OK(index_->Lookup(key, &head));
+
+  SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(head, AccessIntent::kWrite));
+  const uint64_t writer =
+      AtomicField(ref.hdr->writer).load(std::memory_order_acquire);
+  const uint64_t begin =
+      AtomicField(ref.hdr->begin_ts).load(std::memory_order_acquire);
+
+  if (writer == txn->id() && begin == kMaxTimestamp) {
+    // Second write by the same transaction: mutate its own uncommitted
+    // version in place.
+    std::vector<std::byte> before(opts_.tuple_size);
+    std::memcpy(before.data(), ref.payload, opts_.tuple_size);
+    if (tuple != nullptr) {
+      std::memcpy(ref.payload, tuple, opts_.tuple_size);
+      ref.hdr->flags &= ~kFlagTombstone;
+    } else {
+      ref.hdr->flags |= kFlagTombstone;
+    }
+    ref.guard.MarkDirty();
+    return LogWrite(txn,
+                    tuple != nullptr ? LogRecordType::kUpdate
+                                     : LogRecordType::kDelete,
+                    key, before.data(), tuple);
+  }
+  if (writer != 0) {
+    return Status::Aborted("write-write conflict");
+  }
+  if (begin == kMaxTimestamp || begin > txn->ts()) {
+    return Status::Aborted("newer version exists");
+  }
+  const bool head_is_tombstone = (ref.hdr->flags & kFlagTombstone) != 0;
+  if (head_is_tombstone && !allow_tombstone_head) {
+    return Status::NotFound("key deleted");
+  }
+  if (!head_is_tombstone && allow_tombstone_head) {
+    // Insert-over-tombstone raced with a normal re-insert: duplicate.
+    return Status::InvalidArgument("duplicate key");
+  }
+  if (AtomicField(ref.hdr->read_ts).load(std::memory_order_acquire) >
+      txn->ts()) {
+    return Status::Aborted("version read by younger transaction");
+  }
+  uint64_t expected = 0;
+  if (!AtomicField(ref.hdr->writer)
+           .compare_exchange_strong(expected, txn->id(),
+                                    std::memory_order_acq_rel)) {
+    return Status::Aborted("lost write race");
+  }
+  // Re-validate the head: a concurrent committer may have replaced it
+  // between our index lookup and the lock.
+  {
+    uint64_t cur_head = 0;
+    const Status hst = index_->Lookup(key, &cur_head);
+    if (!hst.ok() || cur_head != head) {
+      AtomicField(ref.hdr->writer).store(0, std::memory_order_release);
+      return Status::Aborted("head moved");
+    }
+  }
+  ref.guard.MarkDirty();
+
+  // Install the uncommitted successor version.
+  auto rid_r = AllocateSlot();
+  if (!rid_r.ok()) {
+    AtomicField(ref.hdr->writer).store(0, std::memory_order_release);
+    return rid_r.status();
+  }
+  const rid_t new_rid = rid_r.value();
+  std::vector<std::byte> before(opts_.tuple_size);
+  std::memcpy(before.data(), ref.payload, opts_.tuple_size);
+  {
+    auto nref_r = PinSlot(new_rid, AccessIntent::kWrite);
+    if (!nref_r.ok()) {
+      AtomicField(ref.hdr->writer).store(0, std::memory_order_release);
+      DeferFree(new_rid);
+      return nref_r.status();
+    }
+    SlotRef nref = nref_r.MoveValue();
+    VersionHeader h{};
+    h.writer = txn->id();
+    h.begin_ts = kMaxTimestamp;
+    h.read_ts = 0;
+    h.prev = head;
+    h.key = key;
+    h.flags = kFlagAllocated | (tombstone ? kFlagTombstone : 0);
+    std::memcpy(nref.hdr, &h, sizeof(h));
+    if (tuple != nullptr) {
+      std::memcpy(nref.payload, tuple, opts_.tuple_size);
+    } else {
+      std::memset(nref.payload, 0, opts_.tuple_size);
+    }
+    nref.guard.MarkDirty();
+  }
+  const Status ist = index_->Upsert(key, new_rid);
+  if (!ist.ok()) {
+    AtomicField(ref.hdr->writer).store(0, std::memory_order_release);
+    DeferFree(new_rid);
+    return ist;
+  }
+  SPITFIRE_RETURN_NOT_OK(LogWrite(
+      txn,
+      tuple != nullptr ? LogRecordType::kUpdate : LogRecordType::kDelete, key,
+      before.data(), tuple));
+  txn->write_set.push_back(Transaction::WriteOp{
+      tuple != nullptr ? Transaction::WriteOp::Kind::kUpdate
+                       : Transaction::WriteOp::Kind::kDelete,
+      opts_.table_id, key, new_rid, head});
+  return Status::OK();
+}
+
+Status Table::Scan(Transaction* txn, uint64_t lo, uint64_t hi,
+                   const std::function<bool(uint64_t, const void*)>& fn) {
+  // Collect matching keys first (the index scan must not re-enter the
+  // buffer manager deeply while we hold its callback), then read each
+  // version with full MVTO visibility.
+  std::vector<uint64_t> keys;
+  SPITFIRE_RETURN_NOT_OK(index_->Scan(lo, hi, [&](uint64_t k, uint64_t) {
+    keys.push_back(k);
+    return true;
+  }));
+  std::vector<std::byte> buf(opts_.tuple_size);
+  for (uint64_t k : keys) {
+    const Status st = Read(txn, k, buf.data());
+    if (st.IsNotFound()) continue;  // not visible to this txn
+    SPITFIRE_RETURN_NOT_OK(st);
+    if (!fn(k, buf.data())) break;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Commit / abort
+// ---------------------------------------------------------------------------
+
+void Table::FinalizeCommit(Transaction* txn, const Transaction::WriteOp& op) {
+  auto ref_r = PinSlot(op.new_rid, AccessIntent::kWrite);
+  if (!ref_r.ok()) return;
+  SlotRef ref = ref_r.MoveValue();
+  AtomicField(ref.hdr->read_ts).store(txn->ts(), std::memory_order_relaxed);
+  AtomicField(ref.hdr->begin_ts).store(txn->ts(), std::memory_order_release);
+  AtomicField(ref.hdr->writer).store(0, std::memory_order_release);
+  ref.guard.MarkDirty();
+  if (op.kind != Transaction::WriteOp::Kind::kInsert) {
+    auto old_r = PinSlot(op.old_rid, AccessIntent::kWrite);
+    if (old_r.ok()) {
+      SlotRef old = old_r.MoveValue();
+      AtomicField(old.hdr->writer).store(0, std::memory_order_release);
+      old.guard.MarkDirty();
+    }
+    TruncateChain(op.new_rid);
+  }
+}
+
+void Table::RollbackAbort(Transaction* txn, const Transaction::WriteOp& op) {
+  if (op.kind == Transaction::WriteOp::Kind::kInsert) {
+    (void)index_->Remove(op.key);
+    auto ref_r = PinSlot(op.new_rid, AccessIntent::kWrite);
+    if (ref_r.ok()) {
+      SlotRef ref = ref_r.MoveValue();
+      ref.hdr->flags = 0;
+      AtomicField(ref.hdr->writer).store(0, std::memory_order_release);
+      ref.guard.MarkDirty();
+    }
+    DeferFree(op.new_rid);
+    return;
+  }
+  // Update: restore the old head and release its lock.
+  (void)index_->Upsert(op.key, op.old_rid);
+  auto ref_r = PinSlot(op.new_rid, AccessIntent::kWrite);
+  if (ref_r.ok()) {
+    SlotRef ref = ref_r.MoveValue();
+    ref.hdr->flags = 0;
+    ref.guard.MarkDirty();
+  }
+  auto old_r = PinSlot(op.old_rid, AccessIntent::kWrite);
+  if (old_r.ok()) {
+    SlotRef old = old_r.MoveValue();
+    AtomicField(old.hdr->writer).store(0, std::memory_order_release);
+    old.guard.MarkDirty();
+  }
+  DeferFree(op.new_rid);
+}
+
+void Table::TruncateChain(rid_t head) {
+  const timestamp_t watermark = tm_->MinActiveTs();
+  // Find the newest version whose begin_ts <= watermark: every active and
+  // future transaction sees it or something newer, so older versions are
+  // garbage.
+  rid_t rid = head;
+  rid_t survivor = kInvalidRid;
+  int depth = 0;
+  while (rid != kInvalidRid && depth++ < 64) {
+    auto ref_r = PinSlot(rid, AccessIntent::kRead);
+    if (!ref_r.ok()) return;
+    SlotRef ref = ref_r.MoveValue();
+    const uint64_t begin =
+        AtomicField(ref.hdr->begin_ts).load(std::memory_order_acquire);
+    if (begin != kMaxTimestamp && begin <= watermark) {
+      survivor = rid;
+      break;
+    }
+    rid = ref.hdr->prev;
+  }
+  if (survivor == kInvalidRid) return;
+  auto sref_r = PinSlot(survivor, AccessIntent::kWrite);
+  if (!sref_r.ok()) return;
+  SlotRef sref = sref_r.MoveValue();
+  rid_t garbage = sref.hdr->prev;
+  if (garbage == kInvalidRid) return;
+  sref.hdr->prev = kInvalidRid;
+  sref.guard.MarkDirty();
+  while (garbage != kInvalidRid) {
+    auto gref_r = PinSlot(garbage, AccessIntent::kWrite);
+    if (!gref_r.ok()) return;
+    SlotRef gref = gref_r.MoveValue();
+    const rid_t next = gref.hdr->prev;
+    gref.hdr->flags = 0;
+    gref.guard.MarkDirty();
+    DeferFree(garbage);
+    garbage = next;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+void Table::AdoptPage(page_id_t pid) {
+  std::lock_guard<std::mutex> g(alloc_mu_);
+  pages_.push_back(pid);
+  bump_slot_ = static_cast<uint32_t>(slots_per_page_);  // force fresh page
+}
+
+Status Table::RebuildFromHeap(timestamp_t* max_ts) {
+  std::vector<page_id_t> pages;
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    pages = pages_;
+    free_list_.clear();
+  }
+  // newest committed version per key
+  std::map<uint64_t, std::pair<timestamp_t, rid_t>> heads;
+  std::vector<rid_t> holes;
+  for (page_id_t pid : pages) {
+    for (uint32_t slot = 0; slot < slots_per_page_; ++slot) {
+      const rid_t rid = MakeRid(pid, slot);
+      SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref,
+                                PinSlot(rid, AccessIntent::kWrite));
+      VersionHeader* h = ref.hdr;
+      if ((h->flags & kFlagAllocated) == 0) {
+        holes.push_back(rid);
+        continue;
+      }
+      if (h->begin_ts == kMaxTimestamp) {
+        // Uncommitted at crash time: scrub.
+        h->flags = 0;
+        h->writer = 0;
+        ref.guard.MarkDirty();
+        holes.push_back(rid);
+        continue;
+      }
+      h->writer = 0;  // stale lock from a crashed transaction
+      ref.guard.MarkDirty();
+      if (max_ts != nullptr && h->begin_ts > *max_ts) *max_ts = h->begin_ts;
+      auto it = heads.find(h->key);
+      if (it == heads.end() || it->second.first < h->begin_ts) {
+        heads[h->key] = {h->begin_ts, rid};
+      }
+    }
+  }
+  for (const auto& [key, entry] : heads) {
+    SPITFIRE_RETURN_NOT_OK(index_->Upsert(key, entry.second));
+  }
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    for (rid_t rid : holes) free_list_.push_back({rid, 0});
+  }
+  return Status::OK();
+}
+
+Status Table::RecoveryApply(uint64_t key, const void* tuple, timestamp_t ts) {
+  uint64_t head = 0;
+  const Status st = index_->Lookup(key, &head);
+  if (st.ok()) {
+    SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(head, AccessIntent::kRead));
+    if (ref.hdr->begin_ts >= ts) return Status::OK();  // already applied
+  } else if (!st.IsNotFound()) {
+    return st;
+  }
+  SPITFIRE_ASSIGN_OR_RETURN(const rid_t rid, AllocateSlot());
+  {
+    SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(rid, AccessIntent::kWrite));
+    VersionHeader h{};
+    h.writer = 0;
+    h.begin_ts = ts;
+    h.read_ts = ts;
+    h.prev = st.ok() ? head : kInvalidRid;
+    h.key = key;
+    h.flags = kFlagAllocated | (tuple == nullptr ? kFlagTombstone : 0);
+    std::memcpy(ref.hdr, &h, sizeof(h));
+    if (tuple != nullptr) {
+      std::memcpy(ref.payload, tuple, opts_.tuple_size);
+    } else {
+      std::memset(ref.payload, 0, opts_.tuple_size);
+    }
+    ref.guard.MarkDirty();
+  }
+  return index_->Upsert(key, rid);
+}
+
+}  // namespace spitfire

@@ -1,0 +1,4 @@
+#include "hymem/cacheline_page.h"
+
+// UnitBitmap256 and CacheLineState are header-only; this file anchors the
+// translation unit for the module.

@@ -1,0 +1,3 @@
+#include "hymem/mini_page.h"
+
+// MiniPageView is header-only; this file anchors the translation unit.

@@ -1,0 +1,107 @@
+#ifndef SPITFIRE_HYMEM_MINI_PAGE_H_
+#define SPITFIRE_HYMEM_MINI_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/constants.h"
+#include "common/macros.h"
+
+namespace spitfire {
+
+// HyMem's mini page (Figure 2b): a compact DRAM representation of a
+// cache-line-grained page that stores at most sixteen loading units. The
+// `slots` array maps slot position → logical unit index within the 16 KB
+// page; `count` tracks occupancy; a 16-bit mask tracks dirty slots. When a
+// seventeenth distinct unit is touched, the mini page overflows and the
+// buffer manager transparently promotes it to a full page.
+//
+// The view operates over raw memory carved out of a host DRAM frame:
+//   [MiniPageMeta (64 B, one cache line)] [unit 0] [unit 1] ... [unit 15]
+class MiniPageView {
+ public:
+  struct Meta {
+    uint16_t count;
+    uint16_t dirty_mask;
+    uint32_t unit_size;
+    page_id_t page_id;
+    // Logical unit index stored in each slot. 0xFFFF = empty.
+    uint16_t slots[kMiniPageSlots];
+    uint8_t padding[64 - 16 - 2 * kMiniPageSlots];
+  };
+  static_assert(sizeof(Meta) == 64, "meta must fit one cache line");
+
+  static constexpr uint16_t kEmptySlot = 0xFFFF;
+
+  // Bytes one mini page occupies for a given loading granularity.
+  static size_t BytesRequired(size_t unit_size) {
+    return sizeof(Meta) + kMiniPageSlots * unit_size;
+  }
+
+  // How many mini pages fit in one full frame.
+  static size_t PerFrame(size_t unit_size) {
+    return kPageSize / BytesRequired(unit_size);
+  }
+
+  explicit MiniPageView(std::byte* mem) : mem_(mem) {}
+
+  Meta* meta() { return reinterpret_cast<Meta*>(mem_); }
+  const Meta* meta() const { return reinterpret_cast<const Meta*>(mem_); }
+
+  void Format(page_id_t pid, uint32_t unit_size) {
+    Meta* m = meta();
+    std::memset(static_cast<void*>(m), 0, sizeof(Meta));
+    m->unit_size = unit_size;
+    m->page_id = pid;
+    for (auto& s : m->slots) s = kEmptySlot;
+  }
+
+  std::byte* UnitPtr(size_t slot) {
+    SPITFIRE_DCHECK(slot < kMiniPageSlots);
+    return mem_ + sizeof(Meta) + slot * meta()->unit_size;
+  }
+  const std::byte* UnitPtr(size_t slot) const {
+    SPITFIRE_DCHECK(slot < kMiniPageSlots);
+    return mem_ + sizeof(Meta) + slot * meta()->unit_size;
+  }
+
+  // Returns the slot holding logical unit `unit`, or -1. Linear scan over
+  // at most sixteen entries — the "sorting the slots" overhead the paper
+  // attributes to mini pages is this per-access search.
+  int FindSlot(uint16_t unit) const {
+    const Meta* m = meta();
+    for (int i = 0; i < m->count; ++i) {
+      if (m->slots[i] == unit) return i;
+    }
+    return -1;
+  }
+
+  bool IsFull() const { return meta()->count >= kMiniPageSlots; }
+  size_t count() const { return meta()->count; }
+
+  // Claims the next slot for logical unit `unit`. Returns the slot index,
+  // or -1 on overflow (caller must promote to a full page).
+  int Insert(uint16_t unit) {
+    Meta* m = meta();
+    if (m->count >= kMiniPageSlots) return -1;
+    const int slot = m->count++;
+    m->slots[slot] = unit;
+    return slot;
+  }
+
+  void MarkDirty(size_t slot) {
+    SPITFIRE_DCHECK(slot < kMiniPageSlots);
+    meta()->dirty_mask |= static_cast<uint16_t>(1u << slot);
+  }
+  bool IsDirty(size_t slot) const {
+    return meta()->dirty_mask & (1u << slot);
+  }
+  bool AnyDirty() const { return meta()->dirty_mask != 0; }
+
+ private:
+  std::byte* mem_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_HYMEM_MINI_PAGE_H_

@@ -1,0 +1,36 @@
+#include "storage/dram_device.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace spitfire {
+
+DramDevice::DramDevice(uint64_t capacity, DeviceProfile profile)
+    : Device(std::move(profile), capacity) {
+  base_ = static_cast<std::byte*>(std::aligned_alloc(4096, capacity));
+  SPITFIRE_CHECK(base_ != nullptr);
+  std::memset(base_, 0, capacity);
+}
+
+DramDevice::~DramDevice() { std::free(base_); }
+
+Status DramDevice::Read(uint64_t offset, void* dst, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  std::memcpy(dst, base_ + offset, size);
+  AccountRead(size, /*sequential=*/false);
+  return Status::OK();
+}
+
+Status DramDevice::Write(uint64_t offset, const void* src, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  std::memcpy(base_ + offset, src, size);
+  AccountWrite(size, /*sequential=*/false);
+  return Status::OK();
+}
+
+std::byte* DramDevice::DirectPointer(uint64_t offset) {
+  SPITFIRE_DCHECK(offset < capacity_);
+  return base_ + offset;
+}
+
+}  // namespace spitfire

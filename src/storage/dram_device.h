@@ -1,0 +1,29 @@
+#ifndef SPITFIRE_STORAGE_DRAM_DEVICE_H_
+#define SPITFIRE_STORAGE_DRAM_DEVICE_H_
+
+#include <memory>
+
+#include "storage/device.h"
+
+namespace spitfire {
+
+// Volatile byte-addressable device backed by heap memory. Models the DRAM
+// tier; latency is effectively the cost of the memcpy itself plus the
+// (tiny) profile delay.
+class DramDevice : public Device {
+ public:
+  explicit DramDevice(uint64_t capacity,
+                      DeviceProfile profile = DeviceProfile::Dram());
+  ~DramDevice() override;
+
+  Status Read(uint64_t offset, void* dst, size_t size) override;
+  Status Write(uint64_t offset, const void* src, size_t size) override;
+  std::byte* DirectPointer(uint64_t offset) override;
+
+ private:
+  std::byte* base_ = nullptr;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_STORAGE_DRAM_DEVICE_H_

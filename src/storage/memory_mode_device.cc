@@ -1,0 +1,104 @@
+#include "storage/memory_mode_device.h"
+
+#include <cstring>
+
+namespace spitfire {
+
+namespace {
+DeviceProfile MemoryModeProfile(uint64_t capacity) {
+  DeviceProfile p = DeviceProfile::OptaneNvm();
+  p.name = "Memory mode (DRAM L4 cache over NVM)";
+  p.persistent = false;  // the L4 cache hides persistence from software
+  return p;
+}
+}  // namespace
+
+MemoryModeDevice::MemoryModeDevice(uint64_t nvm_capacity,
+                                   uint64_t dram_cache_capacity)
+    : Device(MemoryModeProfile(nvm_capacity), nvm_capacity),
+      nvm_(std::make_unique<NvmDevice>(nvm_capacity)),
+      dram_profile_(DeviceProfile::Dram()),
+      num_sets_(dram_cache_capacity / kBlockSize),
+      tags_(num_sets_ ? num_sets_ : 1) {
+  SPITFIRE_CHECK(num_sets_ > 0);
+  for (auto& t : tags_) t.store(kEmptyTag, std::memory_order_relaxed);
+}
+
+void MemoryModeDevice::Access(uint64_t block, bool is_write) {
+  // Cache-state update only; latency is charged by OnCachedAccess for the
+  // whole access (base latency once + bandwidth), since sequential blocks
+  // pipeline on real hardware.
+  const uint64_t set = block % num_sets_;
+  const uint64_t cur = tags_[set].load(std::memory_order_relaxed);
+  const uint64_t cur_block = cur == kEmptyTag ? kEmptyTag : (cur >> 1);
+  if (cur_block == block) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (is_write && (cur & 1ULL) == 0) {
+      tags_[set].store((block << 1) | 1ULL, std::memory_order_relaxed);
+    }
+    return;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cur != kEmptyTag && (cur & 1ULL)) {
+    // Write back the evicted dirty block to NVM.
+    nvm_->stats().media_bytes_written.fetch_add(kBlockSize,
+                                                std::memory_order_relaxed);
+    pending_writeback_bytes_.fetch_add(kBlockSize, std::memory_order_relaxed);
+  }
+  tags_[set].store((block << 1) | (is_write ? 1ULL : 0ULL),
+                   std::memory_order_relaxed);
+}
+
+void MemoryModeDevice::OnCachedAccess(uint64_t offset, size_t bytes,
+                                      bool is_write) {
+  const uint64_t h0 = hits_.load(std::memory_order_relaxed);
+  const uint64_t m0 = misses_.load(std::memory_order_relaxed);
+  const uint64_t first = offset / kBlockSize;
+  const uint64_t last = (offset + (bytes ? bytes : 1) - 1) / kBlockSize;
+  for (uint64_t b = first; b <= last; ++b) Access(b, is_write);
+  const uint64_t hit_blocks = hits_.load(std::memory_order_relaxed) - h0;
+  const uint64_t miss_blocks = misses_.load(std::memory_order_relaxed) - m0;
+  const uint64_t wb_bytes = pending_writeback_bytes_.exchange(0);
+
+  // Hits run at DRAM speed; misses at NVM speed; dirty evictions add an
+  // NVM write. One base latency per class, bandwidth for the rest.
+  uint64_t nanos = 0;
+  if (hit_blocks > 0) {
+    nanos += dram_profile_.ReadLatencyNanos(hit_blocks * kBlockSize, false);
+  }
+  if (miss_blocks > 0) {
+    nanos += nvm_->profile().ReadLatencyNanos(miss_blocks * kBlockSize, false);
+  }
+  if (wb_bytes > 0) {
+    nanos += nvm_->profile().WriteLatencyNanos(wb_bytes, false);
+  }
+  LatencySimulator::Delay(nanos);
+
+  if (is_write) {
+    stats_.num_writes.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  } else {
+    stats_.num_reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  }
+}
+
+Status MemoryModeDevice::Read(uint64_t offset, void* dst, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  std::memcpy(dst, nvm_->DirectPointer(offset), size);
+  OnCachedAccess(offset, size, /*is_write=*/false);
+  return Status::OK();
+}
+
+Status MemoryModeDevice::Write(uint64_t offset, const void* src, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  std::memcpy(nvm_->DirectPointer(offset), src, size);
+  OnCachedAccess(offset, size, /*is_write=*/true);
+  return Status::OK();
+}
+
+std::byte* MemoryModeDevice::DirectPointer(uint64_t offset) {
+  return nvm_->DirectPointer(offset);
+}
+
+}  // namespace spitfire

@@ -1,0 +1,87 @@
+#ifndef SPITFIRE_STORAGE_MEMORY_MODE_DEVICE_H_
+#define SPITFIRE_STORAGE_MEMORY_MODE_DEVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "storage/nvm_device.h"
+
+namespace spitfire {
+
+// Simulates Optane "memory mode" (Section 2.2): the PMMs provide the
+// capacity, and DRAM acts as a hardware-managed direct-mapped write-back
+// cache in front of them. Software sees one big volatile device; whether an
+// access runs at DRAM or NVM speed depends on whether it hits the L4 cache.
+//
+// We model the cache at the NVM media granularity (256 B blocks): a tag
+// array of dram_capacity/256 sets, each holding the block currently cached
+// plus a dirty bit. Hits cost DRAM latency; misses cost NVM latency, plus a
+// write-back of the evicted block when it is dirty.
+//
+// Data itself lives in the underlying NvmDevice; the cache is a latency and
+// traffic model only, which is sufficient because correctness never depends
+// on which medium held the bytes.
+class MemoryModeDevice : public Device {
+ public:
+  MemoryModeDevice(uint64_t nvm_capacity, uint64_t dram_cache_capacity);
+
+  Status Read(uint64_t offset, void* dst, size_t size) override;
+  Status Write(uint64_t offset, const void* src, size_t size) override;
+  std::byte* DirectPointer(uint64_t offset) override;
+
+  // Memory-mode DRAM is a volatile cache: contents are NOT persistent, so
+  // Persist is unsupported (the paper's motivation for app-direct mode).
+  Status Persist(uint64_t offset, size_t size) override {
+    return Status::NotSupported("memory mode does not expose persistence");
+  }
+
+  // Accounts a direct CPU access of `bytes` at `offset` through the cache
+  // model. Used by the buffer manager for in-place operations.
+  void OnCachedAccess(uint64_t offset, size_t bytes, bool is_write);
+
+  void OnDirectRead(uint64_t offset, size_t bytes,
+                    bool sequential = false) override {
+    OnCachedAccess(offset, bytes, /*is_write=*/false);
+  }
+  void OnDirectWrite(uint64_t offset, size_t bytes,
+                     bool sequential = false) override {
+    OnCachedAccess(offset, bytes, /*is_write=*/true);
+  }
+
+  uint64_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  double HitRate() const {
+    const double h = static_cast<double>(cache_hits());
+    const double m = static_cast<double>(cache_misses());
+    return (h + m) == 0 ? 0.0 : h / (h + m);
+  }
+
+  NvmDevice& nvm() { return *nvm_; }
+
+ private:
+  // Returns true on hit; on miss installs the block and models the miss
+  // penalty (NVM read + optional dirty write-back).
+  void Access(uint64_t block, bool is_write);
+
+  static constexpr uint64_t kBlockSize = 256;
+  static constexpr uint64_t kEmptyTag = UINT64_MAX;
+
+  std::unique_ptr<NvmDevice> nvm_;
+  DeviceProfile dram_profile_;
+  uint64_t num_sets_;
+  // tag_[set] holds (block_number << 1 | dirty). Plain atomics; races only
+  // perturb the latency model, never data.
+  std::vector<std::atomic<uint64_t>> tags_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  // Dirty-eviction bytes accumulated by Access() and charged (as one NVM
+  // write) by the enclosing OnCachedAccess().
+  std::atomic<uint64_t> pending_writeback_bytes_{0};
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_STORAGE_MEMORY_MODE_DEVICE_H_

@@ -1,0 +1,97 @@
+#include "storage/nvm_device.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace spitfire {
+
+NvmDevice::NvmDevice(uint64_t capacity, DeviceProfile profile)
+    : Device(std::move(profile), capacity) {
+  MapAnonymous();
+}
+
+NvmDevice::NvmDevice(const std::string& path, uint64_t capacity,
+                     DeviceProfile profile)
+    : Device(std::move(profile), capacity) {
+  MapFile(path);
+}
+
+NvmDevice::~NvmDevice() {
+  if (base_ != nullptr) {
+    ::munmap(base_, capacity_);
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void NvmDevice::MapAnonymous() {
+  void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  SPITFIRE_CHECK(p != MAP_FAILED);
+  base_ = static_cast<std::byte*>(p);
+}
+
+void NvmDevice::MapFile(const std::string& path) {
+  // Mirrors the paper's fsdax mapping: open + ftruncate + mmap(MAP_SHARED).
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  SPITFIRE_CHECK(fd_ >= 0);
+  SPITFIRE_CHECK(::ftruncate(fd_, static_cast<off_t>(capacity_)) == 0);
+  void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                   fd_, 0);
+  SPITFIRE_CHECK(p != MAP_FAILED);
+  base_ = static_cast<std::byte*>(p);
+}
+
+Status NvmDevice::Read(uint64_t offset, void* dst, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  std::memcpy(dst, base_ + offset, size);
+  AccountRead(size, /*sequential=*/false);
+  return Status::OK();
+}
+
+Status NvmDevice::Write(uint64_t offset, const void* src, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  std::memcpy(base_ + offset, src, size);
+  AccountWrite(size, /*sequential=*/false);
+  return Status::OK();
+}
+
+Status NvmDevice::ReadFineGrained(uint64_t offset, void* dst, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  std::memcpy(dst, base_ + offset, size);
+  const size_t gran = profile_.media_granularity;
+  const size_t blocks = (size + gran - 1) / gran;
+  for (size_t b = 0; b < blocks; ++b) {
+    AccountRead(std::min(gran, size - b * gran), /*sequential=*/false);
+  }
+  return Status::OK();
+}
+
+std::byte* NvmDevice::DirectPointer(uint64_t offset) {
+  SPITFIRE_DCHECK(offset < capacity_);
+  return base_ + offset;
+}
+
+Status NvmDevice::Persist(uint64_t offset, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  // clwb writes the cache lines back without evicting them; sfence orders
+  // the write-backs. In simulation this is a per-cache-line delay.
+  const size_t lines = (size + kCacheLineSize - 1) / kCacheLineSize;
+  LatencySimulator::Delay(lines * 100);  // ~clwb+sfence cost per line
+  if (fd_ >= 0) {
+    // Align to page boundaries as msync requires.
+    const uint64_t page = 4096;
+    const uint64_t begin = offset / page * page;
+    const uint64_t end = (offset + size + page - 1) / page * page;
+    if (::msync(base_ + begin, end - begin, MS_SYNC) != 0) {
+      return Status::IoError("msync failed");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spitfire

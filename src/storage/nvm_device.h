@@ -1,0 +1,60 @@
+#ifndef SPITFIRE_STORAGE_NVM_DEVICE_H_
+#define SPITFIRE_STORAGE_NVM_DEVICE_H_
+
+#include <string>
+
+#include "storage/device.h"
+
+namespace spitfire {
+
+// Simulated Optane DC PMM in app-direct mode. Byte-addressable, persistent
+// within a process run (the memory region outlives any buffer manager built
+// on top of it, which is what the recovery path exploits).
+//
+// Backing: either an anonymous mapping (default) or a file mapped with
+// mmap(MAP_SHARED) — the latter mirrors the fsdax configuration shown in
+// Section 2.2 of the paper and persists across processes.
+//
+// Latency/bandwidth/granularity follow DeviceProfile::OptaneNvm(): 256 B
+// media blocks, asymmetric read/write bandwidth, and Persist() modeling the
+// clwb + sfence sequence.
+class NvmDevice : public Device {
+ public:
+  // Anonymous (heap-like) backing.
+  explicit NvmDevice(uint64_t capacity,
+                     DeviceProfile profile = DeviceProfile::OptaneNvm());
+
+  // File backing via mmap, emulating a namespace in fsdax mode.
+  NvmDevice(const std::string& path, uint64_t capacity,
+            DeviceProfile profile = DeviceProfile::OptaneNvm());
+
+  ~NvmDevice() override;
+
+  Status Read(uint64_t offset, void* dst, size_t size) override;
+  Status Write(uint64_t offset, const void* src, size_t size) override;
+  std::byte* DirectPointer(uint64_t offset) override;
+
+  // Cache-line-grained load (HyMem's loader): one serialized random
+  // request per 256 B media block, with no cross-block pipelining — the
+  // access pattern whose cost Figure 11 studies. Requests below the media
+  // granularity still pay for a whole block (I/O amplification), so
+  // loading at 64 B costs ~4x more requests than 256 B for the same data.
+  Status ReadFineGrained(uint64_t offset, void* dst, size_t size);
+
+  // Models clwb (write back cache lines without evicting) followed by
+  // sfence. On file backing it additionally msyncs the range.
+  Status Persist(uint64_t offset, size_t size) override;
+
+  bool file_backed() const { return fd_ >= 0; }
+
+ private:
+  void MapAnonymous();
+  void MapFile(const std::string& path);
+
+  std::byte* base_ = nullptr;
+  int fd_ = -1;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_STORAGE_NVM_DEVICE_H_

@@ -1,0 +1,80 @@
+#ifndef SPITFIRE_STORAGE_PERF_MODEL_H_
+#define SPITFIRE_STORAGE_PERF_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace spitfire {
+
+// Performance/cost profile of a storage device, encoding Table 1 of the
+// paper (DRAM DIMMs, Optane DC PMMs, Optane DC P4800X SSD). Latencies are
+// idle access latencies per request; bandwidths cap sustained transfer.
+struct DeviceProfile {
+  std::string name;
+
+  // Idle per-request latency (nanoseconds).
+  uint64_t seq_read_latency_ns = 0;
+  uint64_t rand_read_latency_ns = 0;
+  uint64_t seq_write_latency_ns = 0;
+  uint64_t rand_write_latency_ns = 0;
+
+  // Sustained bandwidth (bytes per second).
+  double seq_read_bw = 0;
+  double rand_read_bw = 0;
+  double seq_write_bw = 0;
+  double rand_write_bw = 0;
+
+  // Media access granularity in bytes: 64 B (DRAM), 256 B (Optane PMM),
+  // 16 KB (SSD). Requests smaller than this still transfer a full block —
+  // the I/O amplification that drives Figure 11.
+  size_t media_granularity = 64;
+
+  // The sustained bandwidths above are machine aggregates (6 DIMMs, many
+  // threads). A single in-flight request achieves only a fraction of
+  // them; this divisor models the low-queue-depth bandwidth the 1-2
+  // worker simulation actually sees (Optane PMMs: ~3x below aggregate).
+  double queue_depth_divisor = 1.0;
+
+  bool byte_addressable = true;
+  bool persistent = false;
+
+  // Price in $/GB (Table 1; used by the Figure 14 grid search).
+  double price_per_gb = 0;
+
+  // Total latency in ns of transferring `bytes` in one request, before the
+  // global simulation scale is applied.
+  uint64_t ReadLatencyNanos(size_t bytes, bool sequential) const;
+  uint64_t WriteLatencyNanos(size_t bytes, bool sequential) const;
+
+  // Bytes actually touched on the medium for a request of `bytes`
+  // (rounded up to the media granularity).
+  size_t MediaBytes(size_t bytes) const;
+
+  // Table 1 presets.
+  static DeviceProfile Dram();
+  static DeviceProfile OptaneNvm();
+  static DeviceProfile OptaneSsd();
+};
+
+// Global control over simulated device latencies. The scale multiplies
+// every simulated delay: 1.0 reproduces Table 1, 0.0 disables delays
+// entirely (unit tests), and benchmarks use a reduced scale so runs finish
+// quickly while preserving the DRAM:NVM:SSD ratios.
+class LatencySimulator {
+ public:
+  static void SetScale(double scale);
+  static double scale();
+
+  // Busy-waits for `nanos * scale` nanoseconds.
+  static void Delay(uint64_t nanos);
+
+  // Delays below this threshold (post-scaling) are skipped: the spin-wait
+  // call itself costs ~50 ns, so modeling sub-50 ns DRAM accesses with a
+  // spin would distort rather than improve fidelity.
+  static constexpr uint64_t kMinModeledNanos = 60;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_STORAGE_PERF_MODEL_H_

@@ -1,0 +1,59 @@
+#include "storage/ssd_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace spitfire {
+
+SsdDevice::SsdDevice(uint64_t capacity, DeviceProfile profile)
+    : Device(std::move(profile), capacity) {
+  mem_ = std::make_unique<std::byte[]>(capacity);
+  std::memset(mem_.get(), 0, capacity);
+}
+
+SsdDevice::SsdDevice(const std::string& path, uint64_t capacity,
+                     DeviceProfile profile)
+    : Device(std::move(profile), capacity) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  SPITFIRE_CHECK(fd_ >= 0);
+  SPITFIRE_CHECK(::ftruncate(fd_, static_cast<off_t>(capacity)) == 0);
+}
+
+SsdDevice::~SsdDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SsdDevice::Read(uint64_t offset, void* dst, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  if (fd_ >= 0) {
+    ssize_t n = ::pread(fd_, dst, size, static_cast<off_t>(offset));
+    if (n != static_cast<ssize_t>(size)) return Status::IoError("pread");
+  } else {
+    std::memcpy(dst, mem_.get() + offset, size);
+  }
+  AccountRead(size, /*sequential=*/false);
+  return Status::OK();
+}
+
+Status SsdDevice::Write(uint64_t offset, const void* src, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  if (fd_ >= 0) {
+    ssize_t n = ::pwrite(fd_, src, size, static_cast<off_t>(offset));
+    if (n != static_cast<ssize_t>(size)) return Status::IoError("pwrite");
+  } else {
+    std::memcpy(mem_.get() + offset, src, size);
+  }
+  AccountWrite(size, /*sequential=*/false);
+  return Status::OK();
+}
+
+Status SsdDevice::Persist(uint64_t offset, size_t size) {
+  if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
+    return Status::IoError("fdatasync");
+  }
+  return Status::OK();
+}
+
+}  // namespace spitfire

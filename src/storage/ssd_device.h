@@ -1,0 +1,43 @@
+#ifndef SPITFIRE_STORAGE_SSD_DEVICE_H_
+#define SPITFIRE_STORAGE_SSD_DEVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/device.h"
+
+namespace spitfire {
+
+// Simulated block SSD. Two backings:
+//  - file-backed (pread/pwrite on a real file; default for examples and
+//    recovery tests), or
+//  - memory-backed (fast, for unit tests and latency-model benchmarks).
+// In both cases the Optane-SSD latency/bandwidth model is applied per
+// request, and requests are accounted at 16 KB media granularity.
+// Not byte-addressable: DirectPointer() returns nullptr, so the buffer
+// manager must always copy pages up the hierarchy — the defining contrast
+// with NVM in the paper.
+class SsdDevice : public Device {
+ public:
+  // Memory-backed.
+  explicit SsdDevice(uint64_t capacity,
+                     DeviceProfile profile = DeviceProfile::OptaneSsd());
+  // File-backed.
+  SsdDevice(const std::string& path, uint64_t capacity,
+            DeviceProfile profile = DeviceProfile::OptaneSsd());
+  ~SsdDevice() override;
+
+  Status Read(uint64_t offset, void* dst, size_t size) override;
+  Status Write(uint64_t offset, const void* src, size_t size) override;
+  Status Persist(uint64_t offset, size_t size) override;
+
+  bool file_backed() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<std::byte[]> mem_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_STORAGE_SSD_DEVICE_H_

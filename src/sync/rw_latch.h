@@ -1,0 +1,106 @@
+#ifndef SPITFIRE_SYNC_RW_LATCH_H_
+#define SPITFIRE_SYNC_RW_LATCH_H_
+
+#include <atomic>
+
+#include "common/macros.h"
+
+namespace spitfire {
+
+// Lightweight reader-writer spin latch. State encoding:
+//   -1           : held exclusively by one writer
+//    0           : free
+//    n > 0       : held in shared mode by n readers
+// Writers do not get priority; fairness is adequate for the short critical
+// sections (hash-table shards, table heaps) this is used for.
+class RwLatch {
+ public:
+  RwLatch() = default;
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(RwLatch);
+
+  void LockShared() {
+    for (;;) {
+      int32_t cur = state_.load(std::memory_order_relaxed);
+      if (cur >= 0 &&
+          state_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      __builtin_ia32_pause();
+    }
+  }
+
+  bool TryLockShared() {
+    int32_t cur = state_.load(std::memory_order_relaxed);
+    return cur >= 0 && state_.compare_exchange_strong(
+                           cur, cur + 1, std::memory_order_acquire,
+                           std::memory_order_relaxed);
+  }
+
+  void UnlockShared() {
+    int32_t prev = state_.fetch_sub(1, std::memory_order_release);
+    SPITFIRE_DCHECK(prev > 0);
+    (void)prev;
+  }
+
+  void LockExclusive() {
+    for (;;) {
+      int32_t expected = 0;
+      if (state_.compare_exchange_weak(expected, -1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      __builtin_ia32_pause();
+    }
+  }
+
+  bool TryLockExclusive() {
+    int32_t expected = 0;
+    return state_.compare_exchange_strong(expected, -1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void UnlockExclusive() {
+    SPITFIRE_DCHECK(state_.load(std::memory_order_relaxed) == -1);
+    state_.store(0, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<int32_t> state_{0};
+};
+
+// RAII guards.
+class SharedLatchGuard {
+ public:
+  explicit SharedLatchGuard(RwLatch& latch) : latch_(&latch) {
+    latch_->LockShared();
+  }
+  ~SharedLatchGuard() {
+    if (latch_ != nullptr) latch_->UnlockShared();
+  }
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(SharedLatchGuard);
+
+ private:
+  RwLatch* latch_;
+};
+
+class ExclusiveLatchGuard {
+ public:
+  explicit ExclusiveLatchGuard(RwLatch& latch) : latch_(&latch) {
+    latch_->LockExclusive();
+  }
+  ~ExclusiveLatchGuard() {
+    if (latch_ != nullptr) latch_->UnlockExclusive();
+  }
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(ExclusiveLatchGuard);
+
+ private:
+  RwLatch* latch_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_SYNC_RW_LATCH_H_

@@ -1,0 +1,60 @@
+#ifndef SPITFIRE_SYNC_SPIN_LATCH_H_
+#define SPITFIRE_SYNC_SPIN_LATCH_H_
+
+#include <atomic>
+
+#include "common/macros.h"
+
+namespace spitfire {
+
+// Test-and-test-and-set spin latch. Used for the per-tier latches in the
+// shared page descriptor (Section 5.2): critical sections are short page
+// migrations, so spinning beats blocking.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(SpinLatch);
+
+  void Lock() {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) {
+        __builtin_ia32_pause();
+      }
+    }
+  }
+
+  bool TryLock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool IsLocked() const { return locked_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(&latch) { latch_->Lock(); }
+  ~SpinLatchGuard() { Release(); }
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(SpinLatchGuard);
+
+  void Release() {
+    if (latch_ != nullptr) {
+      latch_->Unlock();
+      latch_ = nullptr;
+    }
+  }
+
+ private:
+  SpinLatch* latch_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_SYNC_SPIN_LATCH_H_

@@ -1,0 +1,39 @@
+#include "txn/mvto_manager.h"
+
+namespace spitfire {
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  const timestamp_t ts = next_ts_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    active_.insert(ts);
+  }
+  // Transaction ids and timestamps share the dispenser (MVTO assigns a
+  // single timestamp per transaction).
+  return std::make_unique<Transaction>(/*id=*/ts, /*ts=*/ts);
+}
+
+void TransactionManager::Finish(Transaction* txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = active_.find(txn->ts());
+  if (it != active_.end()) active_.erase(it);
+}
+
+timestamp_t TransactionManager::MinActiveTs() const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (active_.empty()) return next_ts_.load(std::memory_order_relaxed);
+  return *active_.begin();
+}
+
+void TransactionManager::AdvanceTo(timestamp_t ts) {
+  timestamp_t cur = next_ts_.load(std::memory_order_relaxed);
+  while (ts > cur && !next_ts_.compare_exchange_weak(cur, ts)) {
+  }
+}
+
+uint64_t TransactionManager::active_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return active_.size();
+}
+
+}  // namespace spitfire

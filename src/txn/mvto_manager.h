@@ -1,0 +1,53 @@
+#ifndef SPITFIRE_TXN_MVTO_MANAGER_H_
+#define SPITFIRE_TXN_MVTO_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "common/status.h"
+#include "txn/transaction.h"
+
+namespace spitfire {
+
+// Timestamp authority and active-transaction registry for the MVTO
+// protocol (Wu et al. [39]). Visibility/conflict rules are applied by the
+// versioned table heap (db/table.h); this class owns timestamps and the
+// garbage-collection watermark.
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(TransactionManager);
+
+  // Starts a transaction with a fresh timestamp.
+  std::unique_ptr<Transaction> Begin();
+
+  // Removes the transaction from the active set (after commit or abort
+  // processing completes).
+  void Finish(Transaction* txn);
+
+  // GC watermark: versions invisible to every timestamp >= MinActiveTs()
+  // can be unlinked, and unlinked slots can be recycled once the txns that
+  // might still traverse them have finished.
+  timestamp_t MinActiveTs() const;
+
+  timestamp_t LastAssignedTs() const {
+    return next_ts_.load(std::memory_order_relaxed) - 1;
+  }
+
+  // Restores the dispenser after recovery so new timestamps exceed any
+  // recovered ones.
+  void AdvanceTo(timestamp_t ts);
+
+  uint64_t active_count() const;
+
+ private:
+  std::atomic<timestamp_t> next_ts_{1};
+  mutable std::mutex mu_;
+  std::multiset<timestamp_t> active_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_TXN_MVTO_MANAGER_H_

@@ -1,0 +1,3 @@
+#include "txn/transaction.h"
+
+// Transaction is header-only; this file anchors the translation unit.

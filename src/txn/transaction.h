@@ -1,0 +1,57 @@
+#ifndef SPITFIRE_TXN_TRANSACTION_H_
+#define SPITFIRE_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/macros.h"
+
+namespace spitfire {
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+// Record id: (page_id << 16) | slot. Tables have < 2^48 pages and < 2^16
+// slots per page.
+using rid_t = uint64_t;
+inline constexpr rid_t kInvalidRid = UINT64_MAX;
+inline rid_t MakeRid(page_id_t pid, uint32_t slot) {
+  return (pid << 16) | slot;
+}
+inline page_id_t RidPage(rid_t rid) { return rid >> 16; }
+inline uint32_t RidSlot(rid_t rid) { return static_cast<uint32_t>(rid & 0xFFFF); }
+
+// A transaction under multi-version timestamp ordering (MVTO, [39]).
+// MVTO assigns one timestamp at begin; it doubles as the commit timestamp,
+// and all conflict checks compare against it.
+class Transaction {
+ public:
+  // One staged write, tracked for commit finalization / abort rollback.
+  struct WriteOp {
+    enum class Kind : uint8_t { kInsert, kUpdate, kDelete } kind;
+    uint32_t table_id;
+    uint64_t key;
+    rid_t new_rid;  // version installed by this txn
+    rid_t old_rid;  // previous head (kUpdate only)
+  };
+
+  Transaction(txn_id_t id, timestamp_t ts) : id_(id), ts_(ts) {}
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(Transaction);
+
+  txn_id_t id() const { return id_; }
+  timestamp_t ts() const { return ts_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  lsn_t last_lsn = kInvalidLsn;
+  std::vector<WriteOp> write_set;
+
+ private:
+  const txn_id_t id_;
+  const timestamp_t ts_;
+  TxnState state_ = TxnState::kActive;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_TXN_TRANSACTION_H_

@@ -1,0 +1,40 @@
+#include "wal/checkpointer.h"
+
+#include <chrono>
+
+namespace spitfire {
+
+void Checkpointer::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Checkpointer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+Status Checkpointer::RunOnce() {
+  // Flush dirty DRAM pages (NVM pages stay put: persistent), then drain
+  // staged log bytes if past the threshold.
+  SPITFIRE_RETURN_NOT_OK(bm_->FlushAll(/*include_nvm=*/false));
+  if (lm_ != nullptr) {
+    SPITFIRE_RETURN_NOT_OK(lm_->MaybeDrain());
+  }
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Checkpointer::Loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    (void)RunOnce();
+    for (uint64_t waited = 0;
+         waited < interval_ms_ && running_.load(std::memory_order_relaxed);
+         waited += 10) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+}  // namespace spitfire

@@ -1,0 +1,135 @@
+#include "wal/log_manager.h"
+
+#include <cstring>
+
+namespace spitfire {
+
+namespace {
+struct FileHeader {
+  uint32_t magic;
+  uint32_t pad;
+  uint64_t length;  // durable record bytes after kLogDataOffset
+};
+}  // namespace
+
+LogManager::LogManager(const Options& opts) : opts_(opts) {
+  SPITFIRE_CHECK(opts_.nvm != nullptr);
+  SPITFIRE_CHECK(opts_.log_ssd != nullptr);
+  staging_ = std::make_unique<NvmLogBuffer>(opts_.nvm, opts_.nvm_offset,
+                                            opts_.nvm_size);
+}
+
+Result<std::unique_ptr<LogManager>> LogManager::Create(const Options& opts) {
+  auto lm = std::unique_ptr<LogManager>(new LogManager(opts));
+  SPITFIRE_RETURN_NOT_OK(lm->staging_->Format(/*base_lsn=*/0));
+  lm->file_bytes_ = 0;
+  SPITFIRE_RETURN_NOT_OK(lm->WriteFileHeader());
+  return lm;
+}
+
+Result<std::unique_ptr<LogManager>> LogManager::Attach(const Options& opts) {
+  auto lm = std::unique_ptr<LogManager>(new LogManager(opts));
+  SPITFIRE_RETURN_NOT_OK(lm->ReadFileHeader(&lm->file_bytes_));
+  const Status staging_st = lm->staging_->Attach();
+  if (!staging_st.ok()) {
+    if (opts.nvm->profile().persistent) return staging_st;
+    // Volatile staging (DRAM-SSD hierarchy): its content is legitimately
+    // lost in a crash — commits forced a drain, so the SSD file is
+    // complete. Re-format the staging area to continue after the file.
+    SPITFIRE_RETURN_NOT_OK(lm->staging_->Format(lm->file_bytes_));
+  }
+  // Consistency: the staged region begins where the durable file ends
+  // (drains always run to completion before the header advances).
+  if (lm->staging_->base_lsn() < lm->file_bytes_) {
+    return Status::Corruption("log staging overlaps durable file");
+  }
+  return lm;
+}
+
+Status LogManager::WriteFileHeader() {
+  FileHeader h{kLogMagic, 0, file_bytes_};
+  SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Write(0, &h, sizeof(h)));
+  return opts_.log_ssd->Persist(0, sizeof(h));
+}
+
+Status LogManager::ReadFileHeader(uint64_t* len) {
+  FileHeader h{};
+  SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Read(0, &h, sizeof(h)));
+  if (h.magic != kLogMagic) return Status::Corruption("log file header");
+  *len = h.length;
+  return Status::OK();
+}
+
+Result<lsn_t> LogManager::Append(const LogRecord& record) {
+  std::vector<std::byte> buf;
+  buf.reserve(record.SerializedSize());
+  record.SerializeTo(&buf);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Result<lsn_t> r = staging_->Append(buf.data(), buf.size());
+    if (r.ok()) return r;
+    if (!r.status().IsOutOfMemory()) return r;
+    SPITFIRE_RETURN_NOT_OK(Drain());
+  }
+  return Status::OutOfMemory("log record larger than NVM buffer");
+}
+
+Status LogManager::Drain() {
+  std::lock_guard<std::mutex> g(drain_mu_);
+  std::vector<std::byte> bytes;
+  Result<lsn_t> first = staging_->Drain(&bytes);
+  SPITFIRE_RETURN_NOT_OK(first.status());
+  if (bytes.empty()) return Status::OK();
+  SPITFIRE_CHECK(first.value() == file_bytes_);
+  SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Write(
+      kLogDataOffset + file_bytes_, bytes.data(), bytes.size()));
+  SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Persist(kLogDataOffset + file_bytes_,
+                                                bytes.size()));
+  file_bytes_ += bytes.size();
+  return WriteFileHeader();
+}
+
+Status LogManager::MaybeDrain() {
+  if (staging_->StagedBytes() < opts_.drain_threshold) return Status::OK();
+  return Drain();
+}
+
+Result<std::vector<LogRecord>> LogManager::ReadAll() {
+  std::vector<std::byte> bytes;
+  {
+    std::lock_guard<std::mutex> g(drain_mu_);
+    bytes.resize(file_bytes_);
+    if (file_bytes_ > 0) {
+      SPITFIRE_RETURN_NOT_OK(
+          opts_.log_ssd->Read(kLogDataOffset, bytes.data(), file_bytes_));
+    }
+    std::vector<std::byte> staged;
+    Result<lsn_t> first = staging_->Drain(&staged);
+    SPITFIRE_RETURN_NOT_OK(first.status());
+    if (!staged.empty()) {
+      // Recovery appends the persistent staged tail to the file
+      // (Section 5.2: "the NVM log buffer needs to be appended to the log
+      // file since the buffer is persistent").
+      SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Write(
+          kLogDataOffset + file_bytes_, staged.data(), staged.size()));
+      SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Persist(
+          kLogDataOffset + file_bytes_, staged.size()));
+      file_bytes_ += staged.size();
+      SPITFIRE_RETURN_NOT_OK(WriteFileHeader());
+      bytes.insert(bytes.end(), staged.begin(), staged.end());
+    }
+  }
+  std::vector<LogRecord> records;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    size_t consumed = 0;
+    Result<LogRecord> r =
+        LogRecord::Deserialize(bytes.data() + pos, bytes.size() - pos,
+                               &consumed);
+    if (!r.ok()) return r.status();
+    records.push_back(r.MoveValue());
+    pos += consumed;
+  }
+  return records;
+}
+
+}  // namespace spitfire

@@ -1,0 +1,72 @@
+#ifndef SPITFIRE_WAL_LOG_MANAGER_H_
+#define SPITFIRE_WAL_LOG_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/ssd_device.h"
+#include "wal/log_record.h"
+#include "wal/nvm_log_buffer.h"
+
+namespace spitfire {
+
+// NVM-aware write-ahead logging (Section 5.2):
+//  - records are first persisted to a shared NVM log buffer; once a
+//    transaction's COMMIT record is in the buffer, it is durable;
+//  - when the staged volume passes `drain_threshold`, the buffer contents
+//    are appended to an on-SSD log file asynchronously (the checkpointer
+//    thread calls MaybeDrain).
+//
+// The SSD log device layout: page 0 holds {magic, durable length}; record
+// bytes start at kLogDataOffset.
+class LogManager {
+ public:
+  struct Options {
+    Device* nvm = nullptr;      // staging device (NVM, or DRAM when no NVM tier)
+    uint64_t nvm_offset = 0;    // staging region start
+    uint64_t nvm_size = 1 << 20;
+    Device* log_ssd = nullptr;  // SSD device holding the log file
+    uint64_t drain_threshold = 512 * 1024;  // bytes
+  };
+
+  static constexpr uint64_t kLogDataOffset = 4096;
+  static constexpr uint32_t kLogMagic = 0x57414C46;  // "WALF"
+
+  // Creates a fresh log (formats both the NVM buffer and the SSD file).
+  static Result<std::unique_ptr<LogManager>> Create(const Options& opts);
+  // Re-attaches after a restart; surviving staged records remain readable.
+  static Result<std::unique_ptr<LogManager>> Attach(const Options& opts);
+
+  // Appends a record to the NVM log buffer; returns its LSN. Drains to SSD
+  // first if the buffer cannot hold the record.
+  Result<lsn_t> Append(const LogRecord& record);
+
+  // Appends the staged NVM bytes to the SSD log file.
+  Status Drain();
+  // Drains only if the staged volume passed the threshold.
+  Status MaybeDrain();
+
+  // Reads the entire log (SSD file followed by the staged NVM tail) into
+  // records, in LSN order. Used by recovery.
+  Result<std::vector<LogRecord>> ReadAll();
+
+  lsn_t next_lsn() const { return staging_->next_lsn(); }
+  uint64_t durable_file_bytes() const { return file_bytes_; }
+  uint64_t staged_bytes() const { return staging_->StagedBytes(); }
+
+ private:
+  explicit LogManager(const Options& opts);
+
+  Status WriteFileHeader();
+  Status ReadFileHeader(uint64_t* len);
+
+  Options opts_;
+  std::unique_ptr<NvmLogBuffer> staging_;
+  std::mutex drain_mu_;
+  uint64_t file_bytes_ = 0;  // durable bytes in the SSD log file
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_WAL_LOG_MANAGER_H_

@@ -1,0 +1,78 @@
+#include "workload/driver.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace spitfire {
+
+std::string DriverResult::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%.0f txn/s (committed=%llu aborted=%llu over %.2fs)",
+                Throughput(), static_cast<unsigned long long>(committed),
+                static_cast<unsigned long long>(aborted), seconds);
+  return buf;
+}
+
+DriverResult WorkloadDriver::Run(int num_threads, double seconds,
+                                 const TxnFn& txn_fn, double warmup_seconds) {
+  struct WorkerStats {
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    Histogram latency;
+  };
+  std::vector<WorkerStats> stats(static_cast<size_t>(num_threads));
+  std::atomic<int> phase{0};  // 0 = warmup, 1 = measure, 2 = stop
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(0x5EED0000ULL + static_cast<uint64_t>(t) * 7919);
+      WorkerStats& my = stats[static_cast<size_t>(t)];
+      while (phase.load(std::memory_order_acquire) == 0) {
+        (void)txn_fn(rng);
+      }
+      while (phase.load(std::memory_order_acquire) == 1) {
+        Timer txn_timer;
+        const Status st = txn_fn(rng);
+        my.latency.Add(txn_timer.ElapsedNanos());
+        if (st.ok()) {
+          ++my.committed;
+        } else if (st.IsAborted() || st.IsBusy()) {
+          ++my.aborted;
+        } else {
+          std::fprintf(stderr, "driver: txn failed: %s\n",
+                       st.ToString().c_str());
+          ++my.aborted;
+        }
+      }
+    });
+  }
+
+  if (warmup_seconds > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(warmup_seconds));
+  }
+  Timer run_timer;
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  phase.store(2, std::memory_order_release);
+  const double elapsed = run_timer.ElapsedSeconds();
+  for (auto& w : workers) w.join();
+
+  DriverResult result;
+  result.seconds = elapsed;
+  for (const auto& s : stats) {
+    result.committed += s.committed;
+    result.aborted += s.aborted;
+    result.latency_ns.Merge(s.latency);
+  }
+  return result;
+}
+
+}  // namespace spitfire

@@ -1,0 +1,48 @@
+#ifndef SPITFIRE_WORKLOAD_DRIVER_H_
+#define SPITFIRE_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace spitfire {
+
+// Result of one timed workload run.
+struct DriverResult {
+  double seconds = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  Histogram latency_ns;
+
+  // Committed transactions per second.
+  double Throughput() const {
+    return seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;
+  }
+  double AbortRate() const {
+    const double total = static_cast<double>(committed + aborted);
+    return total > 0 ? static_cast<double>(aborted) / total : 0.0;
+  }
+  std::string ToString() const;
+};
+
+// Multi-threaded closed-loop workload driver: each worker repeatedly calls
+// `txn_fn` (one transaction per call) until the wall-clock duration ends.
+// `txn_fn` returns OK for commit and Aborted for a rolled-back conflict;
+// any other error stops the run.
+class WorkloadDriver {
+ public:
+  using TxnFn = std::function<Status(Xoshiro256&)>;
+
+  // Runs `txn_fn` on `num_threads` workers for `seconds`, after running it
+  // for `warmup_seconds` without recording.
+  static DriverResult Run(int num_threads, double seconds, const TxnFn& txn_fn,
+                          double warmup_seconds = 0.0);
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_WORKLOAD_DRIVER_H_

@@ -1,0 +1,428 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace spitfire {
+
+namespace {
+void FillString(Xoshiro256& rng, char* dst, size_t n) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = kAlpha[rng.NextUint64(sizeof(kAlpha) - 1)];
+  }
+}
+
+// Aborts the transaction and maps every failure to Aborted so drivers can
+// count conflicts uniformly.
+Status FailTxn(Database* db, Transaction* txn, const Status& st) {
+  (void)db->Abort(txn);
+  return st.IsAborted() ? st : Status::Aborted(st.ToString());
+}
+}  // namespace
+
+TpccWorkload::TpccWorkload(Database* db, const TpccConfig& config)
+    : db_(db), config_(config) {}
+
+// ---------------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------------
+
+Status TpccWorkload::Load() {
+  struct Spec {
+    TableId id;
+    size_t size;
+  };
+  const Spec specs[] = {
+      {kWarehouse, sizeof(WarehouseTuple)},
+      {kDistrict, sizeof(DistrictTuple)},
+      {kCustomer, sizeof(CustomerTuple)},
+      {kHistory, sizeof(HistoryTuple)},
+      {kNewOrder, sizeof(NewOrderTuple)},
+      {kOrder, sizeof(OrderTuple)},
+      {kOrderLine, sizeof(OrderLineTuple)},
+      {kItem, sizeof(ItemTuple)},
+      {kStock, sizeof(StockTuple)},
+  };
+  for (const Spec& s : specs) {
+    SPITFIRE_RETURN_NOT_OK(db_->CreateTable(s.id, s.size).status());
+  }
+
+  Xoshiro256 rng(0x79CC);
+
+  // Items (shared across warehouses).
+  {
+    auto txn = db_->Begin();
+    for (uint32_t i = 1; i <= config_.num_items; ++i) {
+      ItemTuple item{};
+      item.im_id = static_cast<uint32_t>(rng.NextUint64(10'000)) + 1;
+      item.price = 1.0 + static_cast<double>(rng.NextUint64(9'900)) / 100.0;
+      FillString(rng, item.name, sizeof(item.name));
+      FillString(rng, item.data, sizeof(item.data));
+      SPITFIRE_RETURN_NOT_OK(
+          table(kItem)->Insert(txn.get(), ItemKey(i), &item));
+      if (i % 1024 == 0) {
+        SPITFIRE_RETURN_NOT_OK(db_->Commit(txn.get()));
+        txn = db_->Begin();
+      }
+    }
+    SPITFIRE_RETURN_NOT_OK(db_->Commit(txn.get()));
+  }
+
+  for (uint32_t w = 1; w <= config_.num_warehouses; ++w) {
+    auto txn = db_->Begin();
+    WarehouseTuple wt{};
+    wt.ytd = 300'000.0;
+    wt.tax = static_cast<double>(rng.NextUint64(2'000)) / 10'000.0;
+    FillString(rng, wt.name, sizeof(wt.name));
+    FillString(rng, wt.city, sizeof(wt.city));
+    SPITFIRE_RETURN_NOT_OK(
+        table(kWarehouse)->Insert(txn.get(), WarehouseKey(w), &wt));
+
+    for (uint32_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      DistrictTuple dt{};
+      dt.ytd = 30'000.0;
+      dt.tax = static_cast<double>(rng.NextUint64(2'000)) / 10'000.0;
+      dt.next_o_id = 1;
+      FillString(rng, dt.name, sizeof(dt.name));
+      SPITFIRE_RETURN_NOT_OK(
+          table(kDistrict)->Insert(txn.get(), DistrictKey(w, d), &dt));
+
+      for (uint32_t c = 1; c <= config_.customers_per_district; ++c) {
+        CustomerTuple ct{};
+        ct.balance = -10.0;
+        ct.ytd_payment = 10.0;
+        ct.discount = static_cast<double>(rng.NextUint64(5'000)) / 10'000.0;
+        ct.credit_lim = 50'000.0;
+        FillString(rng, ct.first, sizeof(ct.first));
+        FillString(rng, ct.last, sizeof(ct.last));
+        ct.credit[0] = rng.Bernoulli(0.1) ? 'B' : 'G';
+        ct.credit[1] = 'C';
+        FillString(rng, ct.data, 64);  // partial, like a short history
+        SPITFIRE_RETURN_NOT_OK(table(kCustomer)->Insert(
+            txn.get(), CustomerKey(w, d, c), &ct));
+      }
+      // Commit per district to bound transaction size.
+      SPITFIRE_RETURN_NOT_OK(db_->Commit(txn.get()));
+      txn = db_->Begin();
+    }
+
+    for (uint32_t i = 1; i <= config_.num_items; ++i) {
+      StockTuple st{};
+      st.quantity = 10 + static_cast<uint32_t>(rng.NextUint64(91));
+      FillString(rng, st.data, sizeof(st.data));
+      SPITFIRE_RETURN_NOT_OK(
+          table(kStock)->Insert(txn.get(), StockKey(w, i), &st));
+      if (i % 1024 == 0) {
+        SPITFIRE_RETURN_NOT_OK(db_->Commit(txn.get()));
+        txn = db_->Begin();
+      }
+    }
+    SPITFIRE_RETURN_NOT_OK(db_->Commit(txn.get()));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Mix
+// ---------------------------------------------------------------------------
+
+Status TpccWorkload::RunTransaction(Xoshiro256& rng) {
+  const uint32_t pick = static_cast<uint32_t>(rng.NextUint64(100));
+  uint32_t acc = config_.pct_new_order;
+  if (pick < acc) return NewOrder(rng);
+  acc += config_.pct_payment;
+  if (pick < acc) return Payment(rng);
+  acc += config_.pct_order_status;
+  if (pick < acc) return OrderStatus(rng);
+  acc += config_.pct_delivery;
+  if (pick < acc) return Delivery(rng);
+  return StockLevel(rng);
+}
+
+// ---------------------------------------------------------------------------
+// NEW-ORDER: place an order of 5-15 lines; updates district.next_o_id and
+// stock quantities, inserts ORDER / NEW-ORDER / ORDER-LINE rows.
+// ---------------------------------------------------------------------------
+
+Status TpccWorkload::NewOrder(Xoshiro256& rng) {
+  const uint32_t w = RandomWarehouse(rng);
+  const uint32_t d =
+      1 + static_cast<uint32_t>(rng.NextUint64(config_.districts_per_warehouse));
+  const uint32_t c =
+      1 + static_cast<uint32_t>(rng.NextUint64(config_.customers_per_district));
+  const uint32_t ol_cnt = 5 + static_cast<uint32_t>(rng.NextUint64(11));
+
+  auto txn = db_->Begin();
+
+  WarehouseTuple wt{};
+  Status st = table(kWarehouse)->Read(txn.get(), WarehouseKey(w), &wt);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  DistrictTuple dt{};
+  st = table(kDistrict)->Read(txn.get(), DistrictKey(w, d), &dt);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+  const uint32_t o_id = dt.next_o_id;
+  dt.next_o_id++;
+  st = table(kDistrict)->Update(txn.get(), DistrictKey(w, d), &dt);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  CustomerTuple ct{};
+  st = table(kCustomer)->Read(txn.get(), CustomerKey(w, d, c), &ct);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  double total = 0.0;
+  for (uint32_t line = 1; line <= ol_cnt; ++line) {
+    const uint32_t i_id =
+        1 + static_cast<uint32_t>(rng.NextUint64(config_.num_items));
+    ItemTuple item{};
+    st = table(kItem)->Read(txn.get(), ItemKey(i_id), &item);
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+    StockTuple stock{};
+    st = table(kStock)->Read(txn.get(), StockKey(w, i_id), &stock);
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+    const uint32_t qty = 1 + static_cast<uint32_t>(rng.NextUint64(10));
+    stock.quantity = stock.quantity >= qty + 10 ? stock.quantity - qty
+                                                : stock.quantity + 91 - qty;
+    stock.ytd += qty;
+    stock.order_cnt++;
+    st = table(kStock)->Update(txn.get(), StockKey(w, i_id), &stock);
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+    OrderLineTuple ol{};
+    ol.i_id = i_id;
+    ol.supply_w_id = w;
+    ol.quantity = qty;
+    ol.amount = qty * item.price;
+    std::memcpy(ol.dist_info, stock.dist[d - 1], sizeof(ol.dist_info));
+    st = table(kOrderLine)
+             ->Insert(txn.get(), OrderLineKey(w, d, o_id, line), &ol);
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+    total += ol.amount;
+  }
+  (void)total;
+
+  OrderTuple ot{};
+  ot.c_id = c;
+  ot.carrier_id = 0;
+  ot.ol_cnt = ol_cnt;
+  ot.all_local = 1;
+  ot.entry_d = rng.Next();
+  st = table(kOrder)->Insert(txn.get(), OrderKey(w, d, o_id), &ot);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  NewOrderTuple no{};
+  st = table(kNewOrder)->Insert(txn.get(), OrderKey(w, d, o_id), &no);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  return db_->Commit(txn.get());
+}
+
+// ---------------------------------------------------------------------------
+// PAYMENT: updates warehouse/district YTD and the customer balance,
+// inserts a HISTORY row.
+// ---------------------------------------------------------------------------
+
+Status TpccWorkload::Payment(Xoshiro256& rng) {
+  const uint32_t w = RandomWarehouse(rng);
+  const uint32_t d =
+      1 + static_cast<uint32_t>(rng.NextUint64(config_.districts_per_warehouse));
+  const uint32_t c =
+      1 + static_cast<uint32_t>(rng.NextUint64(config_.customers_per_district));
+  const double amount =
+      1.0 + static_cast<double>(rng.NextUint64(499'900)) / 100.0;
+
+  auto txn = db_->Begin();
+
+  WarehouseTuple wt{};
+  Status st = table(kWarehouse)->Read(txn.get(), WarehouseKey(w), &wt);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+  wt.ytd += amount;
+  st = table(kWarehouse)->Update(txn.get(), WarehouseKey(w), &wt);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  DistrictTuple dt{};
+  st = table(kDistrict)->Read(txn.get(), DistrictKey(w, d), &dt);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+  dt.ytd += amount;
+  st = table(kDistrict)->Update(txn.get(), DistrictKey(w, d), &dt);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  CustomerTuple ct{};
+  st = table(kCustomer)->Read(txn.get(), CustomerKey(w, d, c), &ct);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+  ct.balance -= amount;
+  ct.ytd_payment += amount;
+  ct.payment_cnt++;
+  st = table(kCustomer)->Update(txn.get(), CustomerKey(w, d, c), &ct);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  HistoryTuple ht{};
+  ht.c_id = c;
+  ht.c_d_id = d;
+  ht.c_w_id = w;
+  ht.d_id = d;
+  ht.w_id = w;
+  ht.amount = amount;
+  FillString(rng, ht.data, sizeof(ht.data));
+  const uint64_t hkey = history_seq_.fetch_add(1, std::memory_order_relaxed) |
+                        (static_cast<uint64_t>(w) << 40);
+  st = table(kHistory)->Insert(txn.get(), hkey, &ht);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  return db_->Commit(txn.get());
+}
+
+// ---------------------------------------------------------------------------
+// ORDER-STATUS: reads a customer's most recent order and its lines.
+// ---------------------------------------------------------------------------
+
+Status TpccWorkload::OrderStatus(Xoshiro256& rng) {
+  const uint32_t w = RandomWarehouse(rng);
+  const uint32_t d =
+      1 + static_cast<uint32_t>(rng.NextUint64(config_.districts_per_warehouse));
+  const uint32_t c =
+      1 + static_cast<uint32_t>(rng.NextUint64(config_.customers_per_district));
+
+  auto txn = db_->Begin();
+
+  CustomerTuple ct{};
+  Status st = table(kCustomer)->Read(txn.get(), CustomerKey(w, d, c), &ct);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  // Find the customer's latest order by scanning the district's order
+  // range backwards (keys are ordered by o_id).
+  DistrictTuple dt{};
+  st = table(kDistrict)->Read(txn.get(), DistrictKey(w, d), &dt);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  uint32_t found_o = 0;
+  OrderTuple ot{};
+  for (uint32_t o = dt.next_o_id; o > 0 && found_o == 0; --o) {
+    OrderTuple cur{};
+    st = table(kOrder)->Read(txn.get(), OrderKey(w, d, o), &cur);
+    if (st.IsNotFound()) continue;
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+    if (cur.c_id == c) {
+      found_o = o;
+      ot = cur;
+    }
+    // Bound the backwards walk (spec uses a secondary index; we cap it).
+    if (dt.next_o_id - o > 64) break;
+  }
+  if (found_o != 0) {
+    OrderLineTuple ol{};
+    for (uint32_t line = 1; line <= ot.ol_cnt; ++line) {
+      st = table(kOrderLine)
+               ->Read(txn.get(), OrderLineKey(w, d, found_o, line), &ol);
+      if (!st.ok() && !st.IsNotFound()) return FailTxn(db_, txn.get(), st);
+    }
+  }
+  return db_->Commit(txn.get());
+}
+
+// ---------------------------------------------------------------------------
+// DELIVERY: for each district, deliver the oldest undelivered order:
+// mark its NEW-ORDER row delivered, set the carrier, stamp order lines,
+// and credit the customer.
+// ---------------------------------------------------------------------------
+
+Status TpccWorkload::Delivery(Xoshiro256& rng) {
+  const uint32_t w = RandomWarehouse(rng);
+  const uint32_t carrier = 1 + static_cast<uint32_t>(rng.NextUint64(10));
+
+  auto txn = db_->Begin();
+  for (uint32_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+    // Oldest pending order in this district.
+    uint32_t o_id = 0;
+    Status scan_st = table(kNewOrder)
+        ->Scan(txn.get(), OrderKey(w, d, 0), OrderKey(w, d, 0x0FFFFFFF),
+               [&](uint64_t key, const void*) {
+                 // Rows are deleted on delivery, so the first row in key
+                 // order is the oldest pending order.
+                 o_id = static_cast<uint32_t>(key & 0x0FFFFFFF);
+                 return false;
+               });
+    if (!scan_st.ok()) return FailTxn(db_, txn.get(), scan_st);
+    if (o_id == 0) continue;  // nothing pending in this district
+
+    // The specification deletes the NEW-ORDER row once delivered.
+    Status st = table(kNewOrder)->Delete(txn.get(), OrderKey(w, d, o_id));
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+    OrderTuple ot{};
+    st = table(kOrder)->Read(txn.get(), OrderKey(w, d, o_id), &ot);
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+    ot.carrier_id = carrier;
+    st = table(kOrder)->Update(txn.get(), OrderKey(w, d, o_id), &ot);
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+    double total = 0.0;
+    for (uint32_t line = 1; line <= ot.ol_cnt; ++line) {
+      OrderLineTuple ol{};
+      st = table(kOrderLine)
+               ->Read(txn.get(), OrderLineKey(w, d, o_id, line), &ol);
+      if (st.IsNotFound()) continue;
+      if (!st.ok()) return FailTxn(db_, txn.get(), st);
+      ol.delivery_d = rng.Next();
+      total += ol.amount;
+      st = table(kOrderLine)
+               ->Update(txn.get(), OrderLineKey(w, d, o_id, line), &ol);
+      if (!st.ok()) return FailTxn(db_, txn.get(), st);
+    }
+
+    CustomerTuple ct{};
+    st = table(kCustomer)->Read(txn.get(), CustomerKey(w, d, ot.c_id), &ct);
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+    ct.balance += total;
+    ct.delivery_cnt++;
+    st = table(kCustomer)->Update(txn.get(), CustomerKey(w, d, ot.c_id), &ct);
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+  }
+  return db_->Commit(txn.get());
+}
+
+// ---------------------------------------------------------------------------
+// STOCK-LEVEL: count stock entries below a threshold among the last 20
+// orders' lines of one district (read-only).
+// ---------------------------------------------------------------------------
+
+Status TpccWorkload::StockLevel(Xoshiro256& rng) {
+  const uint32_t w = RandomWarehouse(rng);
+  const uint32_t d =
+      1 + static_cast<uint32_t>(rng.NextUint64(config_.districts_per_warehouse));
+  const uint32_t threshold = 10 + static_cast<uint32_t>(rng.NextUint64(11));
+
+  auto txn = db_->Begin();
+  DistrictTuple dt{};
+  Status st = table(kDistrict)->Read(txn.get(), DistrictKey(w, d), &dt);
+  if (!st.ok()) return FailTxn(db_, txn.get(), st);
+
+  const uint32_t last = dt.next_o_id > 0 ? dt.next_o_id - 1 : 0;
+  const uint32_t first = last > 20 ? last - 20 + 1 : 1;
+  uint32_t low_stock = 0;
+  for (uint32_t o = first; o <= last; ++o) {
+    OrderTuple ot{};
+    st = table(kOrder)->Read(txn.get(), OrderKey(w, d, o), &ot);
+    if (st.IsNotFound()) continue;
+    if (!st.ok()) return FailTxn(db_, txn.get(), st);
+    for (uint32_t line = 1; line <= ot.ol_cnt; ++line) {
+      OrderLineTuple ol{};
+      st = table(kOrderLine)
+               ->Read(txn.get(), OrderLineKey(w, d, o, line), &ol);
+      if (st.IsNotFound()) continue;
+      if (!st.ok()) return FailTxn(db_, txn.get(), st);
+      StockTuple stock{};
+      st = table(kStock)->Read(txn.get(), StockKey(w, ol.i_id), &stock);
+      if (st.IsNotFound()) continue;
+      if (!st.ok()) return FailTxn(db_, txn.get(), st);
+      if (stock.quantity < threshold) ++low_stock;
+    }
+  }
+  (void)low_stock;
+  return db_->Commit(txn.get());
+}
+
+}  // namespace spitfire

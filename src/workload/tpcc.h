@@ -1,0 +1,183 @@
+#ifndef SPITFIRE_WORKLOAD_TPCC_H_
+#define SPITFIRE_WORKLOAD_TPCC_H_
+
+#include <atomic>
+
+#include "common/random.h"
+#include "db/database.h"
+
+namespace spitfire {
+
+// TPC-C [35], the order-entry benchmark the paper uses as its mixed
+// workload (Section 6.1): five transaction types over a warehouse-centric
+// schema; 88% of the mix modifies the database.
+//
+// The schema is scaled relative to the specification, in line with the
+// paper's MB-for-GB scaling: fewer items/customers by default (all
+// configurable).
+struct TpccConfig {
+  uint32_t num_warehouses = 2;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 300;
+  uint32_t num_items = 2'000;
+
+  // Standard mix percentages.
+  uint32_t pct_new_order = 45;
+  uint32_t pct_payment = 43;
+  uint32_t pct_order_status = 4;
+  uint32_t pct_delivery = 4;
+  uint32_t pct_stock_level = 4;
+};
+
+class TpccWorkload {
+ public:
+  // Table ids.
+  enum TableId : uint32_t {
+    kWarehouse = 10,
+    kDistrict = 11,
+    kCustomer = 12,
+    kHistory = 13,
+    kNewOrder = 14,
+    kOrder = 15,
+    kOrderLine = 16,
+    kItem = 17,
+    kStock = 18,
+  };
+
+  // Fixed-size tuple layouts (sizes chosen to match TPC-C field widths).
+  struct WarehouseTuple {
+    double ytd;
+    double tax;
+    char name[10];
+    char street[40];
+    char city[20];
+    char state[2];
+    char zip[9];
+    char pad[7];
+  };
+  struct DistrictTuple {
+    double ytd;
+    double tax;
+    uint32_t next_o_id;
+    char name[10];
+    char street[40];
+    char city[20];
+    char state[2];
+    char zip[9];
+    char pad[3];
+  };
+  struct CustomerTuple {
+    double balance;
+    double ytd_payment;
+    double discount;
+    double credit_lim;
+    uint32_t payment_cnt;
+    uint32_t delivery_cnt;
+    char first[16];
+    char middle[2];
+    char last[16];
+    char credit[2];
+    char data[500];
+  };
+  struct HistoryTuple {
+    uint32_t c_id;
+    uint32_t c_d_id;
+    uint32_t c_w_id;
+    uint32_t d_id;
+    uint32_t w_id;
+    uint32_t pad;
+    double amount;
+    char data[24];
+  };
+  struct NewOrderTuple {
+    uint32_t delivered;  // always 0 while the row exists (deleted on delivery)
+    uint32_t pad;
+  };
+  struct OrderTuple {
+    uint32_t c_id;
+    uint32_t carrier_id;  // 0 = unassigned
+    uint32_t ol_cnt;
+    uint32_t all_local;
+    uint64_t entry_d;
+  };
+  struct OrderLineTuple {
+    uint32_t i_id;
+    uint32_t supply_w_id;
+    uint32_t quantity;
+    uint32_t pad;
+    double amount;
+    uint64_t delivery_d;
+    char dist_info[24];
+  };
+  struct ItemTuple {
+    uint32_t im_id;
+    uint32_t pad;
+    double price;
+    char name[24];
+    char data[50];
+    char pad2[6];
+  };
+  struct StockTuple {
+    uint32_t quantity;
+    uint32_t ytd;
+    uint32_t order_cnt;
+    uint32_t remote_cnt;
+    char dist[10][24];
+    char data[50];
+    char pad[6];
+  };
+
+  // --- key encodings (packed into 64 bits) ---
+  static uint64_t WarehouseKey(uint32_t w) { return w; }
+  static uint64_t DistrictKey(uint32_t w, uint32_t d) {
+    return (static_cast<uint64_t>(w) << 8) | d;
+  }
+  static uint64_t CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+    return (static_cast<uint64_t>(w) << 28) |
+           (static_cast<uint64_t>(d) << 20) | c;
+  }
+  static uint64_t OrderKey(uint32_t w, uint32_t d, uint32_t o) {
+    return (static_cast<uint64_t>(w) << 36) |
+           (static_cast<uint64_t>(d) << 28) | o;
+  }
+  static uint64_t OrderLineKey(uint32_t w, uint32_t d, uint32_t o,
+                               uint32_t line) {
+    return (OrderKey(w, d, o) << 4) | line;
+  }
+  static uint64_t ItemKey(uint32_t i) { return i; }
+  static uint64_t StockKey(uint32_t w, uint32_t i) {
+    return (static_cast<uint64_t>(w) << 24) | i;
+  }
+
+  TpccWorkload(Database* db, const TpccConfig& config);
+
+  // Creates all nine tables and loads warehouses, districts, customers,
+  // items, and stock.
+  Status Load();
+
+  // Executes one transaction drawn from the standard mix.
+  Status RunTransaction(Xoshiro256& rng);
+
+  // Individual transactions (public for targeted tests).
+  Status NewOrder(Xoshiro256& rng);
+  Status Payment(Xoshiro256& rng);
+  Status OrderStatus(Xoshiro256& rng);
+  Status Delivery(Xoshiro256& rng);
+  Status StockLevel(Xoshiro256& rng);
+
+  const TpccConfig& config() const { return config_; }
+
+ private:
+  Table* table(TableId id) { return db_->GetTable(id); }
+  uint32_t RandomWarehouse(Xoshiro256& rng) {
+    return 1 + static_cast<uint32_t>(rng.NextUint64(config_.num_warehouses));
+  }
+
+  Database* db_;
+  TpccConfig config_;
+  std::atomic<uint64_t> history_seq_{0};
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_WORKLOAD_TPCC_H_

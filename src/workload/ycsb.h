@@ -1,0 +1,66 @@
+#ifndef SPITFIRE_WORKLOAD_YCSB_H_
+#define SPITFIRE_WORKLOAD_YCSB_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "db/database.h"
+
+namespace spitfire {
+
+// YCSB (Cooper et al. [6]) as configured in Section 6.1: one table of
+// tuples with a 4 B key and ten 100 B string columns (~1 KB per tuple),
+// keys drawn from a scrambled zipfian distribution, and two transaction
+// types (point read, point update). The three mixtures are:
+//   YCSB-RO  100% reads
+//   YCSB-BA   50% reads, 50% updates
+//   YCSB-WH   10% reads, 90% updates
+struct YcsbConfig {
+  uint64_t num_tuples = 100'000;
+  double zipf_theta = 0.3;
+  double read_ratio = 1.0;
+  uint32_t table_id = 1;
+
+  static YcsbConfig ReadOnly(uint64_t n = 100'000) {
+    return {n, 0.3, 1.0, 1};
+  }
+  static YcsbConfig Balanced(uint64_t n = 100'000) { return {n, 0.3, 0.5, 1}; }
+  static YcsbConfig WriteHeavy(uint64_t n = 100'000) {
+    return {n, 0.3, 0.1, 1};
+  }
+};
+
+class YcsbWorkload {
+ public:
+  static constexpr size_t kColumns = 10;
+  static constexpr size_t kColumnSize = 100;
+  static constexpr size_t kTupleSize = kColumns * kColumnSize;
+
+  YcsbWorkload(Database* db, const YcsbConfig& config);
+
+  // Creates the table and bulk-loads num_tuples records.
+  Status Load();
+
+  // Executes one YCSB transaction with this thread's RNG. Returns OK on
+  // commit, Aborted on an MVTO conflict (the transaction is rolled back).
+  Status RunTransaction(Xoshiro256& rng);
+
+  // Touches every tuple once (used to warm the buffer pool).
+  Status WarmUp();
+
+  const YcsbConfig& config() const { return config_; }
+  Table* table() { return table_; }
+
+ private:
+  uint64_t NextKey(Xoshiro256& rng) { return zipf_.Next(rng); }
+  static void FillTuple(Xoshiro256& rng, std::byte* out);
+
+  Database* db_;
+  YcsbConfig config_;
+  Table* table_ = nullptr;
+  ScrambledZipfianGenerator zipf_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_WORKLOAD_YCSB_H_

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "adaptive/annealing_tuner.h"
+#include "adaptive/grid_search.h"
+
+namespace spitfire {
+namespace {
+
+// A synthetic performance model: throughput peaks at the lazy policy, as
+// the paper measures for capacity-constrained hierarchies.
+double SyntheticThroughput(const MigrationPolicy& p) {
+  auto closeness = [](double v, double target) {
+    return 1.0 / (1.0 + 20.0 * std::abs(v - target));
+  };
+  return 100'000.0 * (0.2 + 0.8 * (closeness(p.dr, 0.01) * closeness(p.dw, 0.01) *
+                                   closeness(p.nr, 0.2) * closeness(p.nw, 1.0)));
+}
+
+TEST(AnnealingTunerTest, StartsAtInitialPolicy) {
+  AnnealingOptions opts;
+  AnnealingTuner tuner(opts, MigrationPolicy::Eager());
+  EXPECT_DOUBLE_EQ(tuner.current().dr, 1.0);
+  EXPECT_EQ(tuner.epochs(), 0u);
+}
+
+TEST(AnnealingTunerTest, NeighborsStayOnLattice) {
+  AnnealingOptions opts;
+  AnnealingTuner tuner(opts, MigrationPolicy::Eager());
+  for (int i = 0; i < 200; ++i) {
+    const MigrationPolicy p = tuner.OnEpochComplete(1000.0);
+    for (double v : {p.dr, p.dw, p.nr, p.nw}) {
+      bool on_lattice = false;
+      for (double l : opts.lattice) {
+        if (v == l) on_lattice = true;
+      }
+      EXPECT_TRUE(on_lattice) << v;
+    }
+  }
+}
+
+TEST(AnnealingTunerTest, TemperatureCools) {
+  AnnealingOptions opts;
+  AnnealingTuner tuner(opts, MigrationPolicy::Eager());
+  const double t0 = tuner.temperature();
+  for (int i = 0; i < 50; ++i) tuner.OnEpochComplete(1000.0);
+  EXPECT_LT(tuner.temperature(), t0);
+}
+
+TEST(AnnealingTunerTest, TracksBestObservedPolicy) {
+  AnnealingOptions opts;
+  AnnealingTuner tuner(opts, MigrationPolicy::Eager());
+  for (int i = 0; i < 100; ++i) {
+    tuner.OnEpochComplete(SyntheticThroughput(tuner.current()));
+  }
+  EXPECT_GE(tuner.best_throughput(),
+            SyntheticThroughput(MigrationPolicy::Eager()));
+}
+
+TEST(AnnealingTunerTest, ConvergesNearOptimumOnSyntheticModel) {
+  // The paper's claim (Section 6.4): starting from the eager policy, the
+  // tuner converges to a near-optimal (lazy) policy without manual tuning.
+  AnnealingOptions opts;
+  opts.initial_temperature = 10.0;
+  opts.cooling_rate = 0.85;
+  AnnealingTuner tuner(opts, MigrationPolicy::Eager());
+  for (int epoch = 0; epoch < 120; ++epoch) {
+    tuner.OnEpochComplete(SyntheticThroughput(tuner.current()));
+  }
+  const double best = tuner.best_throughput();
+  const double optimal = SyntheticThroughput(MigrationPolicy{0.01, 0.01, 0.1, 1.0});
+  EXPECT_GT(best, 0.6 * optimal);
+  // And far better than the eager starting point.
+  EXPECT_GT(best, 1.5 * SyntheticThroughput(MigrationPolicy::Eager()));
+}
+
+TEST(AnnealingTunerTest, AfterConvergenceSticksToBest) {
+  AnnealingOptions opts;
+  opts.initial_temperature = 1.0;
+  opts.min_temperature = 0.9;  // converge immediately
+  AnnealingTuner tuner(opts, MigrationPolicy::Eager());
+  tuner.OnEpochComplete(100.0);
+  ASSERT_TRUE(tuner.converged());
+  const MigrationPolicy p1 = tuner.OnEpochComplete(100.0);
+  const MigrationPolicy p2 = tuner.OnEpochComplete(100.0);
+  EXPECT_DOUBLE_EQ(p1.dr, p2.dr);
+  EXPECT_DOUBLE_EQ(p1.nr, p2.nr);
+}
+
+TEST(GridSearchTest, CostUsesTable1Prices) {
+  StorageConfig c;
+  c.dram_bytes = 4ull << 30;   // 4 GB * $10
+  c.nvm_bytes = 80ull << 30;   // 80 GB * $4.5
+  c.ssd_bytes = 200ull << 30;  // 200 GB * $2.8
+  const double gib = static_cast<double>(1ull << 30) / 1e9;
+  EXPECT_NEAR(c.CostDollars(), (4 * 10 + 80 * 4.5 + 200 * 2.8) * gib, 1.0);
+}
+
+TEST(GridSearchTest, PerfPerPriceSelection) {
+  std::vector<GridPoint> grid;
+  StorageConfig small{1ull << 30, 0, 10ull << 30};
+  StorageConfig big{32ull << 30, 160ull << 30, 10ull << 30};
+  grid.push_back({small, 50'000});   // cheap, decent
+  grid.push_back({big, 100'000});    // fast, expensive
+  const GridPoint* best_pp = GridSearch::BestPerfPerPrice(grid);
+  ASSERT_NE(best_pp, nullptr);
+  EXPECT_EQ(best_pp->config.dram_bytes, small.dram_bytes);
+  const GridPoint* best_t = GridSearch::BestThroughput(grid);
+  ASSERT_NE(best_t, nullptr);
+  EXPECT_EQ(best_t->config.dram_bytes, big.dram_bytes);
+}
+
+TEST(GridSearchTest, BudgetFiltersCandidates) {
+  std::vector<GridPoint> grid;
+  StorageConfig cheap{0, 0, 10ull << 30};
+  StorageConfig pricey{64ull << 30, 0, 10ull << 30};
+  grid.push_back({cheap, 10'000});
+  grid.push_back({pricey, 200'000});
+  const GridPoint* within = GridSearch::BestWithinBudget(grid, 100.0);
+  ASSERT_NE(within, nullptr);
+  EXPECT_EQ(within->config.dram_bytes, 0u);
+  EXPECT_EQ(GridSearch::BestWithinBudget(grid, 0.0), nullptr);
+}
+
+}  // namespace
+}  // namespace spitfire

@@ -1,0 +1,120 @@
+// Property-based testing of the B+Tree: long random operation sequences
+// (insert / upsert / remove / lookup / scan) checked against a std::map
+// reference model, across several buffer configurations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "index/btree.h"
+#include "storage/perf_model.h"
+#include "storage/ssd_device.h"
+
+namespace spitfire {
+namespace {
+
+struct BTreeConfig {
+  size_t dram_frames;
+  size_t nvm_frames;
+  MigrationPolicy policy;
+  uint64_t key_space;
+  uint64_t seed;
+};
+
+class BTreeModelTest : public ::testing::TestWithParam<BTreeConfig> {
+ protected:
+  void SetUp() override { LatencySimulator::SetScale(0.0); }
+  void TearDown() override { LatencySimulator::SetScale(1.0); }
+};
+
+TEST_P(BTreeModelTest, MatchesReferenceModel) {
+  const BTreeConfig cfg = GetParam();
+  SsdDevice ssd(1ull << 30);
+  BufferManagerOptions opt;
+  opt.dram_frames = cfg.dram_frames;
+  opt.nvm_frames = cfg.nvm_frames;
+  opt.policy = cfg.policy;
+  opt.ssd = &ssd;
+  BufferManager bm(opt);
+  auto tree_r = BTree::Create(&bm);
+  ASSERT_TRUE(tree_r.ok());
+  std::unique_ptr<BTree> tree(tree_r.value());
+
+  std::map<uint64_t, uint64_t> model;
+  Xoshiro256 rng(cfg.seed);
+  constexpr int kOps = 30000;
+  for (int i = 0; i < kOps; ++i) {
+    const uint64_t key = rng.NextUint64(cfg.key_space);
+    const int op = static_cast<int>(rng.NextUint64(100));
+    if (op < 35) {  // insert
+      const uint64_t value = rng.Next();
+      const Status st = tree->Insert(key, value);
+      if (model.count(key)) {
+        ASSERT_FALSE(st.ok()) << "dup insert accepted for " << key;
+      } else {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+        model[key] = value;
+      }
+    } else if (op < 55) {  // upsert
+      const uint64_t value = rng.Next();
+      ASSERT_TRUE(tree->Upsert(key, value).ok());
+      model[key] = value;
+    } else if (op < 70) {  // remove
+      const Status st = tree->Remove(key);
+      if (model.count(key)) {
+        ASSERT_TRUE(st.ok());
+        model.erase(key);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else if (op < 95) {  // lookup
+      uint64_t v = 0;
+      const Status st = tree->Lookup(key, &v);
+      auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_TRUE(st.ok());
+        ASSERT_EQ(v, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else {  // range scan of a random window
+      const uint64_t lo = key;
+      const uint64_t hi = key + rng.NextUint64(cfg.key_space / 4 + 1);
+      std::vector<std::pair<uint64_t, uint64_t>> got;
+      ASSERT_TRUE(tree->Scan(lo, hi, [&](uint64_t k, uint64_t v) {
+        got.emplace_back(k, v);
+        return true;
+      }).ok());
+      auto it = model.lower_bound(lo);
+      size_t idx = 0;
+      for (; it != model.end() && it->first <= hi; ++it, ++idx) {
+        ASSERT_LT(idx, got.size()) << "scan missed " << it->first;
+        ASSERT_EQ(got[idx].first, it->first);
+        ASSERT_EQ(got[idx].second, it->second);
+      }
+      ASSERT_EQ(idx, got.size()) << "scan returned extra entries";
+    }
+  }
+  // Final full comparison.
+  auto count = tree->Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BTreeModelTest,
+    ::testing::Values(
+        // Big buffers: pure logic test.
+        BTreeConfig{512, 512, MigrationPolicy::Eager(), 4000, 1},
+        // Tiny buffers: every op migrates pages across tiers.
+        BTreeConfig{8, 8, MigrationPolicy::Eager(), 4000, 2},
+        BTreeConfig{8, 8, MigrationPolicy::Lazy(), 4000, 3},
+        // Dense small key space: heavy overwrite/remove churn.
+        BTreeConfig{64, 64, MigrationPolicy::Lazy(), 300, 4},
+        // Wide key space: deep tree with many leaves.
+        BTreeConfig{128, 128, MigrationPolicy::Lazy(), 2'000'000, 5},
+        // Two-tier hierarchies.
+        BTreeConfig{64, 0, MigrationPolicy::Eager(), 4000, 6},
+        BTreeConfig{0, 64, MigrationPolicy::Eager(), 4000, 7}));
+
+}  // namespace
+}  // namespace spitfire

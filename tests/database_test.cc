@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "db/database.h"
+#include "storage/perf_model.h"
+
+namespace spitfire {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LatencySimulator::SetScale(0.0); }
+  void TearDown() override { LatencySimulator::SetScale(1.0); }
+
+  static DatabaseOptions SmallOptions() {
+    DatabaseOptions opts;
+    opts.dram_frames = 64;
+    opts.nvm_frames = 128;
+    opts.policy = MigrationPolicy::Lazy();
+    opts.ssd_capacity = 256ull * 1024 * 1024;
+    opts.enable_wal = true;
+    return opts;
+  }
+
+  struct Row {
+    uint64_t a;
+    uint64_t b;
+    char text[48];
+  };
+
+  static Row MakeRow(uint64_t k) {
+    Row r{};
+    r.a = k;
+    r.b = k * k;
+    std::snprintf(r.text, sizeof(r.text), "row-%llu",
+                  static_cast<unsigned long long>(k));
+    return r;
+  }
+};
+
+TEST_F(DatabaseTest, InsertReadCommit) {
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  auto t_r = db->CreateTable(1, sizeof(Row));
+  ASSERT_TRUE(t_r.ok());
+  Table* t = t_r.value();
+
+  auto txn = db->Begin();
+  Row row = MakeRow(5);
+  ASSERT_TRUE(t->Insert(txn.get(), 5, &row).ok());
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+
+  auto txn2 = db->Begin();
+  Row out{};
+  ASSERT_TRUE(t->Read(txn2.get(), 5, &out).ok());
+  EXPECT_EQ(out.a, 5u);
+  EXPECT_EQ(out.b, 25u);
+  EXPECT_STREQ(out.text, "row-5");
+  ASSERT_TRUE(db->Commit(txn2.get()).ok());
+}
+
+TEST_F(DatabaseTest, ReadOwnUncommittedWrites) {
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  auto txn = db->Begin();
+  Row row = MakeRow(9);
+  ASSERT_TRUE(t->Insert(txn.get(), 9, &row).ok());
+  Row out{};
+  ASSERT_TRUE(t->Read(txn.get(), 9, &out).ok());
+  EXPECT_EQ(out.b, 81u);
+  row.b = 100;
+  ASSERT_TRUE(t->Update(txn.get(), 9, &row).ok());
+  ASSERT_TRUE(t->Read(txn.get(), 9, &out).ok());
+  EXPECT_EQ(out.b, 100u);
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+}
+
+TEST_F(DatabaseTest, UncommittedInvisibleToOlderReader) {
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  // Reader begins first: the writer's eventual commit timestamp exceeds
+  // the reader's, so the insert is safely invisible.
+  auto reader = db->Begin();
+  auto writer = db->Begin();
+  Row row = MakeRow(3);
+  ASSERT_TRUE(t->Insert(writer.get(), 3, &row).ok());
+
+  Row out{};
+  EXPECT_TRUE(t->Read(reader.get(), 3, &out).IsNotFound());
+  ASSERT_TRUE(db->Commit(reader.get()).ok());
+  ASSERT_TRUE(db->Commit(writer.get()).ok());
+}
+
+TEST_F(DatabaseTest, YoungerReaderAbortsOnInFlightOlderWrite) {
+  // No-wait MVTO: a reader younger than an in-flight writer cannot safely
+  // read around the uncommitted version — it aborts instead.
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  auto writer = db->Begin();
+  Row row = MakeRow(3);
+  ASSERT_TRUE(t->Insert(writer.get(), 3, &row).ok());
+
+  auto reader = db->Begin();  // younger than writer
+  Row out{};
+  EXPECT_TRUE(t->Read(reader.get(), 3, &out).IsAborted());
+  ASSERT_TRUE(db->Abort(reader.get()).ok());
+  ASSERT_TRUE(db->Commit(writer.get()).ok());
+}
+
+TEST_F(DatabaseTest, SnapshotReadsOldVersion) {
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  {
+    auto txn = db->Begin();
+    Row row = MakeRow(1);
+    ASSERT_TRUE(t->Insert(txn.get(), 1, &row).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  // Reader starts BEFORE the update commits: MVTO pins it to the old
+  // version.
+  auto old_reader = db->Begin();
+  {
+    auto upd = db->Begin();
+    Row row = MakeRow(1);
+    row.b = 777;
+    ASSERT_TRUE(t->Update(upd.get(), 1, &row).ok());
+    ASSERT_TRUE(db->Commit(upd.get()).ok());
+  }
+  Row out{};
+  ASSERT_TRUE(t->Read(old_reader.get(), 1, &out).ok());
+  EXPECT_EQ(out.b, 1u);  // original value
+  ASSERT_TRUE(db->Commit(old_reader.get()).ok());
+
+  auto new_reader = db->Begin();
+  ASSERT_TRUE(t->Read(new_reader.get(), 1, &out).ok());
+  EXPECT_EQ(out.b, 777u);
+  ASSERT_TRUE(db->Commit(new_reader.get()).ok());
+}
+
+TEST_F(DatabaseTest, WriteWriteConflictAborts) {
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  {
+    auto txn = db->Begin();
+    Row row = MakeRow(1);
+    ASSERT_TRUE(t->Insert(txn.get(), 1, &row).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  auto t1 = db->Begin();
+  auto t2 = db->Begin();
+  Row row = MakeRow(1);
+  row.b = 10;
+  ASSERT_TRUE(t->Update(t1.get(), 1, &row).ok());
+  row.b = 20;
+  EXPECT_TRUE(t->Update(t2.get(), 1, &row).IsAborted());
+  ASSERT_TRUE(db->Abort(t2.get()).ok());
+  ASSERT_TRUE(db->Commit(t1.get()).ok());
+
+  auto check = db->Begin();
+  Row out{};
+  ASSERT_TRUE(t->Read(check.get(), 1, &out).ok());
+  EXPECT_EQ(out.b, 10u);
+  ASSERT_TRUE(db->Commit(check.get()).ok());
+}
+
+TEST_F(DatabaseTest, ReadTsBlocksOlderWriter) {
+  // MVTO: if a younger transaction read the head version, an older
+  // transaction must not overwrite it.
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  {
+    auto txn = db->Begin();
+    Row row = MakeRow(1);
+    ASSERT_TRUE(t->Insert(txn.get(), 1, &row).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  auto old_writer = db->Begin();   // ts = T
+  auto young_reader = db->Begin(); // ts = T+1
+  Row out{};
+  ASSERT_TRUE(t->Read(young_reader.get(), 1, &out).ok());
+  ASSERT_TRUE(db->Commit(young_reader.get()).ok());
+  Row row = MakeRow(1);
+  EXPECT_TRUE(t->Update(old_writer.get(), 1, &row).IsAborted());
+  ASSERT_TRUE(db->Abort(old_writer.get()).ok());
+}
+
+TEST_F(DatabaseTest, AbortRollsBackInsertAndUpdate) {
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  {
+    auto txn = db->Begin();
+    Row row = MakeRow(1);
+    ASSERT_TRUE(t->Insert(txn.get(), 1, &row).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  {
+    auto txn = db->Begin();
+    Row row = MakeRow(2);
+    ASSERT_TRUE(t->Insert(txn.get(), 2, &row).ok());
+    row = MakeRow(1);
+    row.b = 999;
+    ASSERT_TRUE(t->Update(txn.get(), 1, &row).ok());
+    ASSERT_TRUE(db->Abort(txn.get()).ok());
+  }
+  auto check = db->Begin();
+  Row out{};
+  EXPECT_TRUE(t->Read(check.get(), 2, &out).IsNotFound());
+  ASSERT_TRUE(t->Read(check.get(), 1, &out).ok());
+  EXPECT_EQ(out.b, 1u);
+  ASSERT_TRUE(db->Commit(check.get()).ok());
+  // The key is reusable after the rollback.
+  auto retry = db->Begin();
+  Row row = MakeRow(2);
+  EXPECT_TRUE(t->Insert(retry.get(), 2, &row).ok());
+  ASSERT_TRUE(db->Commit(retry.get()).ok());
+}
+
+TEST_F(DatabaseTest, ScanSeesOnlyCommitted) {
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  {
+    auto txn = db->Begin();
+    for (uint64_t k = 0; k < 50; ++k) {
+      Row row = MakeRow(k);
+      ASSERT_TRUE(t->Insert(txn.get(), k, &row).ok());
+    }
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  // Reader begins before the pending insert, so the in-flight version is
+  // safely invisible (no-wait MVTO only aborts younger readers).
+  auto reader = db->Begin();
+  auto pending = db->Begin();
+  Row extra = MakeRow(100);
+  ASSERT_TRUE(t->Insert(pending.get(), 100, &extra).ok());
+
+  uint64_t count = 0;
+  ASSERT_TRUE(t->Scan(reader.get(), 0, 1000,
+                      [&](uint64_t, const void*) {
+                        ++count;
+                        return true;
+                      })
+                  .ok());
+  EXPECT_EQ(count, 50u);
+  ASSERT_TRUE(db->Commit(reader.get()).ok());
+  ASSERT_TRUE(db->Commit(pending.get()).ok());
+}
+
+TEST_F(DatabaseTest, VersionChainsGetTruncated) {
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  {
+    auto txn = db->Begin();
+    Row row = MakeRow(1);
+    ASSERT_TRUE(t->Insert(txn.get(), 1, &row).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  // Many updates of one key: without GC the heap would need one page per
+  // ~15 versions; with GC it stays bounded.
+  for (int i = 0; i < 2000; ++i) {
+    auto txn = db->Begin();
+    Row row = MakeRow(1);
+    row.b = static_cast<uint64_t>(i);
+    ASSERT_TRUE(t->Update(txn.get(), 1, &row).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  EXPECT_LT(t->allocated_pages(), 20u);
+}
+
+TEST_F(DatabaseTest, CrashRecoveryPreservesCommittedData) {
+  DatabaseOptions opts = SmallOptions();
+  DatabaseEnv env;
+  {
+    auto db = Database::Create(opts).MoveValue();
+    Table* t = db->CreateTable(1, sizeof(Row)).value();
+    for (uint64_t k = 0; k < 200; ++k) {
+      auto txn = db->Begin();
+      Row row = MakeRow(k);
+      ASSERT_TRUE(t->Insert(txn.get(), k, &row).ok());
+      ASSERT_TRUE(db->Commit(txn.get()).ok());
+    }
+    // Update some keys.
+    for (uint64_t k = 0; k < 200; k += 4) {
+      auto txn = db->Begin();
+      Row row = MakeRow(k);
+      row.b = k + 1'000'000;
+      ASSERT_TRUE(t->Update(txn.get(), k, &row).ok());
+      ASSERT_TRUE(db->Commit(txn.get()).ok());
+    }
+    // Leave one transaction uncommitted at the crash.
+    auto loser = db->Begin();
+    Row row = MakeRow(7);
+    row.b = 666;
+    ASSERT_TRUE(t->Update(loser.get(), 7, &row).ok());
+    env = Database::Crash(std::move(db));
+  }
+  {
+    auto db_r = Database::Recover(opts, std::move(env));
+    ASSERT_TRUE(db_r.ok()) << db_r.status().ToString();
+    auto db = db_r.MoveValue();
+    Table* t = db->GetTable(1);
+    ASSERT_NE(t, nullptr);
+    auto txn = db->Begin();
+    Row out{};
+    for (uint64_t k = 0; k < 200; ++k) {
+      ASSERT_TRUE(t->Read(txn.get(), k, &out).ok()) << "key " << k;
+      const uint64_t expect = (k % 4 == 0) ? k + 1'000'000 : k * k;
+      EXPECT_EQ(out.b, expect) << "key " << k;
+    }
+    // The loser's update must not survive.
+    ASSERT_TRUE(t->Read(txn.get(), 7, &out).ok());
+    EXPECT_NE(out.b, 666u);
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+
+    // And the database remains writable after recovery.
+    auto txn2 = db->Begin();
+    Row row = MakeRow(500);
+    ASSERT_TRUE(t->Insert(txn2.get(), 500, &row).ok());
+    ASSERT_TRUE(db->Commit(txn2.get()).ok());
+  }
+}
+
+TEST_F(DatabaseTest, RecoveryWithoutNvmTier) {
+  DatabaseOptions opts = SmallOptions();
+  opts.nvm_frames = 0;  // DRAM-SSD: commits force log drain to SSD
+  DatabaseEnv env;
+  {
+    auto db = Database::Create(opts).MoveValue();
+    Table* t = db->CreateTable(1, sizeof(Row)).value();
+    for (uint64_t k = 0; k < 50; ++k) {
+      auto txn = db->Begin();
+      Row row = MakeRow(k);
+      ASSERT_TRUE(t->Insert(txn.get(), k, &row).ok());
+      ASSERT_TRUE(db->Commit(txn.get()).ok());
+    }
+    env = Database::Crash(std::move(db));
+  }
+  {
+    auto db_r = Database::Recover(opts, std::move(env));
+    ASSERT_TRUE(db_r.ok()) << db_r.status().ToString();
+    auto db = db_r.MoveValue();
+    Table* t = db->GetTable(1);
+    auto txn = db->Begin();
+    Row out{};
+    for (uint64_t k = 0; k < 50; ++k) {
+      ASSERT_TRUE(t->Read(txn.get(), k, &out).ok()) << k;
+      EXPECT_EQ(out.b, k * k);
+    }
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+}
+
+TEST_F(DatabaseTest, ConcurrentTransfersConserveTotal) {
+  // Classic bank-transfer invariant under MVTO.
+  auto db = Database::Create(SmallOptions()).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Row)).value();
+  constexpr uint64_t kAccounts = 32;
+  constexpr uint64_t kInitial = 1000;
+  {
+    auto txn = db->Begin();
+    for (uint64_t k = 0; k < kAccounts; ++k) {
+      Row row{};
+      row.a = k;
+      row.b = kInitial;
+      ASSERT_TRUE(t->Insert(txn.get(), k, &row).ok());
+    }
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  std::vector<std::thread> ths;
+  std::atomic<int> commits{0};
+  for (int th = 0; th < 4; ++th) {
+    ths.emplace_back([&, th] {
+      Xoshiro256 rng(th + 100);
+      for (int i = 0; i < 500; ++i) {
+        const uint64_t from = rng.NextUint64(kAccounts);
+        uint64_t to = rng.NextUint64(kAccounts);
+        if (to == from) to = (to + 1) % kAccounts;
+        auto txn = db->Begin();
+        Row a{}, b{};
+        if (!t->Read(txn.get(), from, &a).ok() ||
+            !t->Read(txn.get(), to, &b).ok() || a.b < 10) {
+          (void)db->Abort(txn.get());
+          continue;
+        }
+        a.b -= 10;
+        b.b += 10;
+        if (!t->Update(txn.get(), from, &a).ok() ||
+            !t->Update(txn.get(), to, &b).ok()) {
+          (void)db->Abort(txn.get());
+          continue;
+        }
+        if (db->Commit(txn.get()).ok()) commits.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : ths) th.join();
+  EXPECT_GT(commits.load(), 0);
+  auto txn = db->Begin();
+  uint64_t total = 0;
+  Row out{};
+  for (uint64_t k = 0; k < kAccounts; ++k) {
+    ASSERT_TRUE(t->Read(txn.get(), k, &out).ok());
+    total += out.b;
+  }
+  EXPECT_EQ(total, kAccounts * kInitial);
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+}
+
+TEST_F(DatabaseTest, CheckpointReducesRecoveryLog) {
+  DatabaseOptions opts = SmallOptions();
+  DatabaseEnv env;
+  {
+    auto db = Database::Create(opts).MoveValue();
+    Table* t = db->CreateTable(1, sizeof(Row)).value();
+    for (uint64_t k = 0; k < 100; ++k) {
+      auto txn = db->Begin();
+      Row row = MakeRow(k);
+      ASSERT_TRUE(t->Insert(txn.get(), k, &row).ok());
+      ASSERT_TRUE(db->Commit(txn.get()).ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+    env = Database::Crash(std::move(db));
+  }
+  auto db = Database::Recover(opts, std::move(env)).MoveValue();
+  Table* t = db->GetTable(1);
+  auto txn = db->Begin();
+  Row out{};
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(t->Read(txn.get(), k, &out).ok());
+  }
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+}
+
+}  // namespace
+}  // namespace spitfire

@@ -1,0 +1,275 @@
+// Tests for Table::Delete: tombstone semantics under MVTO, snapshot
+// behaviour, re-insertion over tombstones, abort rollback, and crash
+// recovery of deletes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "db/database.h"
+#include "storage/perf_model.h"
+
+namespace spitfire {
+namespace {
+
+struct Item {
+  uint64_t value;
+  uint64_t pad;
+};
+
+class DeleteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LatencySimulator::SetScale(0.0);
+    opts_.dram_frames = 64;
+    opts_.nvm_frames = 64;
+    opts_.enable_wal = true;
+    db_ = Database::Create(opts_).MoveValue();
+    table_ = db_->CreateTable(1, sizeof(Item)).value();
+  }
+  void TearDown() override { LatencySimulator::SetScale(1.0); }
+
+  void InsertCommitted(uint64_t key, uint64_t value) {
+    auto txn = db_->Begin();
+    Item it{value, 0};
+    ASSERT_TRUE(table_->Insert(txn.get(), key, &it).ok());
+    ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  }
+  void DeleteCommitted(uint64_t key) {
+    auto txn = db_->Begin();
+    ASSERT_TRUE(table_->Delete(txn.get(), key).ok());
+    ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  }
+
+  DatabaseOptions opts_;
+  std::unique_ptr<Database> db_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(DeleteTest, DeleteMakesKeyNotFound) {
+  InsertCommitted(1, 10);
+  DeleteCommitted(1);
+  auto txn = db_->Begin();
+  Item it{};
+  EXPECT_TRUE(table_->Read(txn.get(), 1, &it).IsNotFound());
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, DeleteOfMissingKeyIsNotFound) {
+  auto txn = db_->Begin();
+  EXPECT_TRUE(table_->Delete(txn.get(), 99).IsNotFound());
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, DoubleDeleteIsNotFound) {
+  InsertCommitted(1, 10);
+  DeleteCommitted(1);
+  auto txn = db_->Begin();
+  EXPECT_TRUE(table_->Delete(txn.get(), 1).IsNotFound());
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, OldSnapshotStillSeesDeletedRow) {
+  InsertCommitted(1, 10);
+  auto old_reader = db_->Begin();
+  DeleteCommitted(1);
+  Item it{};
+  ASSERT_TRUE(table_->Read(old_reader.get(), 1, &it).ok());
+  EXPECT_EQ(it.value, 10u);
+  ASSERT_TRUE(db_->Commit(old_reader.get()).ok());
+}
+
+TEST_F(DeleteTest, UpdateOfDeletedKeyIsNotFound) {
+  InsertCommitted(1, 10);
+  DeleteCommitted(1);
+  auto txn = db_->Begin();
+  Item it{20, 0};
+  EXPECT_TRUE(table_->Update(txn.get(), 1, &it).IsNotFound());
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, ReinsertAfterDelete) {
+  InsertCommitted(1, 10);
+  DeleteCommitted(1);
+  InsertCommitted(1, 42);
+  auto txn = db_->Begin();
+  Item it{};
+  ASSERT_TRUE(table_->Read(txn.get(), 1, &it).ok());
+  EXPECT_EQ(it.value, 42u);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, ReinsertWhileRowStillVisibleIsDuplicate) {
+  InsertCommitted(1, 10);
+  auto txn = db_->Begin();
+  Item it{20, 0};
+  EXPECT_EQ(table_->Insert(txn.get(), 1, &it).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, DeleteThenInsertInSameTxn) {
+  InsertCommitted(1, 10);
+  auto txn = db_->Begin();
+  ASSERT_TRUE(table_->Delete(txn.get(), 1).ok());
+  Item it{};
+  EXPECT_TRUE(table_->Read(txn.get(), 1, &it).IsNotFound());
+  // Re-insert within the same transaction resurrects the key (mutating the
+  // txn's own tombstone version in place).
+  Item fresh{30, 0};
+  ASSERT_TRUE(table_->Insert(txn.get(), 1, &fresh).ok());
+  ASSERT_TRUE(table_->Read(txn.get(), 1, &it).ok());
+  EXPECT_EQ(it.value, 30u);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, AbortedDeleteLeavesRowVisible) {
+  InsertCommitted(1, 10);
+  {
+    auto txn = db_->Begin();
+    ASSERT_TRUE(table_->Delete(txn.get(), 1).ok());
+    ASSERT_TRUE(db_->Abort(txn.get()).ok());
+  }
+  auto txn = db_->Begin();
+  Item it{};
+  ASSERT_TRUE(table_->Read(txn.get(), 1, &it).ok());
+  EXPECT_EQ(it.value, 10u);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, ScanSkipsDeletedKeys) {
+  for (uint64_t k = 0; k < 20; ++k) InsertCommitted(k, k);
+  for (uint64_t k = 0; k < 20; k += 2) DeleteCommitted(k);
+  auto txn = db_->Begin();
+  uint64_t count = 0;
+  ASSERT_TRUE(table_->Scan(txn.get(), 0, 100,
+                           [&](uint64_t k, const void*) {
+                             EXPECT_EQ(k % 2, 1u);
+                             ++count;
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(count, 10u);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, YoungerReadBlocksOlderDelete) {
+  InsertCommitted(1, 10);
+  auto old_deleter = db_->Begin();
+  auto young = db_->Begin();
+  Item it{};
+  ASSERT_TRUE(table_->Read(young.get(), 1, &it).ok());
+  ASSERT_TRUE(db_->Commit(young.get()).ok());
+  EXPECT_TRUE(table_->Delete(old_deleter.get(), 1).IsAborted());
+  ASSERT_TRUE(db_->Abort(old_deleter.get()).ok());
+}
+
+TEST_F(DeleteTest, DeletesSurviveCrashRecovery) {
+  for (uint64_t k = 0; k < 30; ++k) InsertCommitted(k, k + 100);
+  for (uint64_t k = 0; k < 30; k += 3) DeleteCommitted(k);
+  // Re-insert one deleted key with a new value.
+  InsertCommitted(3, 999);
+
+  DatabaseEnv env = Database::Crash(std::move(db_));
+  auto db_r = Database::Recover(opts_, std::move(env));
+  ASSERT_TRUE(db_r.ok()) << db_r.status().ToString();
+  db_ = db_r.MoveValue();
+  table_ = db_->GetTable(1);
+
+  auto txn = db_->Begin();
+  Item it{};
+  for (uint64_t k = 0; k < 30; ++k) {
+    const Status st = table_->Read(txn.get(), k, &it);
+    if (k == 3) {
+      ASSERT_TRUE(st.ok());
+      EXPECT_EQ(it.value, 999u);
+    } else if (k % 3 == 0) {
+      EXPECT_TRUE(st.IsNotFound()) << "key " << k;
+    } else {
+      ASSERT_TRUE(st.ok()) << "key " << k;
+      EXPECT_EQ(it.value, k + 100);
+    }
+  }
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(DeleteTest, ConcurrentInsertDeleteChurn) {
+  // Threads insert/delete disjoint key ranges while readers scan; the
+  // table must stay consistent and every committed state observable.
+  std::atomic<int> errors{0};
+  std::vector<std::thread> ths;
+  for (int t = 0; t < 3; ++t) {
+    ths.emplace_back([&, t] {
+      const uint64_t base = 1000 + static_cast<uint64_t>(t) * 1000;
+      // MVTO aborts (e.g. the scanner's read_ts blocking an older
+      // writer) are expected under contention: retry them. Only
+      // non-Aborted failures count as errors.
+      auto commit_with_retry = [&](auto&& op) {
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          auto txn = db_->Begin();
+          const Status st = op(txn.get());
+          if (st.ok()) {
+            if (db_->Commit(txn.get()).ok()) return;
+            errors.fetch_add(1);
+            return;
+          }
+          (void)db_->Abort(txn.get());
+          if (!st.IsAborted() && !st.IsBusy()) {
+            errors.fetch_add(1);
+            return;
+          }
+        }
+        errors.fetch_add(1);  // could not commit in 100 attempts
+      };
+      for (int round = 0; round < 60; ++round) {
+        for (uint64_t k = base; k < base + 10; ++k) {
+          Item it{k, 0};
+          commit_with_retry([&](Transaction* txn) {
+            return table_->Insert(txn, k, &it);
+          });
+        }
+        for (uint64_t k = base; k < base + 10; ++k) {
+          commit_with_retry([&](Transaction* txn) {
+            return table_->Delete(txn, k);
+          });
+        }
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread scanner([&] {
+    while (!stop.load()) {
+      auto txn = db_->Begin();
+      uint64_t prev = 0;
+      const Status st = table_->Scan(txn.get(), 1000, 4000,
+                                     [&](uint64_t k, const void* tuple) {
+                                       if (k < prev) errors.fetch_add(1);
+                                       prev = k;
+                                       const auto* it =
+                                           static_cast<const Item*>(tuple);
+                                       if (it->value != k) errors.fetch_add(1);
+                                       return true;
+                                     });
+      if (!st.ok() && !st.IsAborted() && !st.IsBusy()) errors.fetch_add(1);
+      (void)db_->Commit(txn.get());
+    }
+  });
+  for (auto& th : ths) th.join();
+  stop.store(true);
+  scanner.join();
+  EXPECT_EQ(errors.load(), 0);
+  // Everything was deleted in the final round of each thread.
+  auto txn = db_->Begin();
+  uint64_t remaining = 0;
+  ASSERT_TRUE(table_->Scan(txn.get(), 1000, 4000,
+                           [&](uint64_t, const void*) {
+                             ++remaining;
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(remaining, 0u);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+}  // namespace
+}  // namespace spitfire

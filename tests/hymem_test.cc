@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "buffer/buffer_manager.h"
+#include "hymem/cacheline_page.h"
+#include "hymem/mini_page.h"
+#include "storage/perf_model.h"
+#include "storage/ssd_device.h"
+
+namespace spitfire {
+namespace {
+
+TEST(UnitBitmapTest, SetClearTest) {
+  UnitBitmap256 bm;
+  EXPECT_FALSE(bm.Any());
+  bm.Set(0);
+  bm.Set(255);
+  bm.Set(64);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(255));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_EQ(bm.CountSet(), 3u);
+  bm.Clear(64);
+  EXPECT_FALSE(bm.Test(64));
+  EXPECT_TRUE(bm.TestRange(255, 255));
+  EXPECT_FALSE(bm.TestRange(0, 1));
+}
+
+TEST(UnitBitmapTest, ResetClearsAll) {
+  UnitBitmap256 bm;
+  for (size_t i = 0; i < 256; i += 3) bm.Set(i);
+  bm.Reset();
+  EXPECT_FALSE(bm.Any());
+  EXPECT_EQ(bm.CountSet(), 0u);
+}
+
+TEST(CacheLineStateTest, UnitGeometry) {
+  CacheLineState cl;
+  cl.Reset(256);
+  EXPECT_EQ(cl.UnitsPerPage(), kPageSize / 256);
+  EXPECT_EQ(cl.UnitFor(0), 0u);
+  EXPECT_EQ(cl.UnitFor(255), 0u);
+  EXPECT_EQ(cl.UnitFor(256), 1u);
+  cl.Reset(64);
+  EXPECT_EQ(cl.UnitsPerPage(), 256u);
+}
+
+TEST(MiniPageTest, LayoutSizes) {
+  // One cache-line header plus sixteen units (Figure 2b).
+  EXPECT_EQ(MiniPageView::BytesRequired(64), 64u + 16 * 64);
+  EXPECT_EQ(MiniPageView::BytesRequired(256), 64u + 16 * 256);
+  EXPECT_GE(MiniPageView::PerFrame(64), 15u);
+  EXPECT_GE(MiniPageView::PerFrame(256), 3u);
+}
+
+TEST(MiniPageTest, InsertFindAndOverflow) {
+  std::vector<std::byte> mem(MiniPageView::BytesRequired(256));
+  MiniPageView mp(mem.data());
+  mp.Format(42, 256);
+  EXPECT_EQ(mp.meta()->page_id, 42u);
+  EXPECT_EQ(mp.count(), 0u);
+  EXPECT_EQ(mp.FindSlot(5), -1);
+
+  for (uint16_t u = 0; u < kMiniPageSlots; ++u) {
+    const int slot = mp.Insert(u * 3);
+    ASSERT_EQ(slot, static_cast<int>(u));
+    std::memset(mp.UnitPtr(static_cast<size_t>(slot)), u, 256);
+  }
+  EXPECT_TRUE(mp.IsFull());
+  EXPECT_EQ(mp.Insert(99), -1);  // overflow → promotion required
+
+  // Lookup maps logical unit to slot, like the slots array in Figure 2b.
+  const int slot = mp.FindSlot(9);  // unit 3*3
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(static_cast<unsigned char>(*mp.UnitPtr(static_cast<size_t>(slot))),
+            3u);
+}
+
+TEST(MiniPageTest, DirtyTracking) {
+  std::vector<std::byte> mem(MiniPageView::BytesRequired(64));
+  MiniPageView mp(mem.data());
+  mp.Format(1, 64);
+  const int s0 = mp.Insert(10);
+  const int s1 = mp.Insert(20);
+  EXPECT_FALSE(mp.AnyDirty());
+  mp.MarkDirty(static_cast<size_t>(s1));
+  EXPECT_TRUE(mp.AnyDirty());
+  EXPECT_FALSE(mp.IsDirty(static_cast<size_t>(s0)));
+  EXPECT_TRUE(mp.IsDirty(static_cast<size_t>(s1)));
+}
+
+// --- integration: fine-grained loading & mini pages through the BM ---
+
+class HymemIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LatencySimulator::SetScale(0.0);
+    ssd_ = std::make_unique<SsdDevice>(64ull * 1024 * 1024);
+  }
+  void TearDown() override { LatencySimulator::SetScale(1.0); }
+
+  std::unique_ptr<BufferManager> Make(bool fine_grained, bool mini,
+                                      uint32_t granularity = 256) {
+    BufferManagerOptions opt;
+    opt.dram_frames = 8;
+    opt.nvm_frames = 16;
+    opt.policy = MigrationPolicy::Eager();
+    opt.enable_fine_grained_loading = fine_grained;
+    opt.enable_mini_pages = mini;
+    opt.load_granularity = granularity;
+    opt.mini_host_frames = 2;
+    opt.ssd = ssd_.get();
+    return std::make_unique<BufferManager>(opt);
+  }
+
+  // Creates pages via an NVM-only manager so they start NVM-resident in a
+  // freshly-opened three-tier manager.
+  void SeedPages(int n) {
+    BufferManagerOptions opt;
+    opt.dram_frames = 0;
+    opt.nvm_frames = 32;
+    opt.policy = MigrationPolicy::Eager();
+    opt.ssd = ssd_.get();
+    BufferManager bm(opt);
+    for (int i = 0; i < n; ++i) {
+      auto r = bm.NewPage();
+      ASSERT_TRUE(r.ok());
+      PageGuard g = r.MoveValue();
+      for (size_t off = kPageHeaderSize; off + 8 <= kPageSize; off += 512) {
+        const uint64_t v = g.pid() * 100000 + off;
+        ASSERT_TRUE(g.WriteAt(off, sizeof(v), &v).ok());
+      }
+    }
+    ASSERT_TRUE(bm.FlushAll(true).ok());
+  }
+
+  std::unique_ptr<SsdDevice> ssd_;
+};
+
+TEST_F(HymemIntegrationTest, FineGrainedLoadsOnlyTouchedUnits) {
+  SeedPages(4);
+  auto bm = Make(/*fine_grained=*/true, /*mini=*/false);
+  bm->SetNextPageId(4);
+  // First fetch installs on NVM (Nr=1); second promotes as a
+  // cache-line-grained page with zero resident units.
+  for (int round = 0; round < 2; ++round) {
+    for (page_id_t pid = 0; pid < 4; ++pid) {
+      ASSERT_TRUE(bm->FetchPage(pid, AccessIntent::kRead).ok());
+    }
+  }
+  const uint64_t loads_before = bm->stats().fine_grained_loads.load();
+  auto r = bm->FetchPage(0, AccessIntent::kRead);
+  ASSERT_TRUE(r.ok());
+  PageGuard g = r.MoveValue();
+  ASSERT_EQ(g.tier(), Tier::kDram);
+  uint64_t v = 0;
+  ASSERT_TRUE(g.ReadAt(kPageHeaderSize, sizeof(v), &v).ok());
+  EXPECT_EQ(v, 0u * 100000 + kPageHeaderSize);
+  const uint64_t loads = bm->stats().fine_grained_loads.load() - loads_before;
+  // One 256 B unit covers the 8-byte read (plus at most one more for
+  // alignment) — far fewer than the 64 units of a full page.
+  EXPECT_GE(loads, 1u);
+  EXPECT_LE(loads, 2u);
+}
+
+TEST_F(HymemIntegrationTest, FineGrainedWritebackPreservesData) {
+  SeedPages(8);
+  auto bm = Make(true, false);
+  bm->SetNextPageId(8);
+  // Promote page 0, dirty one unit, then thrash it out of DRAM.
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(bm->FetchPage(0, AccessIntent::kWrite).ok());
+  }
+  {
+    auto r = bm->FetchPage(0, AccessIntent::kWrite);
+    ASSERT_TRUE(r.ok());
+    PageGuard g = r.MoveValue();
+    if (g.tier() == Tier::kDram) {
+      const uint64_t v = 0xFEEDFACE;
+      ASSERT_TRUE(g.WriteAt(4096, sizeof(v), &v).ok());
+    } else {
+      const uint64_t v = 0xFEEDFACE;
+      ASSERT_TRUE(g.WriteAt(4096, sizeof(v), &v).ok());
+    }
+  }
+  // Evict by touching other pages heavily.
+  for (int round = 0; round < 4; ++round) {
+    for (page_id_t pid = 1; pid < 8; ++pid) {
+      (void)bm->FetchPage(pid, AccessIntent::kWrite);
+    }
+  }
+  auto r = bm->FetchPage(0, AccessIntent::kRead);
+  ASSERT_TRUE(r.ok());
+  PageGuard g = r.MoveValue();
+  uint64_t v = 0;
+  ASSERT_TRUE(g.ReadAt(4096, sizeof(v), &v).ok());
+  EXPECT_EQ(v, 0xFEEDFACEu);
+}
+
+TEST_F(HymemIntegrationTest, MiniPagePromotionOnOverflow) {
+  SeedPages(4);
+  auto bm = Make(/*fine_grained=*/true, /*mini=*/true);
+  bm->SetNextPageId(4);
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(bm->FetchPage(0, AccessIntent::kRead).ok());
+  }
+  EXPECT_GT(bm->stats().mini_page_admits.load(), 0u);
+  // Touch more than sixteen distinct 256 B units → transparent promotion.
+  auto r = bm->FetchPage(0, AccessIntent::kRead);
+  ASSERT_TRUE(r.ok());
+  PageGuard g = r.MoveValue();
+  uint64_t v = 0;
+  for (size_t off = kPageHeaderSize; off + 8 <= kPageSize; off += 512) {
+    ASSERT_TRUE(g.ReadAt(off, sizeof(v), &v).ok());
+    ASSERT_EQ(v, 0u * 100000 + off) << off;
+  }
+  EXPECT_GT(bm->stats().mini_page_promotions.load(), 0u);
+}
+
+TEST_F(HymemIntegrationTest, MiniPageDirtyUnitsSurviveEviction) {
+  SeedPages(8);
+  auto bm = Make(true, true);
+  bm->SetNextPageId(8);
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(bm->FetchPage(0, AccessIntent::kWrite).ok());
+  }
+  {
+    auto r = bm->FetchPage(0, AccessIntent::kWrite);
+    ASSERT_TRUE(r.ok());
+    PageGuard g = r.MoveValue();
+    const uint64_t v = 0xABCD1234;
+    ASSERT_TRUE(g.WriteAt(8192, sizeof(v), &v).ok());
+  }
+  for (int round = 0; round < 6; ++round) {
+    for (page_id_t pid = 1; pid < 8; ++pid) {
+      (void)bm->FetchPage(pid, AccessIntent::kWrite);
+    }
+  }
+  auto r = bm->FetchPage(0, AccessIntent::kRead);
+  ASSERT_TRUE(r.ok());
+  PageGuard g = r.MoveValue();
+  uint64_t v = 0;
+  ASSERT_TRUE(g.ReadAt(8192, sizeof(v), &v).ok());
+  EXPECT_EQ(v, 0xABCD1234u);
+}
+
+// Loading granularity sweep (the Figure 11 knob): all granularities must
+// preserve data; smaller granularities issue more unit loads.
+class GranularityTest : public HymemIntegrationTest,
+                        public ::testing::WithParamInterface<uint32_t> {};
+
+TEST_P(GranularityTest, DataIntactAcrossGranularities) {
+  const uint32_t gran = GetParam();
+  SeedPages(4);
+  auto bm = Make(true, false, gran);
+  bm->SetNextPageId(4);
+  for (int round = 0; round < 3; ++round) {
+    for (page_id_t pid = 0; pid < 4; ++pid) {
+      auto r = bm->FetchPage(pid, AccessIntent::kRead);
+      ASSERT_TRUE(r.ok());
+      PageGuard g = r.MoveValue();
+      for (size_t off = kPageHeaderSize; off + 8 <= kPageSize; off += 2048) {
+        uint64_t v = 0;
+        ASSERT_TRUE(g.ReadAt(off, sizeof(v), &v).ok());
+        ASSERT_EQ(v, pid * 100000 + off);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadingUnits, GranularityTest,
+                         ::testing::Values(64u, 128u, 256u, 512u));
+
+}  // namespace
+}  // namespace spitfire

@@ -1,0 +1,229 @@
+// Recovery edge cases beyond the happy path in database_test: repeated
+// crashes, crash during checkpoint-equivalent states, log drains around the
+// crash point, workload-driven crash consistency, and restart counters.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "storage/perf_model.h"
+#include "workload/ycsb.h"
+
+namespace spitfire {
+namespace {
+
+struct Cell {
+  uint64_t v;
+  uint64_t gen;
+};
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LatencySimulator::SetScale(0.0);
+    opts_.dram_frames = 48;
+    opts_.nvm_frames = 96;
+    opts_.policy = MigrationPolicy::Lazy();
+    opts_.enable_wal = true;
+    opts_.log_staging_size = 1 << 20;
+  }
+  void TearDown() override { LatencySimulator::SetScale(1.0); }
+
+  DatabaseOptions opts_;
+};
+
+TEST_F(RecoveryTest, RepeatedCrashRecoverCycles) {
+  auto db = Database::Create(opts_).MoveValue();
+  Table* t = db->CreateTable(1, sizeof(Cell)).value();
+  {
+    auto txn = db->Begin();
+    for (uint64_t k = 0; k < 64; ++k) {
+      Cell c{k, 0};
+      ASSERT_TRUE(t->Insert(txn.get(), k, &c).ok());
+    }
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  for (int cycle = 1; cycle <= 4; ++cycle) {
+    // Mutate a slice of keys, then crash.
+    for (uint64_t k = 0; k < 64; k += 2) {
+      auto txn = db->Begin();
+      Cell c{k * 10 + static_cast<uint64_t>(cycle),
+             static_cast<uint64_t>(cycle)};
+      ASSERT_TRUE(t->Update(txn.get(), k, &c).ok());
+      ASSERT_TRUE(db->Commit(txn.get()).ok());
+    }
+    DatabaseEnv env = Database::Crash(std::move(db));
+    auto db_r = Database::Recover(opts_, std::move(env));
+    ASSERT_TRUE(db_r.ok()) << "cycle " << cycle << ": "
+                           << db_r.status().ToString();
+    db = db_r.MoveValue();
+    t = db->GetTable(1);
+    auto txn = db->Begin();
+    Cell c{};
+    for (uint64_t k = 0; k < 64; ++k) {
+      ASSERT_TRUE(t->Read(txn.get(), k, &c).ok())
+          << "cycle " << cycle << " key " << k;
+      if (k % 2 == 0) {
+        EXPECT_EQ(c.gen, static_cast<uint64_t>(cycle));
+      } else {
+        EXPECT_EQ(c.v, k);
+      }
+    }
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+}
+
+TEST_F(RecoveryTest, CrashImmediatelyAfterCreateIsRecoverable) {
+  auto db = Database::Create(opts_).MoveValue();
+  (void)db->CreateTable(1, sizeof(Cell)).value();
+  DatabaseEnv env = Database::Crash(std::move(db));
+  auto db_r = Database::Recover(opts_, std::move(env));
+  ASSERT_TRUE(db_r.ok());
+  EXPECT_NE(db_r.value()->GetTable(1), nullptr);
+}
+
+TEST_F(RecoveryTest, CrashAfterExplicitDrainRecovers) {
+  DatabaseEnv env;
+  {
+    auto db = Database::Create(opts_).MoveValue();
+    Table* t = db->CreateTable(1, sizeof(Cell)).value();
+    for (uint64_t k = 0; k < 40; ++k) {
+      auto txn = db->Begin();
+      Cell c{k + 7, 1};
+      ASSERT_TRUE(t->Insert(txn.get(), k, &c).ok());
+      ASSERT_TRUE(db->Commit(txn.get()).ok());
+      if (k % 10 == 9) {
+        ASSERT_TRUE(db->log_manager()->Drain().ok());
+      }
+    }
+    env = Database::Crash(std::move(db));
+  }
+  auto db = Database::Recover(opts_, std::move(env)).MoveValue();
+  Table* t = db->GetTable(1);
+  auto txn = db->Begin();
+  Cell c{};
+  for (uint64_t k = 0; k < 40; ++k) {
+    ASSERT_TRUE(t->Read(txn.get(), k, &c).ok()) << k;
+    EXPECT_EQ(c.v, k + 7);
+  }
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+}
+
+TEST_F(RecoveryTest, MultiTableRecovery) {
+  DatabaseEnv env;
+  {
+    auto db = Database::Create(opts_).MoveValue();
+    Table* a = db->CreateTable(1, sizeof(Cell)).value();
+    Table* b = db->CreateTable(2, 256).value();
+    auto txn = db->Begin();
+    for (uint64_t k = 0; k < 20; ++k) {
+      Cell c{k, 1};
+      ASSERT_TRUE(a->Insert(txn.get(), k, &c).ok());
+      std::vector<std::byte> blob(256, std::byte{static_cast<uint8_t>(k)});
+      ASSERT_TRUE(b->Insert(txn.get(), k, blob.data()).ok());
+    }
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+    env = Database::Crash(std::move(db));
+  }
+  auto db = Database::Recover(opts_, std::move(env)).MoveValue();
+  Table* a = db->GetTable(1);
+  Table* b = db->GetTable(2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->tuple_size(), sizeof(Cell));
+  EXPECT_EQ(b->tuple_size(), 256u);
+  auto txn = db->Begin();
+  Cell c{};
+  std::vector<std::byte> blob(256);
+  for (uint64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(a->Read(txn.get(), k, &c).ok());
+    EXPECT_EQ(c.v, k);
+    ASSERT_TRUE(b->Read(txn.get(), k, blob.data()).ok());
+    EXPECT_EQ(blob[100], std::byte{static_cast<uint8_t>(k)});
+  }
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+}
+
+TEST_F(RecoveryTest, CheckpointerThreadKeepsDatabaseConsistent) {
+  DatabaseOptions opts = opts_;
+  opts.checkpoint_interval_ms = 20;  // aggressive background flushing
+  DatabaseEnv env;
+  {
+    auto db = Database::Create(opts).MoveValue();
+    Table* t = db->CreateTable(1, sizeof(Cell)).value();
+    Xoshiro256 rng(5);
+    {
+      auto txn = db->Begin();
+      for (uint64_t k = 0; k < 50; ++k) {
+        Cell c{0, 0};
+        ASSERT_TRUE(t->Insert(txn.get(), k, &c).ok());
+      }
+      ASSERT_TRUE(db->Commit(txn.get()).ok());
+    }
+    for (int i = 0; i < 2000; ++i) {
+      auto txn = db->Begin();
+      const uint64_t k = rng.NextUint64(50);
+      Cell c{static_cast<uint64_t>(i), 0};
+      if (t->Update(txn.get(), k, &c).ok()) {
+        ASSERT_TRUE(db->Commit(txn.get()).ok());
+      } else {
+        ASSERT_TRUE(db->Abort(txn.get()).ok());
+      }
+    }
+    EXPECT_GT(db->checkpointer()->rounds(), 0u);
+    env = Database::Crash(std::move(db));
+  }
+  auto db = Database::Recover(opts, std::move(env)).MoveValue();
+  Table* t = db->GetTable(1);
+  auto txn = db->Begin();
+  Cell c{};
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(t->Read(txn.get(), k, &c).ok()) << k;
+  }
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+}
+
+TEST_F(RecoveryTest, YcsbWorkloadSurvivesCrash) {
+  DatabaseEnv env;
+  constexpr uint64_t kTuples = 500;
+  {
+    auto db = Database::Create(opts_).MoveValue();
+    YcsbWorkload ycsb(db.get(), YcsbConfig::Balanced(kTuples));
+    ASSERT_TRUE(ycsb.Load().ok());
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 500; ++i) (void)ycsb.RunTransaction(rng);
+    env = Database::Crash(std::move(db));
+  }
+  auto db = Database::Recover(opts_, std::move(env)).MoveValue();
+  Table* t = db->GetTable(1);
+  ASSERT_NE(t, nullptr);
+  auto txn = db->Begin();
+  std::vector<std::byte> tuple(YcsbWorkload::kTupleSize);
+  for (uint64_t k = 0; k < kTuples; ++k) {
+    ASSERT_TRUE(t->Read(txn.get(), k, tuple.data()).ok()) << k;
+  }
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+}
+
+TEST_F(RecoveryTest, TimestampsAdvancePastRecoveredState) {
+  DatabaseEnv env;
+  timestamp_t last_ts = 0;
+  {
+    auto db = Database::Create(opts_).MoveValue();
+    Table* t = db->CreateTable(1, sizeof(Cell)).value();
+    auto txn = db->Begin();
+    Cell c{1, 1};
+    ASSERT_TRUE(t->Insert(txn.get(), 1, &c).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+    last_ts = txn->ts();
+    env = Database::Crash(std::move(db));
+  }
+  auto db = Database::Recover(opts_, std::move(env)).MoveValue();
+  auto txn = db->Begin();
+  EXPECT_GT(txn->ts(), last_ts);
+  // And the recovered version must be visible to the new transaction.
+  Cell c{};
+  ASSERT_TRUE(db->GetTable(1)->Read(txn.get(), 1, &c).ok());
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+}
+
+}  // namespace
+}  // namespace spitfire

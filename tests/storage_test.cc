@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/timer.h"
+
+#include "storage/dram_device.h"
+#include "storage/memory_mode_device.h"
+#include "storage/nvm_device.h"
+#include "storage/perf_model.h"
+#include "storage/ssd_device.h"
+
+namespace spitfire {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override { LatencySimulator::SetScale(0.0); }
+  void TearDown() override { LatencySimulator::SetScale(1.0); }
+};
+
+TEST_F(StorageTest, DeviceProfilesMatchTable1) {
+  const DeviceProfile dram = DeviceProfile::Dram();
+  const DeviceProfile nvm = DeviceProfile::OptaneNvm();
+  const DeviceProfile ssd = DeviceProfile::OptaneSsd();
+
+  // Latency ordering: DRAM < NVM < SSD (Table 1).
+  EXPECT_LT(dram.rand_read_latency_ns, nvm.rand_read_latency_ns);
+  EXPECT_LT(nvm.rand_read_latency_ns, ssd.rand_read_latency_ns);
+
+  // Media granularities: 64 B, 256 B, 16 KB.
+  EXPECT_EQ(dram.media_granularity, 64u);
+  EXPECT_EQ(nvm.media_granularity, 256u);
+  EXPECT_EQ(ssd.media_granularity, 16u * 1024);
+
+  // Persistence and addressability.
+  EXPECT_FALSE(dram.persistent);
+  EXPECT_TRUE(nvm.persistent);
+  EXPECT_TRUE(ssd.persistent);
+  EXPECT_TRUE(nvm.byte_addressable);
+  EXPECT_FALSE(ssd.byte_addressable);
+
+  // Price ordering: DRAM > NVM > SSD.
+  EXPECT_GT(dram.price_per_gb, nvm.price_per_gb);
+  EXPECT_GT(nvm.price_per_gb, ssd.price_per_gb);
+}
+
+TEST_F(StorageTest, MediaBytesRoundsUpToGranularity) {
+  const DeviceProfile nvm = DeviceProfile::OptaneNvm();
+  EXPECT_EQ(nvm.MediaBytes(1), 256u);
+  EXPECT_EQ(nvm.MediaBytes(256), 256u);
+  EXPECT_EQ(nvm.MediaBytes(257), 512u);
+  const DeviceProfile ssd = DeviceProfile::OptaneSsd();
+  EXPECT_EQ(ssd.MediaBytes(100), 16u * 1024);
+}
+
+TEST_F(StorageTest, ReadLatencyIncludesTransferTime) {
+  const DeviceProfile ssd = DeviceProfile::OptaneSsd();
+  const uint64_t small = ssd.ReadLatencyNanos(16 * 1024, false);
+  const uint64_t large = ssd.ReadLatencyNanos(1024 * 1024, false);
+  EXPECT_GT(large, small);
+  // 16 KB at 2.4 GB/s is ~6.8 us on top of 12 us idle latency.
+  EXPECT_NEAR(static_cast<double>(small), 12000 + 16384 / 2.4, 200);
+}
+
+TEST_F(StorageTest, DramDeviceRoundTrips) {
+  DramDevice dev(1 << 20);
+  char src[128], dst[128];
+  std::memset(src, 0xAB, sizeof(src));
+  ASSERT_TRUE(dev.Write(4096, src, sizeof(src)).ok());
+  ASSERT_TRUE(dev.Read(4096, dst, sizeof(dst)).ok());
+  EXPECT_EQ(std::memcmp(src, dst, sizeof(src)), 0);
+  EXPECT_EQ(dev.stats().num_writes.load(), 1u);
+  EXPECT_EQ(dev.stats().num_reads.load(), 1u);
+}
+
+TEST_F(StorageTest, DeviceRejectsOutOfRange) {
+  DramDevice dev(4096);
+  char buf[64];
+  EXPECT_FALSE(dev.Read(4095, buf, 64).ok());
+  EXPECT_FALSE(dev.Write(5000, buf, 1).ok());
+}
+
+TEST_F(StorageTest, NvmDeviceDirectPointerIsStable) {
+  NvmDevice dev(1 << 20);
+  std::byte* p = dev.DirectPointer(100);
+  p[0] = std::byte{0x5A};
+  char c;
+  ASSERT_TRUE(dev.Read(100, &c, 1).ok());
+  EXPECT_EQ(c, 0x5A);
+}
+
+TEST_F(StorageTest, NvmWriteVolumeIsMediaAmplified) {
+  NvmDevice dev(1 << 20);
+  char buf[64] = {};
+  ASSERT_TRUE(dev.Write(0, buf, 64).ok());
+  // A 64 B write touches a full 256 B media block.
+  EXPECT_EQ(dev.stats().media_bytes_written.load(), 256u);
+  EXPECT_EQ(dev.stats().bytes_written.load(), 64u);
+}
+
+TEST_F(StorageTest, NvmFileBackedPersistsAcrossInstances) {
+  const std::string path = "/tmp/spitfire_nvm_test.bin";
+  std::filesystem::remove(path);
+  {
+    NvmDevice dev(path, 1 << 16);
+    char buf[8] = "hello";
+    ASSERT_TRUE(dev.Write(128, buf, 8).ok());
+    ASSERT_TRUE(dev.Persist(128, 8).ok());
+  }
+  {
+    NvmDevice dev(path, 1 << 16);
+    char buf[8] = {};
+    ASSERT_TRUE(dev.Read(128, buf, 8).ok());
+    EXPECT_STREQ(buf, "hello");
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(StorageTest, SsdMemoryBackedRoundTrips) {
+  SsdDevice dev(1 << 20);
+  std::vector<char> page(16384, 'x');
+  ASSERT_TRUE(dev.Write(16384, page.data(), page.size()).ok());
+  std::vector<char> out(16384);
+  ASSERT_TRUE(dev.Read(16384, out.data(), out.size()).ok());
+  EXPECT_EQ(page, out);
+}
+
+TEST_F(StorageTest, SsdFileBackedRoundTrips) {
+  const std::string path = "/tmp/spitfire_ssd_test.bin";
+  std::filesystem::remove(path);
+  {
+    SsdDevice dev(path, 1 << 20);
+    std::vector<char> page(16384, 'y');
+    ASSERT_TRUE(dev.Write(0, page.data(), page.size()).ok());
+    ASSERT_TRUE(dev.Persist(0, page.size()).ok());
+  }
+  {
+    SsdDevice dev(path, 1 << 20);
+    std::vector<char> out(16384);
+    ASSERT_TRUE(dev.Read(0, out.data(), out.size()).ok());
+    EXPECT_EQ(out[100], 'y');
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(StorageTest, SsdHasNoDirectPointer) {
+  SsdDevice dev(1 << 20);
+  EXPECT_EQ(dev.DirectPointer(0), nullptr);
+}
+
+TEST_F(StorageTest, MemoryModeTracksHitsAndMisses) {
+  MemoryModeDevice dev(/*nvm_capacity=*/1 << 20,
+                       /*dram_cache_capacity=*/1 << 16);
+  char buf[256] = {};
+  // First touch of a block: miss. Second: hit.
+  ASSERT_TRUE(dev.Write(0, buf, 256).ok());
+  const uint64_t m1 = dev.cache_misses();
+  ASSERT_TRUE(dev.Read(0, buf, 256).ok());
+  EXPECT_EQ(dev.cache_misses(), m1);
+  EXPECT_GT(dev.cache_hits(), 0u);
+}
+
+TEST_F(StorageTest, MemoryModeConflictMissesOnAliasedBlocks) {
+  // Cache of 4 sets (1 KB / 256 B); blocks 0 and 4 alias.
+  MemoryModeDevice dev(1 << 20, 1024);
+  char buf[256] = {};
+  ASSERT_TRUE(dev.Read(0, buf, 256).ok());         // miss
+  ASSERT_TRUE(dev.Read(4 * 256, buf, 256).ok());   // conflict miss
+  ASSERT_TRUE(dev.Read(0, buf, 256).ok());         // miss again (evicted)
+  EXPECT_EQ(dev.cache_misses(), 3u);
+  EXPECT_EQ(dev.cache_hits(), 0u);
+}
+
+TEST_F(StorageTest, MemoryModeRejectsPersist) {
+  MemoryModeDevice dev(1 << 20, 1 << 16);
+  EXPECT_EQ(dev.Persist(0, 64).code(), StatusCode::kNotSupported);
+}
+
+TEST_F(StorageTest, LatencyScaleZeroDisablesDelays) {
+  LatencySimulator::SetScale(0.0);
+  EXPECT_EQ(LatencySimulator::scale(), 0.0);
+  Timer t;
+  LatencySimulator::Delay(10'000'000);
+  EXPECT_LT(t.ElapsedNanos(), 1'000'000u);
+}
+
+TEST_F(StorageTest, LatencyScaleAppliesMultiplier) {
+  LatencySimulator::SetScale(1.0);
+  Timer t;
+  LatencySimulator::Delay(2'000'000);  // 2 ms
+  EXPECT_GE(t.ElapsedNanos(), 1'500'000u);
+  LatencySimulator::SetScale(0.0);
+}
+
+TEST_F(StorageTest, FineGrainedReadChargesPerMediaBlock) {
+  NvmDevice dev(1 << 20);
+  char buf[1024];
+  // 1 KB spans four 256 B media blocks: four random requests.
+  ASSERT_TRUE(dev.ReadFineGrained(0, buf, 1024).ok());
+  EXPECT_EQ(dev.stats().num_reads.load(), 4u);
+  dev.stats().Reset();
+  // 64 B still costs one whole-block request (I/O amplification).
+  ASSERT_TRUE(dev.ReadFineGrained(0, buf, 64).ok());
+  EXPECT_EQ(dev.stats().num_reads.load(), 1u);
+  EXPECT_EQ(dev.stats().bytes_read.load(), 64u);
+}
+
+TEST_F(StorageTest, FineGrainedReadReturnsCorrectData) {
+  NvmDevice dev(1 << 20);
+  std::vector<char> src(1024);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<char>(i * 7);
+  ASSERT_TRUE(dev.Write(512, src.data(), src.size()).ok());
+  std::vector<char> dst(1024);
+  ASSERT_TRUE(dev.ReadFineGrained(512, dst.data(), dst.size()).ok());
+  EXPECT_EQ(src, dst);
+}
+
+TEST_F(StorageTest, QueueDepthDivisorStretchesTransfers) {
+  DeviceProfile p = DeviceProfile::OptaneNvm();
+  EXPECT_GT(p.queue_depth_divisor, 1.0);
+  DeviceProfile aggregate = p;
+  aggregate.queue_depth_divisor = 1.0;
+  // A page-sized transfer takes ~divisor times longer at low queue depth;
+  // the idle-latency component is unchanged.
+  EXPECT_GT(p.ReadLatencyNanos(16384, false),
+            aggregate.ReadLatencyNanos(16384, false));
+  EXPECT_EQ(p.rand_read_latency_ns, aggregate.rand_read_latency_ns);
+}
+
+TEST_F(StorageTest, PriceScalesWithCapacity) {
+  DramDevice dev(1'000'000'000);  // 1 GB
+  EXPECT_NEAR(dev.PriceDollars(), 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace spitfire

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/optimistic_latch.h"
+#include "sync/rw_latch.h"
+#include "sync/spin_latch.h"
+
+namespace spitfire {
+namespace {
+
+TEST(SpinLatchTest, LockUnlock) {
+  SpinLatch l;
+  EXPECT_FALSE(l.IsLocked());
+  l.Lock();
+  EXPECT_TRUE(l.IsLocked());
+  EXPECT_FALSE(l.TryLock());
+  l.Unlock();
+  EXPECT_TRUE(l.TryLock());
+  l.Unlock();
+}
+
+TEST(SpinLatchTest, GuardReleases) {
+  SpinLatch l;
+  {
+    SpinLatchGuard g(l);
+    EXPECT_TRUE(l.IsLocked());
+  }
+  EXPECT_FALSE(l.IsLocked());
+}
+
+TEST(SpinLatchTest, MutualExclusionCounter) {
+  SpinLatch l;
+  int counter = 0;
+  std::vector<std::thread> ths;
+  for (int t = 0; t < 4; ++t) {
+    ths.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinLatchGuard g(l);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : ths) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(RwLatchTest, MultipleReaders) {
+  RwLatch l;
+  l.LockShared();
+  EXPECT_TRUE(l.TryLockShared());
+  EXPECT_FALSE(l.TryLockExclusive());
+  l.UnlockShared();
+  l.UnlockShared();
+  EXPECT_TRUE(l.TryLockExclusive());
+  l.UnlockExclusive();
+}
+
+TEST(RwLatchTest, WriterExcludesReaders) {
+  RwLatch l;
+  l.LockExclusive();
+  EXPECT_FALSE(l.TryLockShared());
+  EXPECT_FALSE(l.TryLockExclusive());
+  l.UnlockExclusive();
+}
+
+TEST(RwLatchTest, ConcurrentReadersWritersConsistent) {
+  RwLatch l;
+  int64_t value = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int> anomalies{0};
+  std::vector<std::thread> ths;
+  for (int w = 0; w < 2; ++w) {
+    ths.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        ExclusiveLatchGuard g(l);
+        // Temporarily break the invariant inside the critical section.
+        value += 1;
+        value += 1;
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    ths.emplace_back([&] {
+      while (!stop.load()) {
+        SharedLatchGuard g(l);
+        if (value % 2 != 0) anomalies.fetch_add(1);
+      }
+    });
+  }
+  ths[0].join();
+  ths[1].join();
+  stop.store(true);
+  ths[2].join();
+  ths[3].join();
+  EXPECT_EQ(value, 20000);
+  EXPECT_EQ(anomalies.load(), 0);
+}
+
+TEST(OptimisticLatchTest, ReadValidatesWhenNoWriter) {
+  OptimisticLatch l;
+  const uint64_t v = l.ReadLockOrRestart();
+  ASSERT_NE(v, OptimisticLatch::kRetry);
+  EXPECT_TRUE(l.Validate(v));
+}
+
+TEST(OptimisticLatchTest, WriteBumpsVersion) {
+  OptimisticLatch l;
+  const uint64_t v = l.ReadLockOrRestart();
+  l.WriteLock();
+  l.WriteUnlock();
+  EXPECT_FALSE(l.Validate(v));
+}
+
+TEST(OptimisticLatchTest, ReadSeesLockedWriter) {
+  OptimisticLatch l;
+  l.WriteLock();
+  EXPECT_EQ(l.ReadLockOrRestart(), OptimisticLatch::kRetry);
+  EXPECT_TRUE(l.IsWriteLocked());
+  l.WriteUnlock();
+  EXPECT_NE(l.ReadLockOrRestart(), OptimisticLatch::kRetry);
+}
+
+TEST(OptimisticLatchTest, UpgradeFailsAfterIntervening) {
+  OptimisticLatch l;
+  const uint64_t v = l.ReadLockOrRestart();
+  l.WriteLock();
+  l.WriteUnlock();
+  EXPECT_FALSE(l.UpgradeToWriteLock(v));
+}
+
+TEST(OptimisticLatchTest, UpgradeSucceedsWhenUnchanged) {
+  OptimisticLatch l;
+  const uint64_t v = l.ReadLockOrRestart();
+  ASSERT_TRUE(l.UpgradeToWriteLock(v));
+  EXPECT_TRUE(l.IsWriteLocked());
+  l.WriteUnlock();
+}
+
+TEST(OptimisticLatchTest, UnlockNoBumpKeepsVersion) {
+  OptimisticLatch l;
+  const uint64_t v = l.ReadLockOrRestart();
+  l.WriteLock();
+  l.WriteUnlockNoBump();
+  EXPECT_TRUE(l.Validate(v));
+}
+
+TEST(OptimisticLatchTest, OptimisticReadersDetectConcurrentWrites) {
+  OptimisticLatch l;
+  uint64_t data[2] = {0, 0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread writer([&] {
+    for (uint64_t i = 1; i <= 20000; ++i) {
+      l.WriteLock();
+      data[0] = i;
+      data[1] = i;
+      l.WriteUnlock();
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const uint64_t v = l.ReadLockOrRestart();
+      if (v == OptimisticLatch::kRetry) continue;
+      const uint64_t a = data[0];
+      const uint64_t b = data[1];
+      if (l.Validate(v) && a != b) torn.fetch_add(1);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+}  // namespace
+}  // namespace spitfire

@@ -1,0 +1,281 @@
+// Table-level MVTO tests: version chains, visibility, conflict rules,
+// garbage collection, and slot recycling — exercised directly against the
+// versioned heap (db/table.h).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "db/database.h"
+#include "storage/perf_model.h"
+
+namespace spitfire {
+namespace {
+
+struct Item {
+  uint64_t value;
+  uint64_t pad[3];
+};
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LatencySimulator::SetScale(0.0);
+    DatabaseOptions opts;
+    opts.dram_frames = 64;
+    opts.nvm_frames = 64;
+    opts.policy = MigrationPolicy::Lazy();
+    opts.enable_wal = false;
+    db_ = Database::Create(opts).MoveValue();
+    table_ = db_->CreateTable(1, sizeof(Item)).value();
+  }
+  void TearDown() override { LatencySimulator::SetScale(1.0); }
+
+  void InsertCommitted(uint64_t key, uint64_t value) {
+    auto txn = db_->Begin();
+    Item it{value, {}};
+    ASSERT_TRUE(table_->Insert(txn.get(), key, &it).ok());
+    ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  }
+
+  void UpdateCommitted(uint64_t key, uint64_t value) {
+    auto txn = db_->Begin();
+    Item it{value, {}};
+    ASSERT_TRUE(table_->Update(txn.get(), key, &it).ok());
+    ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  }
+
+  uint64_t ReadCommitted(uint64_t key) {
+    auto txn = db_->Begin();
+    Item it{};
+    EXPECT_TRUE(table_->Read(txn.get(), key, &it).ok());
+    EXPECT_TRUE(db_->Commit(txn.get()).ok());
+    return it.value;
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(TableTest, InsertThenReadLatest) {
+  InsertCommitted(1, 100);
+  EXPECT_EQ(ReadCommitted(1), 100u);
+  UpdateCommitted(1, 200);
+  EXPECT_EQ(ReadCommitted(1), 200u);
+}
+
+TEST_F(TableTest, ReadMissingKeyIsNotFound) {
+  auto txn = db_->Begin();
+  Item it{};
+  EXPECT_TRUE(table_->Read(txn.get(), 777, &it).IsNotFound());
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(TableTest, DuplicateInsertRejected) {
+  InsertCommitted(5, 1);
+  auto txn = db_->Begin();
+  Item it{2, {}};
+  EXPECT_EQ(table_->Insert(txn.get(), 5, &it).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+}
+
+TEST_F(TableTest, UpdateOfMissingKeyIsNotFound) {
+  auto txn = db_->Begin();
+  Item it{1, {}};
+  EXPECT_TRUE(table_->Update(txn.get(), 42, &it).IsNotFound());
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+}
+
+TEST_F(TableTest, VersionChainServesHistoricalReads) {
+  InsertCommitted(1, 10);
+  // Three snapshots interleaved with updates.
+  auto t1 = db_->Begin();
+  UpdateCommitted(1, 20);
+  auto t2 = db_->Begin();
+  UpdateCommitted(1, 30);
+  auto t3 = db_->Begin();
+
+  Item it{};
+  ASSERT_TRUE(table_->Read(t1.get(), 1, &it).ok());
+  EXPECT_EQ(it.value, 10u);
+  ASSERT_TRUE(table_->Read(t2.get(), 1, &it).ok());
+  EXPECT_EQ(it.value, 20u);
+  ASSERT_TRUE(table_->Read(t3.get(), 1, &it).ok());
+  EXPECT_EQ(it.value, 30u);
+  ASSERT_TRUE(db_->Commit(t1.get()).ok());
+  ASSERT_TRUE(db_->Commit(t2.get()).ok());
+  ASSERT_TRUE(db_->Commit(t3.get()).ok());
+}
+
+TEST_F(TableTest, WriteWriteConflictSecondWriterAborts) {
+  InsertCommitted(1, 10);
+  auto a = db_->Begin();
+  auto b = db_->Begin();
+  Item it{11, {}};
+  ASSERT_TRUE(table_->Update(a.get(), 1, &it).ok());
+  it.value = 12;
+  EXPECT_TRUE(table_->Update(b.get(), 1, &it).IsAborted());
+  ASSERT_TRUE(db_->Abort(b.get()).ok());
+  ASSERT_TRUE(db_->Commit(a.get()).ok());
+  EXPECT_EQ(ReadCommitted(1), 11u);
+}
+
+TEST_F(TableTest, OlderWriterAbortsAfterYoungerRead) {
+  InsertCommitted(1, 10);
+  auto old_writer = db_->Begin();
+  auto young = db_->Begin();
+  Item it{};
+  ASSERT_TRUE(table_->Read(young.get(), 1, &it).ok());
+  ASSERT_TRUE(db_->Commit(young.get()).ok());
+  it.value = 99;
+  EXPECT_TRUE(table_->Update(old_writer.get(), 1, &it).IsAborted());
+  ASSERT_TRUE(db_->Abort(old_writer.get()).ok());
+}
+
+TEST_F(TableTest, OlderWriterSucceedsWhenNoYoungerRead) {
+  InsertCommitted(1, 10);
+  auto w = db_->Begin();
+  Item it{55, {}};
+  EXPECT_TRUE(table_->Update(w.get(), 1, &it).ok());
+  ASSERT_TRUE(db_->Commit(w.get()).ok());
+  EXPECT_EQ(ReadCommitted(1), 55u);
+}
+
+TEST_F(TableTest, SelfUpdateTwiceInOneTxn) {
+  InsertCommitted(1, 10);
+  auto txn = db_->Begin();
+  Item it{20, {}};
+  ASSERT_TRUE(table_->Update(txn.get(), 1, &it).ok());
+  it.value = 30;
+  ASSERT_TRUE(table_->Update(txn.get(), 1, &it).ok());
+  ASSERT_TRUE(table_->Read(txn.get(), 1, &it).ok());
+  EXPECT_EQ(it.value, 30u);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  EXPECT_EQ(ReadCommitted(1), 30u);
+}
+
+TEST_F(TableTest, InsertThenUpdateInSameTxn) {
+  auto txn = db_->Begin();
+  Item it{1, {}};
+  ASSERT_TRUE(table_->Insert(txn.get(), 9, &it).ok());
+  // Updating own uncommitted insert: the head is ours.
+  it.value = 2;
+  ASSERT_TRUE(table_->Update(txn.get(), 9, &it).ok());
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  EXPECT_EQ(ReadCommitted(9), 2u);
+}
+
+TEST_F(TableTest, AbortedUpdateRestoresOldHeadForWriters) {
+  InsertCommitted(1, 10);
+  {
+    auto txn = db_->Begin();
+    Item it{99, {}};
+    ASSERT_TRUE(table_->Update(txn.get(), 1, &it).ok());
+    ASSERT_TRUE(db_->Abort(txn.get()).ok());
+  }
+  // The key remains updatable afterwards (the write lock was released).
+  UpdateCommitted(1, 11);
+  EXPECT_EQ(ReadCommitted(1), 11u);
+}
+
+TEST_F(TableTest, GcReclaimsSlotsAcrossManyUpdates) {
+  InsertCommitted(1, 0);
+  for (uint64_t i = 1; i <= 5000; ++i) UpdateCommitted(1, i);
+  EXPECT_EQ(ReadCommitted(1), 5000u);
+  // 5000 versions of a 32 B tuple without GC would need ~25 pages; GC
+  // keeps the heap at a handful.
+  EXPECT_LT(table_->allocated_pages(), 5u);
+}
+
+TEST_F(TableTest, GcRespectsActiveSnapshots) {
+  InsertCommitted(1, 10);
+  auto pinned = db_->Begin();  // holds the watermark
+  for (uint64_t i = 0; i < 50; ++i) UpdateCommitted(1, 100 + i);
+  // The old version must still be readable by the pinned snapshot.
+  Item it{};
+  ASSERT_TRUE(table_->Read(pinned.get(), 1, &it).ok());
+  EXPECT_EQ(it.value, 10u);
+  ASSERT_TRUE(db_->Commit(pinned.get()).ok());
+}
+
+TEST_F(TableTest, ScanRangeAndVisibility) {
+  for (uint64_t k = 10; k < 20; ++k) InsertCommitted(k, k * 2);
+  auto txn = db_->Begin();
+  uint64_t sum = 0;
+  ASSERT_TRUE(table_->Scan(txn.get(), 12, 15,
+                           [&](uint64_t, const void* t) {
+                             sum += static_cast<const Item*>(t)->value;
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(sum, (12 + 13 + 14 + 15) * 2u);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(TableTest, ScanStopsWhenCallbackReturnsFalse) {
+  for (uint64_t k = 0; k < 10; ++k) InsertCommitted(k, k);
+  auto txn = db_->Begin();
+  int seen = 0;
+  ASSERT_TRUE(table_->Scan(txn.get(), 0, 9,
+                           [&](uint64_t, const void*) {
+                             return ++seen < 3;
+                           })
+                  .ok());
+  EXPECT_EQ(seen, 3);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(TableTest, ConcurrentUpdatersSingleKeySerialize) {
+  InsertCommitted(1, 0);
+  std::atomic<int> commits{0};
+  std::vector<std::thread> ths;
+  for (int t = 0; t < 4; ++t) {
+    ths.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        auto txn = db_->Begin();
+        Item it{};
+        if (!table_->Read(txn.get(), 1, &it).ok()) {
+          (void)db_->Abort(txn.get());
+          continue;
+        }
+        it.value += 1;
+        if (!table_->Update(txn.get(), 1, &it).ok()) {
+          (void)db_->Abort(txn.get());
+          continue;
+        }
+        if (db_->Commit(txn.get()).ok()) commits.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : ths) th.join();
+  // Counter must equal the number of committed increments (no lost
+  // updates) — the serializability core of MVTO.
+  EXPECT_EQ(ReadCommitted(1), static_cast<uint64_t>(commits.load()));
+  EXPECT_GT(commits.load(), 0);
+}
+
+TEST_F(TableTest, LargeTupleSpanningManyCacheLines) {
+  DatabaseOptions opts;
+  opts.dram_frames = 32;
+  opts.nvm_frames = 32;
+  opts.enable_wal = false;
+  auto db = Database::Create(opts).MoveValue();
+  // 4 KB tuples: 3 per page.
+  Table* t = db->CreateTable(2, 4096).value();
+  std::vector<std::byte> tuple(4096);
+  for (uint64_t k = 0; k < 50; ++k) {
+    auto txn = db->Begin();
+    std::fill(tuple.begin(), tuple.end(), std::byte{static_cast<uint8_t>(k)});
+    ASSERT_TRUE(t->Insert(txn.get(), k, tuple.data()).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  auto txn = db->Begin();
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(t->Read(txn.get(), k, tuple.data()).ok());
+    EXPECT_EQ(tuple[4095], std::byte{static_cast<uint8_t>(k)});
+  }
+  ASSERT_TRUE(db->Commit(txn.get()).ok());
+}
+
+}  // namespace
+}  // namespace spitfire

@@ -1,0 +1,120 @@
+// Unit tests for the transaction manager (timestamp authority, active-set
+// watermark) and transaction bookkeeping.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "txn/mvto_manager.h"
+
+namespace spitfire {
+namespace {
+
+TEST(TransactionManagerTest, TimestampsAreUniqueAndMonotonic) {
+  TransactionManager tm;
+  auto t1 = tm.Begin();
+  auto t2 = tm.Begin();
+  auto t3 = tm.Begin();
+  EXPECT_LT(t1->ts(), t2->ts());
+  EXPECT_LT(t2->ts(), t3->ts());
+  EXPECT_EQ(t1->id(), t1->ts());  // MVTO: one timestamp per txn
+  tm.Finish(t1.get());
+  tm.Finish(t2.get());
+  tm.Finish(t3.get());
+}
+
+TEST(TransactionManagerTest, MinActiveTsTracksOldest) {
+  TransactionManager tm;
+  auto t1 = tm.Begin();
+  auto t2 = tm.Begin();
+  EXPECT_EQ(tm.MinActiveTs(), t1->ts());
+  tm.Finish(t1.get());
+  EXPECT_EQ(tm.MinActiveTs(), t2->ts());
+  tm.Finish(t2.get());
+  // Empty active set: watermark advances to the dispenser frontier.
+  EXPECT_GT(tm.MinActiveTs(), t2->ts());
+}
+
+TEST(TransactionManagerTest, ActiveCount) {
+  TransactionManager tm;
+  EXPECT_EQ(tm.active_count(), 0u);
+  auto t1 = tm.Begin();
+  auto t2 = tm.Begin();
+  EXPECT_EQ(tm.active_count(), 2u);
+  tm.Finish(t2.get());
+  EXPECT_EQ(tm.active_count(), 1u);
+  tm.Finish(t1.get());
+  EXPECT_EQ(tm.active_count(), 0u);
+}
+
+TEST(TransactionManagerTest, FinishIsIdempotent) {
+  TransactionManager tm;
+  auto t1 = tm.Begin();
+  tm.Finish(t1.get());
+  tm.Finish(t1.get());  // second finish must not corrupt the active set
+  EXPECT_EQ(tm.active_count(), 0u);
+}
+
+TEST(TransactionManagerTest, AdvanceToSkipsForward) {
+  TransactionManager tm;
+  tm.AdvanceTo(1000);
+  auto t = tm.Begin();
+  EXPECT_GE(t->ts(), 1000u);
+  tm.Finish(t.get());
+  // AdvanceTo never moves backwards.
+  tm.AdvanceTo(5);
+  auto t2 = tm.Begin();
+  EXPECT_GT(t2->ts(), t->ts());
+  tm.Finish(t2.get());
+}
+
+TEST(TransactionManagerTest, ConcurrentBeginsAreUnique) {
+  TransactionManager tm;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<timestamp_t>> seen(kThreads);
+  std::vector<std::thread> ths;
+  for (int t = 0; t < kThreads; ++t) {
+    ths.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto txn = tm.Begin();
+        seen[static_cast<size_t>(t)].push_back(txn->ts());
+        tm.Finish(txn.get());
+      }
+    });
+  }
+  for (auto& th : ths) th.join();
+  std::set<timestamp_t> all;
+  for (const auto& v : seen) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tm.active_count(), 0u);
+}
+
+TEST(TransactionTest, StateTransitions) {
+  Transaction txn(7, 7);
+  EXPECT_EQ(txn.state(), TxnState::kActive);
+  txn.set_state(TxnState::kCommitted);
+  EXPECT_EQ(txn.state(), TxnState::kCommitted);
+}
+
+TEST(TransactionTest, RidPackingRoundTrips) {
+  const rid_t rid = MakeRid(0xABCDEF, 0x1234);
+  EXPECT_EQ(RidPage(rid), 0xABCDEFu);
+  EXPECT_EQ(RidSlot(rid), 0x1234u);
+  EXPECT_NE(rid, kInvalidRid);
+}
+
+TEST(TransactionTest, WriteSetAccumulates) {
+  Transaction txn(1, 1);
+  txn.write_set.push_back(Transaction::WriteOp{
+      Transaction::WriteOp::Kind::kInsert, 1, 10, MakeRid(1, 0),
+      kInvalidRid});
+  txn.write_set.push_back(Transaction::WriteOp{
+      Transaction::WriteOp::Kind::kDelete, 1, 10, MakeRid(2, 0),
+      MakeRid(1, 0)});
+  EXPECT_EQ(txn.write_set.size(), 2u);
+  EXPECT_EQ(txn.write_set[1].old_rid, MakeRid(1, 0));
+}
+
+}  // namespace
+}  // namespace spitfire
