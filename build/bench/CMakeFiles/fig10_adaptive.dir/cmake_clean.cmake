@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_adaptive.dir/fig10_adaptive.cc.o"
+  "CMakeFiles/fig10_adaptive.dir/fig10_adaptive.cc.o.d"
+  "fig10_adaptive"
+  "fig10_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_lifetime.dir/fig13_lifetime.cc.o"
+  "CMakeFiles/fig13_lifetime.dir/fig13_lifetime.cc.o.d"
+  "fig13_lifetime"
+  "fig13_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_storage_design.dir/fig14_storage_design.cc.o"
+  "CMakeFiles/fig14_storage_design.dir/fig14_storage_design.cc.o.d"
+  "fig14_storage_design"
+  "fig14_storage_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_storage_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

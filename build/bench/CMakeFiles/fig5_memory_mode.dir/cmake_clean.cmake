@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_memory_mode.dir/fig5_memory_mode.cc.o"
+  "CMakeFiles/fig5_memory_mode.dir/fig5_memory_mode.cc.o.d"
+  "fig5_memory_mode"
+  "fig5_memory_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_memory_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

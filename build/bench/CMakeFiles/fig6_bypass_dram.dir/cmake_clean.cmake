@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bypass_dram.dir/fig6_bypass_dram.cc.o"
+  "CMakeFiles/fig6_bypass_dram.dir/fig6_bypass_dram.cc.o.d"
+  "fig6_bypass_dram"
+  "fig6_bypass_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bypass_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

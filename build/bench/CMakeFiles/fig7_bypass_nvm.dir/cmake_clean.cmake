@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bypass_nvm.dir/fig7_bypass_nvm.cc.o"
+  "CMakeFiles/fig7_bypass_nvm.dir/fig7_bypass_nvm.cc.o.d"
+  "fig7_bypass_nvm"
+  "fig7_bypass_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bypass_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_nvm_writes.dir/fig8_nvm_writes.cc.o"
+  "CMakeFiles/fig8_nvm_writes.dir/fig8_nvm_writes.cc.o.d"
+  "fig8_nvm_writes"
+  "fig8_nvm_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nvm_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

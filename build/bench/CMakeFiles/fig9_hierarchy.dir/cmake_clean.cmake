@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hierarchy.dir/fig9_hierarchy.cc.o"
+  "CMakeFiles/fig9_hierarchy.dir/fig9_hierarchy.cc.o.d"
+  "fig9_hierarchy"
+  "fig9_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

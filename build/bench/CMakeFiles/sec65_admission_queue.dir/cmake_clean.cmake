@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec65_admission_queue.dir/sec65_admission_queue.cc.o"
+  "CMakeFiles/sec65_admission_queue.dir/sec65_admission_queue.cc.o.d"
+  "sec65_admission_queue"
+  "sec65_admission_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec65_admission_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_inclusivity.dir/table2_inclusivity.cc.o"
+  "CMakeFiles/table2_inclusivity.dir/table2_inclusivity.cc.o.d"
+  "table2_inclusivity"
+  "table2_inclusivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_inclusivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_tuning.dir/ycsb_tuning.cpp.o"
+  "CMakeFiles/ycsb_tuning.dir/ycsb_tuning.cpp.o.d"
+  "ycsb_tuning"
+  "ycsb_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

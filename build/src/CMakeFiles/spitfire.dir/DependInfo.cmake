@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/annealing_tuner.cc" "src/CMakeFiles/spitfire.dir/adaptive/annealing_tuner.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/adaptive/annealing_tuner.cc.o.d"
+  "/root/repo/src/adaptive/grid_search.cc" "src/CMakeFiles/spitfire.dir/adaptive/grid_search.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/adaptive/grid_search.cc.o.d"
+  "/root/repo/src/buffer/buffer_manager.cc" "src/CMakeFiles/spitfire.dir/buffer/buffer_manager.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/buffer/buffer_manager.cc.o.d"
+  "/root/repo/src/buffer/buffer_pool.cc" "src/CMakeFiles/spitfire.dir/buffer/buffer_pool.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/buffer/buffer_pool.cc.o.d"
+  "/root/repo/src/buffer/clock_replacer.cc" "src/CMakeFiles/spitfire.dir/buffer/clock_replacer.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/buffer/clock_replacer.cc.o.d"
+  "/root/repo/src/buffer/migration_policy.cc" "src/CMakeFiles/spitfire.dir/buffer/migration_policy.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/buffer/migration_policy.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/spitfire.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/spitfire.dir/common/random.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/spitfire.dir/common/status.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/common/status.cc.o.d"
+  "/root/repo/src/common/timer.cc" "src/CMakeFiles/spitfire.dir/common/timer.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/common/timer.cc.o.d"
+  "/root/repo/src/container/admission_queue.cc" "src/CMakeFiles/spitfire.dir/container/admission_queue.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/container/admission_queue.cc.o.d"
+  "/root/repo/src/container/concurrent_bitmap.cc" "src/CMakeFiles/spitfire.dir/container/concurrent_bitmap.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/container/concurrent_bitmap.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/spitfire.dir/db/database.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/db/database.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/CMakeFiles/spitfire.dir/db/table.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/db/table.cc.o.d"
+  "/root/repo/src/hymem/cacheline_page.cc" "src/CMakeFiles/spitfire.dir/hymem/cacheline_page.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/hymem/cacheline_page.cc.o.d"
+  "/root/repo/src/hymem/mini_page.cc" "src/CMakeFiles/spitfire.dir/hymem/mini_page.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/hymem/mini_page.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/spitfire.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/index/btree.cc.o.d"
+  "/root/repo/src/storage/dram_device.cc" "src/CMakeFiles/spitfire.dir/storage/dram_device.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/storage/dram_device.cc.o.d"
+  "/root/repo/src/storage/memory_mode_device.cc" "src/CMakeFiles/spitfire.dir/storage/memory_mode_device.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/storage/memory_mode_device.cc.o.d"
+  "/root/repo/src/storage/nvm_device.cc" "src/CMakeFiles/spitfire.dir/storage/nvm_device.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/storage/nvm_device.cc.o.d"
+  "/root/repo/src/storage/perf_model.cc" "src/CMakeFiles/spitfire.dir/storage/perf_model.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/storage/perf_model.cc.o.d"
+  "/root/repo/src/storage/ssd_device.cc" "src/CMakeFiles/spitfire.dir/storage/ssd_device.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/storage/ssd_device.cc.o.d"
+  "/root/repo/src/txn/mvto_manager.cc" "src/CMakeFiles/spitfire.dir/txn/mvto_manager.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/txn/mvto_manager.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/spitfire.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/wal/checkpointer.cc" "src/CMakeFiles/spitfire.dir/wal/checkpointer.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/wal/checkpointer.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/spitfire.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/spitfire.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/wal/log_record.cc.o.d"
+  "/root/repo/src/wal/nvm_log_buffer.cc" "src/CMakeFiles/spitfire.dir/wal/nvm_log_buffer.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/wal/nvm_log_buffer.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/spitfire.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/spitfire.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/spitfire.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/spitfire.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_internals_test.dir/buffer_internals_test.cc.o"
+  "CMakeFiles/buffer_internals_test.dir/buffer_internals_test.cc.o.d"
+  "buffer_internals_test"
+  "buffer_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hymem_test.dir/hymem_test.cc.o"
+  "CMakeFiles/hymem_test.dir/hymem_test.cc.o.d"
+  "hymem_test"
+  "hymem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hymem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
