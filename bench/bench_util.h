@@ -306,6 +306,51 @@ inline RunResult RunPoint(const HierarchySpec& spec, const AccessPattern& pat,
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable output
+// ---------------------------------------------------------------------------
+
+// Accumulates one flat JSON object and prints it as a single line. Used by
+// the micro benchmarks so regressions are diffable:
+//   JsonLine().Str("bench", "micro_hit_path").Num("threads", 8).Print();
+class JsonLine {
+ public:
+  JsonLine& Str(const char* key, const std::string& v) {
+    Key(key);
+    buf_ += '"';
+    buf_ += v;
+    buf_ += '"';
+    return *this;
+  }
+  JsonLine& Num(const char* key, double v) {
+    char tmp[64];
+    std::snprintf(tmp, sizeof(tmp), "%.1f", v);
+    Key(key);
+    buf_ += tmp;
+    return *this;
+  }
+  JsonLine& Num(const char* key, uint64_t v) {
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%llu", (unsigned long long)v);
+    Key(key);
+    buf_ += tmp;
+    return *this;
+  }
+  JsonLine& Num(const char* key, int v) {
+    return Num(key, static_cast<uint64_t>(v));
+  }
+  void Print() { std::printf("{%s}\n", buf_.c_str()); }
+
+ private:
+  void Key(const char* key) {
+    if (!buf_.empty()) buf_ += ", ";
+    buf_ += '"';
+    buf_ += key;
+    buf_ += "\": ";
+  }
+  std::string buf_;
+};
+
 inline void PrintBanner(const char* id, const char* title) {
   std::printf("==========================================================\n");
   std::printf("%s — %s\n", id, title);

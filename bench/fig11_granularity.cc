@@ -38,7 +38,7 @@ int main() {
     WarmUp(*h.bm, gen, pat.num_pages + 30000);
     const double ops = MeasureOps(*h.bm, gen, /*threads=*/1, seconds);
     const double loads =
-        static_cast<double>(h.bm->stats().fine_grained_loads.load());
+        static_cast<double>(h.bm->stats().Snapshot().fine_grained_loads);
     const double per_op = ops > 0 ? loads / (ops * seconds) : 0;
     std::printf("%-14u %12.0f %14.2f\n", g, ops, per_op);
     std::fflush(stdout);

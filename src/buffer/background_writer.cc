@@ -1,0 +1,69 @@
+#include "buffer/background_writer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "buffer/buffer_manager.h"
+
+namespace spitfire {
+
+BackgroundWriter::BackgroundWriter(BufferManager* bm, size_t low_watermark,
+                                   uint64_t interval_us)
+    : bm_(bm), low_watermark_(low_watermark), interval_us_(interval_us) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+BackgroundWriter::~BackgroundWriter() { Stop(); }
+
+void BackgroundWriter::Nudge() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    nudged_ = true;
+  }
+  cv_.notify_one();
+}
+
+void BackgroundWriter::Stop() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+void BackgroundWriter::Run() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!stop_) {
+    cv_.wait_for(l, std::chrono::microseconds(interval_us_),
+                 [this] { return stop_ || nudged_; });
+    if (stop_) break;
+    nudged_ = false;
+    l.unlock();
+    if (bm_->dram_pool() != nullptr) ReplenishPool(/*dram=*/true);
+    if (bm_->nvm_pool() != nullptr) ReplenishPool(/*dram=*/false);
+    l.lock();
+  }
+}
+
+size_t BackgroundWriter::ReplenishPool(bool dram) {
+  BufferPool* pool = dram ? bm_->dram_pool() : bm_->nvm_pool();
+  if (pool->FreeCount() >= low_watermark_) return 0;
+  const size_t high =
+      std::min(pool->num_frames(), std::max<size_t>(1, low_watermark_) * 2);
+  size_t reclaimed = 0;
+  // Bound the sweep so a pool where everything is pinned cannot spin the
+  // writer forever; the next timer tick or nudge retries.
+  const size_t max_attempts = high * 4 + 16;
+  for (size_t i = 0; i < max_attempts && pool->FreeCount() < high; ++i) {
+    const frame_id_t victim =
+        dram ? bm_->EvictOneDramFrame() : bm_->EvictOneNvmFrame();
+    if (victim == kInvalidFrameId) break;  // nothing evictable right now
+    ++reclaimed;
+  }
+  pages_written_back_.fetch_add(reclaimed, std::memory_order_relaxed);
+  return reclaimed;
+}
+
+}  // namespace spitfire

@@ -1,0 +1,69 @@
+#ifndef SPITFIRE_BUFFER_BACKGROUND_WRITER_H_
+#define SPITFIRE_BUFFER_BACKGROUND_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace spitfire {
+
+class BufferManager;
+
+// Background writeback / eviction thread (one per BufferManager).
+//
+// Foreground frame acquisition (AcquireDramFrame / AcquireNvmFrame) only
+// pays for eviction — including a synchronous SSD write when the victim is
+// dirty — if the pool's free list is empty. The background writer keeps
+// that from happening: whenever a pool's free count drops below its low
+// watermark it evicts batches of CLOCK victims (writing dirty ones back)
+// until the free count reaches the high watermark, so foreground misses
+// almost always find a clean, free frame waiting.
+//
+// The writer wakes on a timer and whenever a foreground thread fails to
+// pop a free frame (Nudge). It reuses the buffer manager's ordinary
+// TryEvict* slow paths, so all latching/retire rules are unchanged.
+class BackgroundWriter {
+ public:
+  // `low_watermark` is in frames; the high watermark is 2× low, clamped to
+  // the pool size. `interval_us` bounds how stale the watermark check can
+  // get when nobody nudges.
+  BackgroundWriter(BufferManager* bm, size_t low_watermark,
+                   uint64_t interval_us);
+  ~BackgroundWriter();
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(BackgroundWriter);
+
+  // Wakes the writer immediately (called on free-list misses).
+  void Nudge();
+
+  // Stops and joins the thread. Safe to call multiple times; called by the
+  // destructor and by ~BufferManager before the pools are torn down.
+  void Stop();
+
+  uint64_t pages_written_back() const {
+    return pages_written_back_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  // Evicts until `pool`'s free count reaches the high watermark; returns
+  // the number of frames reclaimed this round.
+  size_t ReplenishPool(bool dram);
+
+  BufferManager* const bm_;
+  const size_t low_watermark_;
+  const uint64_t interval_us_;
+  std::atomic<uint64_t> pages_written_back_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool nudged_ = false;
+  std::thread thread_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_BUFFER_BACKGROUND_WRITER_H_

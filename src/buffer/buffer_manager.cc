@@ -10,8 +10,8 @@ namespace spitfire {
 
 namespace {
 constexpr int kFetchMaxAttempts = 8192;
-// How long a promotion waits for NVM readers to drain (Section 5.2) before
-// giving up and serving the access from NVM instead.
+// How long a promotion waits to retire the NVM copy (drain optimistic
+// pins, Section 5.2) before giving up and serving the access from NVM.
 constexpr int kPinDrainSpins = 4096;
 }  // namespace
 
@@ -58,6 +58,7 @@ void PageGuard::Release() {
 BufferManager::BufferManager(const BufferManagerOptions& options)
     : options_(options) {
   SPITFIRE_CHECK(options_.ssd != nullptr);
+  SPITFIRE_CHECK(options_.replacer_sample_rate >= 1);
   ssd_ = options_.ssd;
   SetPolicy(options_.policy);
 
@@ -115,9 +116,26 @@ BufferManager::BufferManager(const BufferManagerOptions& options)
     }
   }
   SPITFIRE_CHECK(dram_pool_ != nullptr || nvm_pool_ != nullptr);
+
+  if (options_.enable_background_writer) {
+    size_t wm = options_.bg_writer_low_watermark;
+    if (wm == 0) {
+      size_t smallest = SIZE_MAX;
+      if (dram_pool_ != nullptr) smallest = dram_pool_->num_frames();
+      if (nvm_pool_ != nullptr) {
+        smallest = std::min(smallest, nvm_pool_->num_frames());
+      }
+      wm = std::max<size_t>(1, smallest / 8);
+    }
+    bg_writer_ = std::make_unique<BackgroundWriter>(
+        this, wm, options_.bg_writer_interval_us);
+  }
 }
 
-BufferManager::~BufferManager() = default;
+BufferManager::~BufferManager() {
+  // Stop the writer before the pools it sweeps are torn down.
+  if (bg_writer_ != nullptr) bg_writer_->Stop();
+}
 
 SharedPageDescriptor* BufferManager::GetOrCreateDescriptor(page_id_t pid) {
   return mapping_table_.GetOrCreate(pid, [this, pid]() {
@@ -130,37 +148,50 @@ SharedPageDescriptor* BufferManager::GetOrCreateDescriptor(page_id_t pid) {
 }
 
 // ---------------------------------------------------------------------------
-// Pinning
+// Pinning (the latch-free hit path)
 // ---------------------------------------------------------------------------
 
+bool BufferManager::ShouldSampleAccess() {
+  const uint32_t k = options_.replacer_sample_rate;
+  if (k <= 1) return true;
+  thread_local uint32_t tick = 0;
+  return (++tick % k) == 0;
+}
+
 bool BufferManager::TryPinDram(SharedPageDescriptor* d) {
-  SpinLatchGuard g(d->dram_latch);
-  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
-  if (mode == DramMode::kNone) return false;
-  d->dram.pins.fetch_add(1, std::memory_order_acquire);
-  if (mode == DramMode::kMini) {
-    mini_.replacer->RecordAccess(d->mini_id);
-  } else {
-    dram_pool_->replacer().RecordAccess(
-        d->dram.frame.load(std::memory_order_relaxed));
+  const DramMode m = d->dram.TryPin();
+  if (m == DramMode::kNone) return false;
+  // Sampled CLOCK accounting: the reference bitmap is shared, so touching
+  // it on every hit restores the very contention the latch-free pin
+  // removed. Misses are recorded exactly at install time.
+  if (ShouldSampleAccess()) {
+    if (m == DramMode::kMini) {
+      // `mini_id` may be stale if a concurrent overflow promoted the page
+      // to a full frame; a stray reference bit on a freed slot is benign.
+      mini_.replacer->RecordAccess(d->mini_id.load(std::memory_order_relaxed));
+    } else {
+      dram_pool_->replacer().RecordAccess(
+          d->dram.frame.load(std::memory_order_relaxed));
+    }
   }
   return true;
 }
 
 bool BufferManager::TryPinNvm(SharedPageDescriptor* d) {
-  SpinLatchGuard g(d->nvm_latch);
-  const frame_id_t f = d->nvm.frame.load(std::memory_order_relaxed);
-  if (f == kInvalidFrameId) return false;
-  d->nvm.pins.fetch_add(1, std::memory_order_acquire);
-  nvm_pool_->replacer().RecordAccess(f);
+  if (d->nvm.TryPin() == DramMode::kNone) return false;
+  if (ShouldSampleAccess()) {
+    nvm_pool_->replacer().RecordAccess(
+        d->nvm.frame.load(std::memory_order_relaxed));
+  }
   return true;
 }
 
 void BufferManager::Unpin(SharedPageDescriptor* d, Tier tier) {
-  TierState& ts = tier == Tier::kDram ? d->dram : d->nvm;
-  const uint32_t prev = ts.pins.fetch_sub(1, std::memory_order_release);
-  SPITFIRE_DCHECK(prev > 0);
-  (void)prev;
+  if (tier == Tier::kDram) {
+    d->dram.Unpin();
+  } else {
+    d->nvm.Unpin();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -176,9 +207,9 @@ Result<PageGuard> BufferManager::FetchPage(page_id_t pid,
   const MigrationPolicy pol = policy();
 
   for (int attempt = 0; attempt < kFetchMaxAttempts; ++attempt) {
-    // 1. DRAM hit.
+    // 1. DRAM hit: one CAS on the packed state word, no latch.
     if (TryPinDram(d)) {
-      stats_.dram_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.Add(BufferCounter::kDramHits);
       return PageGuard(this, d, Tier::kDram);
     }
 
@@ -194,7 +225,19 @@ Result<PageGuard> BufferManager::FetchPage(page_id_t pid,
         // Busy: fall through and serve from NVM.
       }
       if (TryPinNvm(d)) {
-        stats_.nvm_hits.fetch_add(1, std::memory_order_relaxed);
+        if (d->DramResident()) {
+          // A promotion slipped in between the DRAM miss above and this
+          // pin. Once a DRAM copy exists it is authoritative — every
+          // other thread pins it first and writes land there — so serving
+          // (or writing) the NVM copy now would act on stale bytes.
+          // Promotion cannot exclude us either: it only drains NVM pins
+          // that exist while it runs. Drop the pin and retry; the pin CAS
+          // (acquire) pairs with the promoter's release publishes, so
+          // this residency re-read is reliable.
+          Unpin(d, Tier::kNvm);
+          continue;
+        }
+        stats_.Add(BufferCounter::kNvmHits);
         return PageGuard(this, d, Tier::kNvm);
       }
       continue;  // raced with an NVM eviction
@@ -224,8 +267,7 @@ Result<PageGuard> BufferManager::NewPage(uint32_t page_type) {
       dram_pool_->SetOwner(f, d, pid);
       d->dram.frame.store(f, std::memory_order_relaxed);
       d->dram.dirty.store(true, std::memory_order_relaxed);
-      d->dram_mode.store(DramMode::kFull, std::memory_order_release);
-      d->dram.pins.fetch_add(1, std::memory_order_relaxed);
+      d->dram.Publish(DramMode::kFull, /*initial_pins=*/1);
       dram_pool_->replacer().RecordAccess(f);
       return PageGuard(this, d, Tier::kDram);
     }
@@ -239,7 +281,7 @@ Result<PageGuard> BufferManager::NewPage(uint32_t page_type) {
       nvm_pool_->SetOwner(f, d, pid);
       d->nvm.frame.store(f, std::memory_order_relaxed);
       d->nvm.dirty.store(true, std::memory_order_relaxed);
-      d->nvm.pins.fetch_add(1, std::memory_order_relaxed);
+      d->nvm.Publish(DramMode::kFull, /*initial_pins=*/1);
       nvm_pool_->replacer().RecordAccess(f);
       return PageGuard(this, d, Tier::kNvm);
     }
@@ -287,10 +329,10 @@ Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
       nvm_pool_->SetOwner(f, d, d->pid);
       d->nvm.frame.store(f, std::memory_order_relaxed);
       d->nvm.dirty.store(false, std::memory_order_relaxed);
-      d->nvm.pins.fetch_add(1, std::memory_order_relaxed);
+      d->nvm.Publish(DramMode::kFull, /*initial_pins=*/1);
       nvm_pool_->replacer().RecordAccess(f);
-      stats_.ssd_fetches.fetch_add(1, std::memory_order_relaxed);
-      stats_.nvm_installs.fetch_add(1, std::memory_order_relaxed);
+      stats_.Add(BufferCounter::kSsdFetches);
+      stats_.Add(BufferCounter::kNvmInstalls);
       return PageGuard(this, d, Tier::kNvm);
     }
   }
@@ -313,10 +355,10 @@ Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
         nvm_pool_->SetOwner(nf, d, d->pid);
         d->nvm.frame.store(nf, std::memory_order_relaxed);
         d->nvm.dirty.store(false, std::memory_order_relaxed);
-        d->nvm.pins.fetch_add(1, std::memory_order_relaxed);
+        d->nvm.Publish(DramMode::kFull, /*initial_pins=*/1);
         nvm_pool_->replacer().RecordAccess(nf);
-        stats_.ssd_fetches.fetch_add(1, std::memory_order_relaxed);
-        stats_.nvm_installs.fetch_add(1, std::memory_order_relaxed);
+        stats_.Add(BufferCounter::kSsdFetches);
+        stats_.Add(BufferCounter::kNvmInstalls);
         return PageGuard(this, d, Tier::kNvm);
       }
     }
@@ -333,10 +375,9 @@ Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
   dram_pool_->SetOwner(f, d, d->pid);
   d->dram.frame.store(f, std::memory_order_relaxed);
   d->dram.dirty.store(false, std::memory_order_relaxed);
-  d->dram_mode.store(DramMode::kFull, std::memory_order_release);
-  d->dram.pins.fetch_add(1, std::memory_order_relaxed);
+  d->dram.Publish(DramMode::kFull, /*initial_pins=*/1);
   dram_pool_->replacer().RecordAccess(f);
-  stats_.ssd_fetches.fetch_add(1, std::memory_order_relaxed);
+  stats_.Add(BufferCounter::kSsdFetches);
   return PageGuard(this, d, Tier::kDram);
 }
 
@@ -350,12 +391,17 @@ Status BufferManager::PromoteToDram(SharedPageDescriptor* d) {
   if (d->DramResident()) return Status::OK();
   SpinLatchGuard gn(d->nvm_latch);
   const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
-  if (nf == kInvalidFrameId) return Status::Busy("NVM copy gone");
+  if (!d->NvmResident() || nf == kInvalidFrameId) {
+    return Status::Busy("NVM copy gone");
+  }
 
-  // Wait for in-flight NVM references to drain so the DRAM copy includes
-  // every modification made in place on NVM (Section 5.2).
+  // Take the NVM copy private: retiring the state word drains in-flight
+  // optimistic pins and blocks new ones, so the DRAM copy includes every
+  // modification made in place on NVM (Section 5.2). Fetchers that miss
+  // during the copy block on the latches we hold, then retry. Every exit
+  // below must re-publish the NVM copy.
   int spins = 0;
-  while (d->nvm.pins.load(std::memory_order_acquire) > 0) {
+  while (!d->nvm.TryRetire()) {
     if (++spins > kPinDrainSpins) {
       return Status::Busy("NVM readers did not drain");
     }
@@ -370,19 +416,23 @@ Status BufferManager::PromoteToDram(SharedPageDescriptor* d) {
     if (m != UINT32_MAX) {
       MiniPageView mp(MiniPtr(m));
       mp.Format(d->pid, options_.load_granularity);
-      d->mini_id = m;
+      d->mini_id.store(m, std::memory_order_relaxed);
       mini_.owners[m].store(d, std::memory_order_release);
       d->dram.dirty.store(false, std::memory_order_relaxed);
-      d->dram_mode.store(DramMode::kMini, std::memory_order_release);
+      d->dram.Publish(DramMode::kMini, 0);
+      d->nvm.Publish(DramMode::kFull, 0);
       mini_.replacer->RecordAccess(m);
-      stats_.mini_page_admits.fetch_add(1, std::memory_order_relaxed);
-      stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+      stats_.Add(BufferCounter::kMiniPageAdmits);
+      stats_.Add(BufferCounter::kPromotions);
       return Status::OK();
     }
   }
 
   const frame_id_t f = AcquireDramFrame();
-  if (f == kInvalidFrameId) return Status::Busy("no DRAM frame");
+  if (f == kInvalidFrameId) {
+    d->nvm.Publish(DramMode::kFull, 0);
+    return Status::Busy("no DRAM frame");
+  }
 
   if (options_.enable_fine_grained_loading) {
     // No bytes move yet: units are loaded on demand from the NVM copy.
@@ -390,11 +440,12 @@ Status BufferManager::PromoteToDram(SharedPageDescriptor* d) {
     dram_pool_->SetOwner(f, d, d->pid);
     d->dram.frame.store(f, std::memory_order_relaxed);
     d->dram.dirty.store(false, std::memory_order_relaxed);
-    d->dram_mode.store(DramMode::kCacheLineGrained, std::memory_order_release);
+    d->dram.Publish(DramMode::kCacheLineGrained, 0);
   } else {
     const Status st = nvm_->Read(nvm_off, dram_pool_->FramePtr(f), kPageSize);
     if (!st.ok()) {
       dram_pool_->FreeFrame(f);
+      d->nvm.Publish(DramMode::kFull, 0);
       return st;
     }
     dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f), kPageSize,
@@ -402,10 +453,11 @@ Status BufferManager::PromoteToDram(SharedPageDescriptor* d) {
     dram_pool_->SetOwner(f, d, d->pid);
     d->dram.frame.store(f, std::memory_order_relaxed);
     d->dram.dirty.store(false, std::memory_order_relaxed);
-    d->dram_mode.store(DramMode::kFull, std::memory_order_release);
+    d->dram.Publish(DramMode::kFull, 0);
   }
+  d->nvm.Publish(DramMode::kFull, 0);
   dram_pool_->replacer().RecordAccess(f);
-  stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+  stats_.Add(BufferCounter::kPromotions);
   return Status::OK();
 }
 
@@ -417,6 +469,7 @@ frame_id_t BufferManager::AcquireDramFrame() {
   for (int attempt = 0; attempt < 64; ++attempt) {
     frame_id_t f;
     if (dram_pool_->TryAllocateFrame(&f)) return f;
+    if (attempt == 0 && bg_writer_ != nullptr) bg_writer_->Nudge();
     dram_pool_->replacer().PickVictim(
         [this](frame_id_t v) { return TryEvictDramFrame(v); });
   }
@@ -427,10 +480,23 @@ frame_id_t BufferManager::AcquireNvmFrame() {
   for (int attempt = 0; attempt < 64; ++attempt) {
     frame_id_t f;
     if (nvm_pool_->TryAllocateFrame(&f)) return f;
+    if (attempt == 0 && bg_writer_ != nullptr) bg_writer_->Nudge();
     nvm_pool_->replacer().PickVictim(
         [this](frame_id_t v) { return TryEvictNvmFrame(v); });
   }
   return kInvalidFrameId;
+}
+
+frame_id_t BufferManager::EvictOneDramFrame() {
+  return dram_pool_->replacer().PickVictim(
+      [this](frame_id_t v) { return TryEvictDramFrame(v); },
+      /*max_rounds=*/1);
+}
+
+frame_id_t BufferManager::EvictOneNvmFrame() {
+  return nvm_pool_->replacer().PickVictim(
+      [this](frame_id_t v) { return TryEvictNvmFrame(v); },
+      /*max_rounds=*/1);
 }
 
 bool BufferManager::DecideNvmAdmission(page_id_t pid) {
@@ -455,87 +521,143 @@ void BufferManager::WriteBackUnitsToNvm(SharedPageDescriptor* d) {
   if (any) d->nvm.dirty.store(true, std::memory_order_relaxed);
 }
 
+// Eviction protocol: retire the state word FIRST (fails if any pin exists
+// or races in), which makes the evictor the exclusive owner of the frame
+// contents; only then write back / free. A failure after the retire must
+// re-publish the copy before unlocking.
+//
+// Retire ORDER matters. When the DRAM copy is dirty, any NVM copy is stale
+// until the write-back completes. If the DRAM word were retired first, a
+// reader whose optimistic DRAM pin lands in the retire window falls
+// through to TryPinNvm and reads pre-write-back bytes — a lost update from
+// the reader's point of view. So dirty paths retire the NVM word BEFORE
+// the DRAM word; with both retired (and both latches held, which blocks
+// InstallFromSsd), readers can only spin in FetchPage until the write-back
+// finishes and the copies are republished.
 bool BufferManager::TryEvictDramFrame(frame_id_t f) {
   SharedPageDescriptor* d = dram_pool_->Owner(f);
   if (d == nullptr) return false;
   if (!d->dram_latch.TryLock()) return false;
 
-  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  const DramMode mode = d->dram.Mode();
   const bool owns = (mode == DramMode::kFull ||
                      mode == DramMode::kCacheLineGrained) &&
                     d->dram.frame.load(std::memory_order_relaxed) == f &&
                     dram_pool_->Owner(f) == d;
-  if (!owns || d->dram.pins.load(std::memory_order_acquire) != 0) {
+  if (!owns) {
     d->dram_latch.Unlock();
     return false;
   }
 
+  // Dirty hint, read before the retires to pick the retire order. The hint
+  // can miss a writer that set dirty but has not yet unpinned; the
+  // authoritative re-read after the DRAM retire catches that case.
+  const bool dirty_hint = d->dram.dirty.load(std::memory_order_relaxed) ||
+                          (mode == DramMode::kCacheLineGrained &&
+                           d->cl.dirty.Any());
+
+  bool nvm_locked = false;
+  bool nvm_retired = false;
+  const bool want_nvm =
+      nvm_pool_ != nullptr && (dirty_hint || admission_queue_ != nullptr);
+  if (want_nvm) {
+    if (!d->nvm_latch.TryLock()) {
+      d->dram_latch.Unlock();
+      return false;
+    }
+    nvm_locked = true;
+    if (dirty_hint && d->nvm.Resident()) {
+      if (!d->nvm.TryRetire()) {
+        d->nvm_latch.Unlock();
+        d->dram_latch.Unlock();
+        return false;
+      }
+      nvm_retired = true;
+    }
+  }
+  const auto abort_evict = [&](bool republish_dram) {
+    if (republish_dram) d->dram.Publish(mode, 0);
+    if (nvm_retired) d->nvm.Publish(DramMode::kFull, 0);
+    if (nvm_locked) d->nvm_latch.Unlock();
+    d->dram_latch.Unlock();
+  };
+
+  if (!d->dram.TryRetire()) {  // pinned or raced
+    abort_evict(false);
+    return false;
+  }
+
+  // Authoritative dirty read: the successful retire synchronized with every
+  // unpin, so any writer's dirty store is visible now.
   const bool dirty = d->dram.dirty.load(std::memory_order_relaxed) ||
                      (mode == DramMode::kCacheLineGrained &&
                       d->cl.dirty.Any());
+  if (dirty && !dirty_hint) {
+    // Raced with a writer after the hint was read; the NVM word was not
+    // retired first, so the write-back cannot proceed safely this round.
+    abort_evict(true);
+    return false;
+  }
 
   if (!dirty) {
     // HyMem's admission queue considers EVERY page evicted from DRAM, not
     // just dirty ones (Section 1): a clean page admitted on its second
     // consideration is copied into NVM so future reads skip the SSD. The
     // probabilistic (Spitfire) mode discards clean pages (Section 3.3).
-    if (admission_queue_ != nullptr && nvm_pool_ != nullptr &&
+    if (admission_queue_ != nullptr && nvm_locked && !nvm_retired &&
         mode == DramMode::kFull && !d->NvmResident() &&
-        d->nvm_latch.TryLock()) {
-      if (!d->NvmResident() && admission_queue_->ShouldAdmit(d->pid)) {
-        const frame_id_t nf = AcquireNvmFrame();
-        if (nf != kInvalidFrameId) {
-          (void)nvm_->Write(nvm_pool_->FrameOffset(nf),
-                            dram_pool_->FramePtr(f), kPageSize);
-          nvm_pool_->SetOwner(nf, d, d->pid);
-          d->nvm.frame.store(nf, std::memory_order_relaxed);
-          d->nvm.dirty.store(false, std::memory_order_relaxed);
-          nvm_pool_->replacer().RecordAccess(nf);
-          stats_.demotions_to_nvm.fetch_add(1, std::memory_order_relaxed);
-        }
+        admission_queue_->ShouldAdmit(d->pid)) {
+      const frame_id_t nf = AcquireNvmFrame();
+      if (nf != kInvalidFrameId) {
+        (void)nvm_->Write(nvm_pool_->FrameOffset(nf),
+                          dram_pool_->FramePtr(f), kPageSize);
+        nvm_pool_->SetOwner(nf, d, d->pid);
+        d->nvm.frame.store(nf, std::memory_order_relaxed);
+        d->nvm.dirty.store(false, std::memory_order_relaxed);
+        d->nvm.Publish(DramMode::kFull, 0);
+        nvm_pool_->replacer().RecordAccess(nf);
+        stats_.Add(BufferCounter::kDemotionsToNvm);
       }
-      d->nvm_latch.Unlock();
     }
-    d->dram_mode.store(DramMode::kNone, std::memory_order_release);
+    if (nvm_retired) d->nvm.Publish(DramMode::kFull, 0);
     d->dram.frame.store(kInvalidFrameId, std::memory_order_relaxed);
     dram_pool_->FreeFrame(f);
+    if (nvm_locked) d->nvm_latch.Unlock();
     d->dram_latch.Unlock();
-    stats_.dram_evictions.fetch_add(1, std::memory_order_relaxed);
+    stats_.Add(BufferCounter::kDramEvictions);
     return true;
   }
 
   if (mode == DramMode::kCacheLineGrained) {
-    // Dirty units flow back into the (still-present) NVM copy.
-    if (!d->nvm_latch.TryLock()) {
-      d->dram_latch.Unlock();
-      return false;
-    }
+    // Dirty units flow back into the NVM copy (always present for CLG and
+    // already retired above, since CLG dirt is latch-protected and thus
+    // always visible in the hint).
+    SPITFIRE_DCHECK(nvm_retired);
     WriteBackUnitsToNvm(d);
-    d->dram_mode.store(DramMode::kNone, std::memory_order_release);
+    d->nvm.Publish(DramMode::kFull, 0);
     d->dram.frame.store(kInvalidFrameId, std::memory_order_relaxed);
     d->dram.dirty.store(false, std::memory_order_relaxed);
     dram_pool_->FreeFrame(f);
     d->nvm_latch.Unlock();
     d->dram_latch.Unlock();
-    stats_.dram_evictions.fetch_add(1, std::memory_order_relaxed);
-    stats_.demotions_to_nvm.fetch_add(1, std::memory_order_relaxed);
+    stats_.Add(BufferCounter::kDramEvictions);
+    stats_.Add(BufferCounter::kDemotionsToNvm);
     return true;
   }
 
   // Full dirty page: update the NVM copy in place, admit into NVM
   // (probability Nw / HyMem admission queue), or bypass NVM down to SSD
   // (Section 3.4).
-  if (!d->nvm_latch.TryLock()) {
-    d->dram_latch.Unlock();
-    return false;
-  }
   std::byte* dram_ptr = dram_pool_->FramePtr(f);
   bool wrote = false;
-  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
-  if (nf != kInvalidFrameId) {
+  if (nvm_retired) {
+    const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+    SPITFIRE_DCHECK(nf != kInvalidFrameId);
     (void)nvm_->Write(nvm_pool_->FrameOffset(nf), dram_ptr, kPageSize);
     d->nvm.dirty.store(true, std::memory_order_relaxed);
-    stats_.demotions_to_nvm.fetch_add(1, std::memory_order_relaxed);
+    d->nvm.Publish(DramMode::kFull, 0);
+    nvm_retired = false;
+    stats_.Add(BufferCounter::kDemotionsToNvm);
     wrote = true;
   } else if (nvm_pool_ != nullptr && DecideNvmAdmission(d->pid)) {
     const frame_id_t newf = AcquireNvmFrame();
@@ -544,33 +666,31 @@ bool BufferManager::TryEvictDramFrame(frame_id_t f) {
       nvm_pool_->SetOwner(newf, d, d->pid);
       d->nvm.frame.store(newf, std::memory_order_relaxed);
       d->nvm.dirty.store(true, std::memory_order_relaxed);
+      d->nvm.Publish(DramMode::kFull, 0);
       nvm_pool_->replacer().RecordAccess(newf);
-      stats_.demotions_to_nvm.fetch_add(1, std::memory_order_relaxed);
+      stats_.Add(BufferCounter::kDemotionsToNvm);
       wrote = true;
     }
   }
   if (!wrote) {
     if (!d->ssd_latch.TryLock()) {
-      d->nvm_latch.Unlock();
-      d->dram_latch.Unlock();
+      abort_evict(true);
       return false;
     }
     const Status st = WriteToSsd(d->pid, dram_ptr);
     d->ssd_latch.Unlock();
     if (!st.ok()) {
-      d->nvm_latch.Unlock();
-      d->dram_latch.Unlock();
+      abort_evict(true);
       return false;
     }
-    stats_.demotions_to_ssd.fetch_add(1, std::memory_order_relaxed);
+    stats_.Add(BufferCounter::kDemotionsToSsd);
   }
-  d->dram_mode.store(DramMode::kNone, std::memory_order_release);
   d->dram.frame.store(kInvalidFrameId, std::memory_order_relaxed);
   d->dram.dirty.store(false, std::memory_order_relaxed);
   dram_pool_->FreeFrame(f);
-  d->nvm_latch.Unlock();
+  if (nvm_locked) d->nvm_latch.Unlock();
   d->dram_latch.Unlock();
-  stats_.dram_evictions.fetch_add(1, std::memory_order_relaxed);
+  stats_.Add(BufferCounter::kDramEvictions);
   return true;
 }
 
@@ -579,19 +699,26 @@ bool BufferManager::TryEvictNvmFrame(frame_id_t f) {
   if (d == nullptr) return false;
   if (!d->nvm_latch.TryLock()) return false;
   if (d->nvm.frame.load(std::memory_order_relaxed) != f ||
-      d->nvm.pins.load(std::memory_order_acquire) != 0) {
+      nvm_pool_->Owner(f) != d) {
     d->nvm_latch.Unlock();
     return false;
   }
   // A cache-line-grained or mini DRAM copy loads its units from this NVM
-  // frame; it pins the NVM copy implicitly.
-  const DramMode mode = d->dram_mode.load(std::memory_order_acquire);
-  if (mode == DramMode::kCacheLineGrained || mode == DramMode::kMini) {
+  // frame; it pins the NVM copy implicitly. (The DRAM mode cannot become
+  // kCacheLineGrained/kMini while we hold the nvm latch — promotion takes
+  // it.)
+  const DramMode dmode = d->dram.Mode();
+  if (dmode == DramMode::kCacheLineGrained || dmode == DramMode::kMini) {
+    d->nvm_latch.Unlock();
+    return false;
+  }
+  if (!d->nvm.TryRetire()) {  // pinned or raced
     d->nvm_latch.Unlock();
     return false;
   }
   if (d->nvm.dirty.load(std::memory_order_relaxed)) {
     if (!d->ssd_latch.TryLock()) {
+      d->nvm.Publish(DramMode::kFull, 0);
       d->nvm_latch.Unlock();
       return false;
     }
@@ -601,6 +728,7 @@ bool BufferManager::TryEvictNvmFrame(frame_id_t f) {
     const Status st = WriteToSsd(d->pid, ptr);
     d->ssd_latch.Unlock();
     if (!st.ok()) {
+      d->nvm.Publish(DramMode::kFull, 0);
       d->nvm_latch.Unlock();
       return false;
     }
@@ -609,7 +737,7 @@ bool BufferManager::TryEvictNvmFrame(frame_id_t f) {
   d->nvm.frame.store(kInvalidFrameId, std::memory_order_relaxed);
   nvm_pool_->FreeFrame(f);
   d->nvm_latch.Unlock();
-  stats_.nvm_evictions.fetch_add(1, std::memory_order_relaxed);
+  stats_.Add(BufferCounter::kNvmEvictions);
   return true;
 }
 
@@ -639,18 +767,37 @@ bool BufferManager::TryEvictMini(uint32_t mini_id) {
       mini_.owners[mini_id].load(std::memory_order_acquire);
   if (d == nullptr) return false;
   if (!d->dram_latch.TryLock()) return false;
-  if (d->dram_mode.load(std::memory_order_relaxed) != DramMode::kMini ||
-      d->mini_id != mini_id ||
-      d->dram.pins.load(std::memory_order_acquire) != 0) {
+  if (d->dram.Mode() != DramMode::kMini ||
+      d->mini_id.load(std::memory_order_relaxed) != mini_id) {
     d->dram_latch.Unlock();
     return false;
   }
+  // Mini-page dirt is written under the dram latch, so this read is
+  // authoritative. Dirty units make the NVM copy stale: retire the NVM
+  // word BEFORE the DRAM word (see TryEvictDramFrame) so no reader can
+  // fall through to the stale NVM bytes mid-write-back.
   MiniPageView mp(MiniPtr(mini_id));
-  if (mp.AnyDirty()) {
+  const bool dirty = mp.AnyDirty();
+  if (dirty) {
     if (!d->nvm_latch.TryLock()) {
       d->dram_latch.Unlock();
       return false;
     }
+    if (!d->nvm.TryRetire()) {
+      d->nvm_latch.Unlock();
+      d->dram_latch.Unlock();
+      return false;
+    }
+  }
+  if (!d->dram.TryRetire()) {  // pinned or raced
+    if (dirty) {
+      d->nvm.Publish(DramMode::kFull, 0);
+      d->nvm_latch.Unlock();
+    }
+    d->dram_latch.Unlock();
+    return false;
+  }
+  if (dirty) {
     const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
     SPITFIRE_DCHECK(nf != kInvalidFrameId);
     const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
@@ -662,19 +809,21 @@ bool BufferManager::TryEvictMini(uint32_t mini_id) {
                         mp.UnitPtr(s), usize);
     }
     d->nvm.dirty.store(true, std::memory_order_relaxed);
+    d->nvm.Publish(DramMode::kFull, 0);
     d->nvm_latch.Unlock();
   }
-  d->dram_mode.store(DramMode::kNone, std::memory_order_release);
   mini_.owners[mini_id].store(nullptr, std::memory_order_release);
   while (!mini_.free_list->TryPush(mini_id)) __builtin_ia32_pause();
   d->dram_latch.Unlock();
-  stats_.dram_evictions.fetch_add(1, std::memory_order_relaxed);
+  stats_.Add(BufferCounter::kDramEvictions);
   return true;
 }
 
 Status BufferManager::PromoteMiniToFull(SharedPageDescriptor* d) {
-  // dram latch held; mode == kMini.
-  const uint32_t mini_id = d->mini_id;
+  // dram latch held; mode == kMini; the caller (and possibly other guard
+  // holders) keep pins on the DRAM copy throughout — SwitchMode preserves
+  // them.
+  const uint32_t mini_id = d->mini_id.load(std::memory_order_relaxed);
   MiniPageView mp(MiniPtr(mini_id));
   const frame_id_t f = AcquireDramFrame();
   if (f == kInvalidFrameId) return Status::OutOfMemory("no frame for overflow");
@@ -682,8 +831,11 @@ Status BufferManager::PromoteMiniToFull(SharedPageDescriptor* d) {
   const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
   SPITFIRE_DCHECK(nf != kInvalidFrameId);
   std::byte* dst = dram_pool_->FramePtr(f);
-  SPITFIRE_RETURN_NOT_OK(
-      nvm_->Read(nvm_pool_->FrameOffset(nf), dst, kPageSize));
+  const Status read_st = nvm_->Read(nvm_pool_->FrameOffset(nf), dst, kPageSize);
+  if (!read_st.ok()) {
+    dram_pool_->FreeFrame(f);
+    return read_st;
+  }
   // Overlay units dirtied while in the mini page: they are newer than the
   // NVM copy.
   const uint32_t usize = mp.meta()->unit_size;
@@ -697,11 +849,11 @@ Status BufferManager::PromoteMiniToFull(SharedPageDescriptor* d) {
   dram_pool_->SetOwner(f, d, d->pid);
   d->dram.frame.store(f, std::memory_order_relaxed);
   if (any_dirty) d->dram.dirty.store(true, std::memory_order_relaxed);
-  d->dram_mode.store(DramMode::kFull, std::memory_order_release);
+  d->dram.SwitchMode(DramMode::kFull);
   dram_pool_->replacer().RecordAccess(f);
   mini_.owners[mini_id].store(nullptr, std::memory_order_release);
   while (!mini_.free_list->TryPush(mini_id)) __builtin_ia32_pause();
-  stats_.mini_page_promotions.fetch_add(1, std::memory_order_relaxed);
+  stats_.Add(BufferCounter::kMiniPagePromotions);
   return Status::OK();
 }
 
@@ -724,7 +876,7 @@ void BufferManager::EnsureUnitsResident(SharedPageDescriptor* d, size_t offset,
     (void)nvm_->ReadFineGrained(nvm_off + u * usize, dram_ptr + u * usize,
                                 usize);
     d->cl.resident.Set(u);
-    stats_.fine_grained_loads.fetch_add(1, std::memory_order_relaxed);
+    stats_.Add(BufferCounter::kFineGrainedLoads);
   }
 }
 
@@ -742,7 +894,7 @@ Status BufferManager::GuardRead(SharedPageDescriptor* d, Tier tier,
   }
 
   // Fast path for fully materialized DRAM pages.
-  if (d->dram_mode.load(std::memory_order_acquire) == DramMode::kFull) {
+  if (d->dram.Mode() == DramMode::kFull) {
     const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
     std::memcpy(dst, dram_pool_->FramePtr(f) + offset, size);
     dram_backing_->OnDirectRead(dram_pool_->FrameOffset(f) + offset, size);
@@ -750,7 +902,7 @@ Status BufferManager::GuardRead(SharedPageDescriptor* d, Tier tier,
   }
 
   SpinLatchGuard g(d->dram_latch);
-  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  const DramMode mode = d->dram.Mode();
   switch (mode) {
     case DramMode::kFull: {
       const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
@@ -766,7 +918,7 @@ Status BufferManager::GuardRead(SharedPageDescriptor* d, Tier tier,
       return Status::OK();
     }
     case DramMode::kMini: {
-      MiniPageView mp(MiniPtr(d->mini_id));
+      MiniPageView mp(MiniPtr(d->mini_id.load(std::memory_order_relaxed)));
       const uint32_t usize = mp.meta()->unit_size;
       const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
       const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
@@ -792,7 +944,7 @@ Status BufferManager::GuardRead(SharedPageDescriptor* d, Tier tier,
           (void)nvm_->ReadFineGrained(
               nvm_off + static_cast<uint64_t>(unit) * usize, mp.UnitPtr(slot),
               usize);
-          stats_.fine_grained_loads.fetch_add(1, std::memory_order_relaxed);
+          stats_.Add(BufferCounter::kFineGrainedLoads);
         }
         const size_t unit_begin = static_cast<size_t>(unit) * usize;
         const size_t in_off = pos - unit_begin;
@@ -824,7 +976,7 @@ Status BufferManager::GuardWrite(SharedPageDescriptor* d, Tier tier,
     return Status::OK();
   }
 
-  if (d->dram_mode.load(std::memory_order_acquire) == DramMode::kFull) {
+  if (d->dram.Mode() == DramMode::kFull) {
     const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
     std::memcpy(dram_pool_->FramePtr(f) + offset, src, size);
     dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f) + offset, size);
@@ -833,7 +985,7 @@ Status BufferManager::GuardWrite(SharedPageDescriptor* d, Tier tier,
   }
 
   SpinLatchGuard g(d->dram_latch);
-  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  const DramMode mode = d->dram.Mode();
   switch (mode) {
     case DramMode::kFull: {
       const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
@@ -857,7 +1009,7 @@ Status BufferManager::GuardWrite(SharedPageDescriptor* d, Tier tier,
       return Status::OK();
     }
     case DramMode::kMini: {
-      MiniPageView mp(MiniPtr(d->mini_id));
+      MiniPageView mp(MiniPtr(d->mini_id.load(std::memory_order_relaxed)));
       const uint32_t usize = mp.meta()->unit_size;
       const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
       const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
@@ -882,7 +1034,7 @@ Status BufferManager::GuardWrite(SharedPageDescriptor* d, Tier tier,
           (void)nvm_->ReadFineGrained(
               nvm_off + static_cast<uint64_t>(unit) * usize, mp.UnitPtr(slot),
               usize);
-          stats_.fine_grained_loads.fetch_add(1, std::memory_order_relaxed);
+          stats_.Add(BufferCounter::kFineGrainedLoads);
         }
         const size_t unit_begin = static_cast<size_t>(unit) * usize;
         const size_t in_off = pos - unit_begin;
@@ -911,21 +1063,21 @@ std::byte* BufferManager::GuardRawData(SharedPageDescriptor* d, Tier tier,
     nvm_->OnDirectRead(nvm_pool_->FrameOffset(f), 256);
     return nvm_pool_->FramePtr(f);
   }
-  if (d->dram_mode.load(std::memory_order_acquire) == DramMode::kFull) {
+  if (d->dram.Mode() == DramMode::kFull) {
     if (for_write) d->dram.dirty.store(true, std::memory_order_release);
     return dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
   }
   // Materialize cache-line-grained / mini representations into a full
   // frame so callers can treat the page as one contiguous 16 KB buffer.
   SpinLatchGuard g(d->dram_latch);
-  DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+  DramMode mode = d->dram.Mode();
   if (mode == DramMode::kMini) {
     if (!PromoteMiniToFull(d).ok()) return nullptr;
     mode = DramMode::kFull;
   } else if (mode == DramMode::kCacheLineGrained) {
     EnsureUnitsResident(d, 0, kPageSize);
     if (d->cl.dirty.Any()) d->dram.dirty.store(true, std::memory_order_relaxed);
-    d->dram_mode.store(DramMode::kFull, std::memory_order_release);
+    d->dram.SwitchMode(DramMode::kFull);
     mode = DramMode::kFull;
   }
   if (mode != DramMode::kFull) return nullptr;
@@ -949,22 +1101,45 @@ Status BufferManager::FlushPage(page_id_t pid) {
   SpinLatchGuard gs(d->ssd_latch);
 
   // Guard holders may be mutating page contents; flushing a pinned page
-  // could persist a torn image. Skip it — the WAL keeps it recoverable and
-  // a later flush round will catch it. (Pins are taken under the tier
-  // latches we hold, so this check cannot race with a new pin.)
-  if (d->dram.pins.load(std::memory_order_acquire) != 0 ||
-      d->nvm.pins.load(std::memory_order_acquire) != 0) {
-    return Status::OK();
-  }
-
-  const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
-  if (mode == DramMode::kCacheLineGrained && d->cl.dirty.Any()) {
-    WriteBackUnitsToNvm(d);
-    d->cl.dirty.Reset();
-    d->dram.dirty.store(false, std::memory_order_relaxed);
-  } else if (mode == DramMode::kMini) {
-    MiniPageView mp(MiniPtr(d->mini_id));
-    if (mp.AnyDirty()) {
+  // could persist a torn image. Each copy is retired for the duration of
+  // its copy-out, so optimistic pins cannot land mid-flush; copies that
+  // cannot be retired (pinned) are skipped — the WAL keeps them
+  // recoverable and a later flush round catches them.
+  const DramMode dmode = d->dram.Mode();
+  if (dmode != DramMode::kNone) {
+    // Dirty DRAM state makes any NVM copy stale, so the NVM word must be
+    // retired BEFORE the DRAM word: a reader that loses its optimistic
+    // DRAM pin mid-flush would otherwise fall through to TryPinNvm and
+    // read pre-flush bytes (see TryEvictDramFrame). The dirty reads here
+    // are latch-authoritative for CLG/mini (their dirt is written under
+    // the dram latch); for kFull a just-unpinned writer's store may be
+    // missed, which only postpones that page to a later round.
+    bool mini_dirty = false;
+    if (dmode == DramMode::kMini) {
+      MiniPageView mp(MiniPtr(d->mini_id.load(std::memory_order_relaxed)));
+      mini_dirty = mp.AnyDirty();
+    }
+    const bool clg_dirty =
+        dmode == DramMode::kCacheLineGrained && d->cl.dirty.Any();
+    const bool full_dirty = dmode == DramMode::kFull &&
+                            d->dram.dirty.load(std::memory_order_relaxed);
+    const bool nvm_resident = d->NvmResident();
+    const bool need_nvm =
+        nvm_resident && (mini_dirty || clg_dirty || full_dirty);
+    if (need_nvm && !d->nvm.TryRetire()) {
+      return Status::OK();  // NVM copy actively referenced; later round
+    }
+    if (!d->dram.TryRetire()) {  // actively referenced
+      if (need_nvm) d->nvm.Publish(DramMode::kFull, 0);
+      return Status::OK();
+    }
+    Status st = Status::OK();
+    if (clg_dirty) {
+      WriteBackUnitsToNvm(d);
+      d->cl.dirty.Reset();
+      d->dram.dirty.store(false, std::memory_order_relaxed);
+    } else if (mini_dirty) {
+      MiniPageView mp(MiniPtr(d->mini_id.load(std::memory_order_relaxed)));
       const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
       const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
       const uint32_t usize = mp.meta()->unit_size;
@@ -977,31 +1152,36 @@ Status BufferManager::FlushPage(page_id_t pid) {
       mp.meta()->dirty_mask = 0;
       d->nvm.dirty.store(true, std::memory_order_relaxed);
       d->dram.dirty.store(false, std::memory_order_relaxed);
+    } else if (full_dirty) {
+      // After the SSD write the NVM copy (if any) is overwritten with the
+      // freshest data so later direct NVM reads never observe stale bytes.
+      std::byte* ptr =
+          dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
+      st = WriteToSsd(pid, ptr);
+      if (st.ok()) {
+        if (nvm_resident) {
+          const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+          (void)nvm_->Write(nvm_pool_->FrameOffset(nf), ptr, kPageSize);
+          d->nvm.dirty.store(false, std::memory_order_relaxed);
+        }
+        d->dram.dirty.store(false, std::memory_order_relaxed);
+      }
     }
-  } else if (mode == DramMode::kFull &&
-             d->dram.dirty.load(std::memory_order_relaxed)) {
-    std::byte* ptr =
-        dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
-    SPITFIRE_RETURN_NOT_OK(WriteToSsd(pid, ptr));
-    // Keep any NVM copy coherent with the freshest data so later direct
-    // NVM reads never observe stale bytes.
-    const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
-    if (nf != kInvalidFrameId) {
-      (void)nvm_->Write(nvm_pool_->FrameOffset(nf), ptr, kPageSize);
-      d->nvm.dirty.store(false, std::memory_order_relaxed);
-    }
-    d->dram.dirty.store(false, std::memory_order_relaxed);
+    if (need_nvm) d->nvm.Publish(DramMode::kFull, 0);
+    d->dram.Publish(dmode, 0);
+    SPITFIRE_RETURN_NOT_OK(st);
   }
 
-  if (d->nvm.dirty.load(std::memory_order_relaxed)) {
+  if (d->NvmResident() && d->nvm.dirty.load(std::memory_order_relaxed)) {
+    if (!d->nvm.TryRetire()) return Status::OK();  // actively referenced
     const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
-    if (nf != kInvalidFrameId) {
-      std::byte* ptr = nvm_pool_->FramePtr(nf);
-      nvm_->OnDirectRead(nvm_pool_->FrameOffset(nf), kPageSize,
-                         /*sequential=*/true);
-      SPITFIRE_RETURN_NOT_OK(WriteToSsd(pid, ptr));
-      d->nvm.dirty.store(false, std::memory_order_relaxed);
-    }
+    std::byte* ptr = nvm_pool_->FramePtr(nf);
+    nvm_->OnDirectRead(nvm_pool_->FrameOffset(nf), kPageSize,
+                       /*sequential=*/true);
+    const Status st = WriteToSsd(pid, ptr);
+    if (st.ok()) d->nvm.dirty.store(false, std::memory_order_relaxed);
+    d->nvm.Publish(DramMode::kFull, 0);
+    SPITFIRE_RETURN_NOT_OK(st);
   }
   return Status::OK();
 }
@@ -1027,32 +1207,48 @@ Status BufferManager::FlushAll(bool include_nvm) {
       // Background checkpointing (Section 5.2): only dirty DRAM pages are
       // pushed down; NVM-resident modifications are already persistent.
       SpinLatchGuard gd(d->dram_latch);
-      if (d->dram.pins.load(std::memory_order_acquire) != 0) {
-        return;  // actively referenced; the next round gets it
-      }
-      const DramMode mode = d->dram_mode.load(std::memory_order_relaxed);
+      const DramMode mode = d->dram.Mode();
       if (mode == DramMode::kFull &&
           d->dram.dirty.load(std::memory_order_relaxed)) {
         SpinLatchGuard gn(d->nvm_latch);
         SpinLatchGuard gs(d->ssd_latch);
+        // NVM-before-DRAM retire order: the dirty DRAM copy makes the NVM
+        // copy stale, see FlushPage / TryEvictDramFrame.
+        const bool nvm_resident = d->NvmResident();
+        if (nvm_resident && !d->nvm.TryRetire()) return;
+        if (!d->dram.TryRetire()) {  // actively referenced
+          if (nvm_resident) d->nvm.Publish(DramMode::kFull, 0);
+          return;
+        }
         std::byte* ptr = dram_pool_->FramePtr(
             d->dram.frame.load(std::memory_order_relaxed));
         const Status st = WriteToSsd(pid, ptr);
-        if (!st.ok()) {
+        if (st.ok()) {
+          if (nvm_resident) {
+            const frame_id_t nf =
+                d->nvm.frame.load(std::memory_order_relaxed);
+            (void)nvm_->Write(nvm_pool_->FrameOffset(nf), ptr, kPageSize);
+            d->nvm.dirty.store(false, std::memory_order_relaxed);
+          }
+          d->dram.dirty.store(false, std::memory_order_relaxed);
+        } else {
           result = st;
-          return;
         }
-        const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
-        if (nf != kInvalidFrameId) {
-          (void)nvm_->Write(nvm_pool_->FrameOffset(nf), ptr, kPageSize);
-          d->nvm.dirty.store(false, std::memory_order_relaxed);
-        }
-        d->dram.dirty.store(false, std::memory_order_relaxed);
+        if (nvm_resident) d->nvm.Publish(DramMode::kFull, 0);
+        d->dram.Publish(mode, 0);
       } else if (mode == DramMode::kCacheLineGrained && d->cl.dirty.Any()) {
         SpinLatchGuard gn(d->nvm_latch);
+        // NVM-before-DRAM retire order, as above.
+        if (!d->nvm.TryRetire()) return;
+        if (!d->dram.TryRetire()) {  // actively referenced
+          d->nvm.Publish(DramMode::kFull, 0);
+          return;
+        }
         WriteBackUnitsToNvm(d);
         d->cl.dirty.Reset();
         d->dram.dirty.store(false, std::memory_order_relaxed);
+        d->nvm.Publish(DramMode::kFull, 0);
+        d->dram.Publish(mode, 0);
       }
     }
   });
@@ -1085,6 +1281,7 @@ Status BufferManager::RecoverNvmResidentPages() {
     // NVM copies may be newer than their SSD counterparts; treat them as
     // dirty so they flow down before being dropped.
     d->nvm.dirty.store(true, std::memory_order_relaxed);
+    d->nvm.Publish(DramMode::kFull, 0);
     nvm_pool_->SetOwner(frame, d, pid);
     page_id_t expect = next_page_id_.load(std::memory_order_relaxed);
     while (pid + 1 > expect &&

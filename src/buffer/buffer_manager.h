@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "buffer/background_writer.h"
 #include "buffer/buffer_pool.h"
 #include "buffer/migration_policy.h"
 #include "buffer/page.h"
@@ -47,6 +48,19 @@ struct BufferManagerOptions {
   bool enable_mini_pages = false;
   // DRAM frames reserved to host mini pages; 0 → dram_frames / 8.
   size_t mini_host_frames = 0;
+
+  // CLOCK reference-bit sampling on the hit path: a buffer hit records an
+  // access with probability 1/k (k = replacer_sample_rate) instead of
+  // touching the shared reference bitmap on every fetch. Installs,
+  // promotions, and new pages always record. 1 records every hit.
+  uint32_t replacer_sample_rate = 8;
+
+  // Background writeback: a dedicated thread keeps each pool's free list
+  // above a low watermark by proactively evicting (and writing back dirty)
+  // CLOCK victims, so foreground misses rarely pay an inline SSD write.
+  bool enable_background_writer = false;
+  size_t bg_writer_low_watermark = 0;  // frames; 0 → smallest pool / 8
+  uint64_t bg_writer_interval_us = 200;
 
   // Devices. `ssd` is required and owned by the caller (it holds the
   // database itself). `nvm` may be supplied by the caller so that its
@@ -171,6 +185,7 @@ class BufferManager {
   }
 
   BufferStats& stats() { return stats_; }
+  BackgroundWriter* background_writer() { return bg_writer_.get(); }
 
   // Fraction of buffered pages resident in both DRAM and NVM (Section 3.3).
   double InclusivityRatio() const;
@@ -191,6 +206,7 @@ class BufferManager {
 
  private:
   friend class PageGuard;
+  friend class BackgroundWriter;
 
   // --- mini page hosting ---
   struct MiniRegion {
@@ -204,10 +220,14 @@ class BufferManager {
 
   SharedPageDescriptor* GetOrCreateDescriptor(page_id_t pid);
 
-  // Pin helpers: return true with pins incremented if resident.
+  // Latch-free pin helpers: return true with a pin taken if resident (one
+  // CAS on the tier's packed state word; see TierState).
   bool TryPinDram(SharedPageDescriptor* d);
   bool TryPinNvm(SharedPageDescriptor* d);
   void Unpin(SharedPageDescriptor* d, Tier tier);
+
+  // 1-in-k sampling decision for hit-path replacer accounting.
+  bool ShouldSampleAccess();
 
   // NVM → DRAM migration (path 7). Returns OK when the DRAM copy exists,
   // Busy when the caller should serve the access from NVM instead.
@@ -223,6 +243,12 @@ class BufferManager {
   frame_id_t AcquireNvmFrame();
   bool TryEvictDramFrame(frame_id_t f);
   bool TryEvictNvmFrame(frame_id_t f);
+
+  // One CLOCK sweep evicting a single frame; used by the background
+  // writer to replenish the free lists. Returns kInvalidFrameId if no
+  // frame was evictable this sweep.
+  frame_id_t EvictOneDramFrame();
+  frame_id_t EvictOneNvmFrame();
 
   // Mini pages.
   uint32_t AcquireMiniSlot();
@@ -278,6 +304,7 @@ class BufferManager {
 
   std::atomic<page_id_t> next_page_id_{0};
   BufferStats stats_;
+  std::unique_ptr<BackgroundWriter> bg_writer_;
 };
 
 }  // namespace spitfire

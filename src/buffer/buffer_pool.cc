@@ -36,6 +36,7 @@ BufferPool::BufferPool(Tier tier, Device* device, size_t num_frames,
     in_free_list_[f].store(true, std::memory_order_relaxed);
     SPITFIRE_CHECK(free_list_.TryPush(static_cast<frame_id_t>(f)));
   }
+  free_count_.store(num_frames_, std::memory_order_relaxed);
 }
 
 void BufferPool::SetOwner(frame_id_t f, SharedPageDescriptor* desc,

@@ -11,13 +11,14 @@
 
 namespace spitfire {
 
-// Representation of a page's DRAM copy.
-//   kNone              — not DRAM resident
+// Representation of a page's copy on a buffered tier.
+//   kNone              — not resident on this tier
 //   kFull              — a whole 16 KB frame
 //   kCacheLineGrained  — a full frame, but only some loading units are
-//                        resident (HyMem Figure 2a)
+//                        resident (HyMem Figure 2a; DRAM only)
 //   kMini              — a mini page holding at most sixteen units
-//                        (HyMem Figure 2b)
+//                        (HyMem Figure 2b; DRAM only)
+// NVM copies only use kNone / kFull.
 enum class DramMode : uint8_t {
   kNone = 0,
   kFull = 1,
@@ -25,24 +26,142 @@ enum class DramMode : uint8_t {
   kMini = 3,
 };
 
-// Residency state of a page on one buffered tier. `pins` uses atomics so
-// unpinning never takes a latch; all other transitions happen under the
-// tier latch in the owning SharedPageDescriptor.
+// Residency state of a page on one buffered tier, built around one packed
+// 64-bit atomic state word so that the buffer-hit path is latch-free:
+//
+//      63                    18 17    16 15           0
+//     [ epoch                  | mode   | pin count    ]
+//
+// * `pins`  — reference count of outstanding PageGuards on this copy.
+// * `mode`  — the DramMode of the copy; kNone means not resident.
+// * `epoch` — bumped every time the copy is retired (evicted / migrated
+//             away). Because a pin is a CAS on the WHOLE word, a pin taken
+//             against a stale sample fails if the frame was retired (and
+//             possibly reinstalled) in between: the epoch differs. This is
+//             what makes TryPin safe without the tier latch (no ABA).
+//
+// Concurrency protocol (see DESIGN.md, "Concurrency protocol"):
+// * TryPin is a lone CAS: it succeeds only if the copy is resident and the
+//   word (epoch included) is unchanged since it was sampled. Success uses
+//   memory_order_acquire — the pin CAS is the load that licenses reading
+//   `frame` and the page bytes, so it must pair with the release in
+//   Publish() that made them visible.
+// * Unpin is fetch_sub(release): it publishes the holder's page writes to
+//   whoever observes the count at zero next.
+// * TryRetire is only called by the slow path (under the tier latch). It
+//   atomically checks pins == 0 and unpublishes the copy (mode := kNone,
+//   epoch++). The CAS uses acquire (pairs with the unpinners' releases, so
+//   the retiring thread sees all guard-holder writes before writing the
+//   page back) and fails if a concurrent TryPin sneaked in — pin-takers
+//   and the evictor race on the same word, so neither can miss the other.
+// * Publish / mode changes happen only under the tier latch.
+//
+// All remaining per-tier fields (`frame`, `dirty`) are written on the slow
+// path before the word publishes the copy, and read by fast-path holders
+// only while they hold a pin.
 struct TierState {
+  static constexpr uint64_t kPinsMask = 0xFFFFull;
+  static constexpr int kModeShift = 16;
+  static constexpr uint64_t kModeMask = 0x3ull << kModeShift;
+  static constexpr int kEpochShift = 18;
+
+  static DramMode ModeOf(uint64_t w) {
+    return static_cast<DramMode>((w >> kModeShift) & 0x3);
+  }
+  static uint32_t PinsOf(uint64_t w) {
+    return static_cast<uint32_t>(w & kPinsMask);
+  }
+  static uint64_t Pack(DramMode m, uint32_t pins, uint64_t epoch) {
+    return (epoch << kEpochShift) |
+           (static_cast<uint64_t>(m) << kModeShift) | pins;
+  }
+
+  std::atomic<uint64_t> word{0};
   std::atomic<frame_id_t> frame{kInvalidFrameId};
-  std::atomic<uint32_t> pins{0};
   std::atomic<bool> dirty{false};
 
-  bool Resident() const {
-    return frame.load(std::memory_order_acquire) != kInvalidFrameId;
+  // Latch-free pin. Returns the mode pinned, or kNone if the copy is not
+  // resident (the caller must take the slow path).
+  DramMode TryPin() {
+    uint64_t w = word.load(std::memory_order_relaxed);
+    for (;;) {
+      const DramMode m = ModeOf(w);
+      if (m == DramMode::kNone) return DramMode::kNone;
+      if (SPITFIRE_UNLIKELY(PinsOf(w) == kPinsMask)) {
+        // Pin count saturated; wait for an unpin.
+        __builtin_ia32_pause();
+        w = word.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (word.compare_exchange_weak(w, w + 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+        return m;
+      }
+    }
   }
+
+  void Unpin() {
+    const uint64_t prev = word.fetch_sub(1, std::memory_order_release);
+    SPITFIRE_DCHECK(PinsOf(prev) > 0);
+    (void)prev;
+  }
+
+  // Atomically unpublishes the copy iff it is resident and unpinned:
+  // mode := kNone, pins stays 0, epoch++. Returns false if a pin exists
+  // (or raced in) or the copy is already gone. Caller holds the tier
+  // latch; on success it exclusively owns the frame contents until it
+  // frees the frame or calls Publish again.
+  bool TryRetire() {
+    uint64_t w = word.load(std::memory_order_acquire);
+    for (;;) {
+      if (PinsOf(w) != 0 || ModeOf(w) == DramMode::kNone) return false;
+      const uint64_t nw = Pack(DramMode::kNone, 0, (w >> kEpochShift) + 1);
+      if (word.compare_exchange_weak(w, nw, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  }
+
+  // Publishes a resident copy with `initial_pins` pins already granted to
+  // the caller. Caller holds the tier latch and mode is currently kNone,
+  // so no other thread can write the word: a plain release store races
+  // only with failed TryPin CASes.
+  void Publish(DramMode m, uint32_t initial_pins) {
+    const uint64_t w = word.load(std::memory_order_relaxed);
+    SPITFIRE_DCHECK(ModeOf(w) == DramMode::kNone && PinsOf(w) == 0);
+    word.store(Pack(m, initial_pins, w >> kEpochShift),
+               std::memory_order_release);
+  }
+
+  // Switches the mode of a resident copy (kMini → kFull promotion) while
+  // preserving concurrent pin traffic. Caller holds the tier latch.
+  void SwitchMode(DramMode to) {
+    uint64_t w = word.load(std::memory_order_relaxed);
+    for (;;) {
+      SPITFIRE_DCHECK(ModeOf(w) != DramMode::kNone);
+      const uint64_t nw = (w & ~kModeMask)
+                          | (static_cast<uint64_t>(to) << kModeShift);
+      if (word.compare_exchange_weak(w, nw, std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  DramMode Mode() const {
+    return ModeOf(word.load(std::memory_order_acquire));
+  }
+  uint32_t Pins() const { return PinsOf(word.load(std::memory_order_acquire)); }
+  bool Resident() const { return Mode() != DramMode::kNone; }
 };
 
 // The shared page descriptor of Figure 4: one per logical page, stored in
 // the DRAM-resident mapping table. It carries one latch per storage tier —
 // a migration from tier X to tier Y takes only the X and Y latches, so
 // e.g. an NVM→SSD write-back never blocks operations on the DRAM copy
-// (Section 5.2, "Thread-Safe Page Migration").
+// (Section 5.2, "Thread-Safe Page Migration"). Buffer hits never take a
+// latch at all: they pin through the tier's packed state word (above).
 struct SharedPageDescriptor {
   explicit SharedPageDescriptor(page_id_t id) : pid(id) {}
   SPITFIRE_DISALLOW_COPY_AND_MOVE(SharedPageDescriptor);
@@ -64,15 +183,14 @@ struct SharedPageDescriptor {
   TierState nvm;
 
   // --- DRAM representation details, guarded by dram_latch ---
-  std::atomic<DramMode> dram_mode{DramMode::kNone};
-  // Mini-page slot id when dram_mode == kMini (frame is then unused).
-  uint32_t mini_id = 0;
-  // Resident/dirty unit masks when dram_mode == kCacheLineGrained.
+  // Mini-page slot id when the DRAM mode is kMini (frame is then unused).
+  // Atomic only so the pin fast path may read it sloppily for replacer
+  // accounting; authoritative updates happen under dram_latch.
+  std::atomic<uint32_t> mini_id{0};
+  // Resident/dirty unit masks when the DRAM mode is kCacheLineGrained.
   CacheLineState cl;
 
-  bool DramResident() const {
-    return dram_mode.load(std::memory_order_acquire) != DramMode::kNone;
-  }
+  bool DramResident() const { return dram.Resident(); }
   bool NvmResident() const { return nvm.Resident(); }
 };
 

@@ -3,39 +3,48 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <string>
+
+#include "common/macros.h"
 
 namespace spitfire {
 
-// Buffer manager counters. All relaxed atomics; read for reporting only.
-struct BufferStats {
-  std::atomic<uint64_t> dram_hits{0};
-  std::atomic<uint64_t> nvm_hits{0};       // served directly from NVM
-  std::atomic<uint64_t> ssd_fetches{0};    // page misses that went to SSD
-  std::atomic<uint64_t> promotions{0};     // NVM → DRAM migrations
-  std::atomic<uint64_t> demotions_to_nvm{0};  // DRAM → NVM on eviction
-  std::atomic<uint64_t> demotions_to_ssd{0};  // DRAM → SSD (NVM bypassed)
-  std::atomic<uint64_t> nvm_installs{0};   // SSD → NVM on read (Nr path)
-  std::atomic<uint64_t> nvm_evictions{0};  // NVM → SSD / dropped
-  std::atomic<uint64_t> dram_evictions{0};
-  std::atomic<uint64_t> fine_grained_loads{0};  // cache-line units loaded
-  std::atomic<uint64_t> mini_page_admits{0};
-  std::atomic<uint64_t> mini_page_promotions{0};  // mini → full overflow
+// Buffer manager counters.
+enum class BufferCounter : uint8_t {
+  kDramHits = 0,
+  kNvmHits,             // served directly from NVM
+  kSsdFetches,          // page misses that went to SSD
+  kPromotions,          // NVM → DRAM migrations
+  kDemotionsToNvm,      // DRAM → NVM on eviction
+  kDemotionsToSsd,      // DRAM → SSD (NVM bypassed)
+  kNvmInstalls,         // SSD → NVM on read (Nr path)
+  kNvmEvictions,        // NVM → SSD / dropped
+  kDramEvictions,
+  kFineGrainedLoads,    // cache-line units loaded
+  kMiniPageAdmits,
+  kMiniPagePromotions,  // mini → full overflow
+  kNumCounters,
+};
 
-  void Reset() {
-    dram_hits = 0;
-    nvm_hits = 0;
-    ssd_fetches = 0;
-    promotions = 0;
-    demotions_to_nvm = 0;
-    demotions_to_ssd = 0;
-    nvm_installs = 0;
-    nvm_evictions = 0;
-    dram_evictions = 0;
-    fine_grained_loads = 0;
-    mini_page_admits = 0;
-    mini_page_promotions = 0;
-  }
+// Point-in-time aggregation of BufferStats; plain integers, safe to copy
+// and diff. Field names match the historical counter names.
+struct BufferStatsSnapshot {
+  uint64_t dram_hits = 0;
+  uint64_t nvm_hits = 0;
+  uint64_t ssd_fetches = 0;
+  uint64_t promotions = 0;
+  uint64_t demotions_to_nvm = 0;
+  uint64_t demotions_to_ssd = 0;
+  uint64_t nvm_installs = 0;
+  uint64_t nvm_evictions = 0;
+  uint64_t dram_evictions = 0;
+  uint64_t fine_grained_loads = 0;
+  uint64_t mini_page_admits = 0;
+  uint64_t mini_page_promotions = 0;
+
+  // Every successful FetchPage increments exactly one of these three.
+  uint64_t TotalFetches() const { return dram_hits + nvm_hits + ssd_fetches; }
 
   std::string ToString() const {
     char buf[512];
@@ -44,20 +53,88 @@ struct BufferStats {
         "dram_hits=%llu nvm_hits=%llu ssd_fetches=%llu promotions=%llu "
         "dem_nvm=%llu dem_ssd=%llu nvm_installs=%llu nvm_evict=%llu "
         "dram_evict=%llu fg_loads=%llu mini_admits=%llu mini_promos=%llu",
-        (unsigned long long)dram_hits.load(),
-        (unsigned long long)nvm_hits.load(),
-        (unsigned long long)ssd_fetches.load(),
-        (unsigned long long)promotions.load(),
-        (unsigned long long)demotions_to_nvm.load(),
-        (unsigned long long)demotions_to_ssd.load(),
-        (unsigned long long)nvm_installs.load(),
-        (unsigned long long)nvm_evictions.load(),
-        (unsigned long long)dram_evictions.load(),
-        (unsigned long long)fine_grained_loads.load(),
-        (unsigned long long)mini_page_admits.load(),
-        (unsigned long long)mini_page_promotions.load());
+        (unsigned long long)dram_hits, (unsigned long long)nvm_hits,
+        (unsigned long long)ssd_fetches, (unsigned long long)promotions,
+        (unsigned long long)demotions_to_nvm,
+        (unsigned long long)demotions_to_ssd,
+        (unsigned long long)nvm_installs, (unsigned long long)nvm_evictions,
+        (unsigned long long)dram_evictions,
+        (unsigned long long)fine_grained_loads,
+        (unsigned long long)mini_page_admits,
+        (unsigned long long)mini_page_promotions);
     return buf;
   }
+};
+
+// Sharded buffer manager counters. The hit path increments one counter per
+// fetch, so a single shared cacheline of atomics becomes a coherence
+// hotspot at high thread counts; instead each thread hashes to one of
+// kShards cacheline-padded slabs and Snapshot() sums them for reporting.
+// All increments are relaxed — counters are for reporting only.
+class BufferStats {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(BufferCounter c, uint64_t n = 1) {
+    shards_[ShardIndex()].counters[static_cast<size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  BufferStatsSnapshot Snapshot() const {
+    uint64_t sums[static_cast<size_t>(BufferCounter::kNumCounters)] = {};
+    for (const Shard& s : shards_) {
+      for (size_t i = 0; i < static_cast<size_t>(BufferCounter::kNumCounters);
+           ++i) {
+        sums[i] += s.counters[i].load(std::memory_order_relaxed);
+      }
+    }
+    BufferStatsSnapshot snap;
+    snap.dram_hits = sums[static_cast<size_t>(BufferCounter::kDramHits)];
+    snap.nvm_hits = sums[static_cast<size_t>(BufferCounter::kNvmHits)];
+    snap.ssd_fetches = sums[static_cast<size_t>(BufferCounter::kSsdFetches)];
+    snap.promotions = sums[static_cast<size_t>(BufferCounter::kPromotions)];
+    snap.demotions_to_nvm =
+        sums[static_cast<size_t>(BufferCounter::kDemotionsToNvm)];
+    snap.demotions_to_ssd =
+        sums[static_cast<size_t>(BufferCounter::kDemotionsToSsd)];
+    snap.nvm_installs = sums[static_cast<size_t>(BufferCounter::kNvmInstalls)];
+    snap.nvm_evictions =
+        sums[static_cast<size_t>(BufferCounter::kNvmEvictions)];
+    snap.dram_evictions =
+        sums[static_cast<size_t>(BufferCounter::kDramEvictions)];
+    snap.fine_grained_loads =
+        sums[static_cast<size_t>(BufferCounter::kFineGrainedLoads)];
+    snap.mini_page_admits =
+        sums[static_cast<size_t>(BufferCounter::kMiniPageAdmits)];
+    snap.mini_page_promotions =
+        sums[static_cast<size_t>(BufferCounter::kMiniPagePromotions)];
+    return snap;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) {
+      for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::string ToString() const { return Snapshot().ToString(); }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    std::atomic<uint64_t> counters[static_cast<size_t>(
+        BufferCounter::kNumCounters)] = {};
+  };
+
+  // Threads are striped over shards round-robin at first use; on machines
+  // with ≤ kShards active workers every thread gets a private slab.
+  static size_t ShardIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return idx;
+  }
+
+  Shard shards_[kShards];
 };
 
 }  // namespace spitfire

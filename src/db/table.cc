@@ -334,7 +334,6 @@ void Table::FinalizeCommit(Transaction* txn, const Transaction::WriteOp& op) {
   SlotRef ref = ref_r.MoveValue();
   AtomicField(ref.hdr->read_ts).store(txn->ts(), std::memory_order_relaxed);
   AtomicField(ref.hdr->begin_ts).store(txn->ts(), std::memory_order_release);
-  AtomicField(ref.hdr->writer).store(0, std::memory_order_release);
   ref.guard.MarkDirty();
   if (op.kind != Transaction::WriteOp::Kind::kInsert) {
     auto old_r = PinSlot(op.old_rid, AccessIntent::kWrite);
@@ -345,6 +344,12 @@ void Table::FinalizeCommit(Transaction* txn, const Transaction::WriteOp& op) {
     }
     TruncateChain(op.new_rid);
   }
+  // Release the head's write claim only AFTER truncating. While it is
+  // held no successor version can be installed, so at most one
+  // TruncateChain walks a given key's chain at a time. Two concurrent
+  // walks double-DeferFree the same garbage versions; a slot recycled
+  // while a chain still references it turns the prev links into a cycle.
+  AtomicField(ref.hdr->writer).store(0, std::memory_order_release);
 }
 
 void Table::RollbackAbort(Transaction* txn, const Transaction::WriteOp& op) {
@@ -405,7 +410,15 @@ void Table::TruncateChain(rid_t head) {
   if (garbage == kInvalidRid) return;
   sref.hdr->prev = kInvalidRid;
   sref.guard.MarkDirty();
+  // A well-formed garbage list is at most as long as the version chain.
+  // Bound the walk defensively: a cycle (chain corruption) must degrade
+  // into a bounded slot leak, not an unbounded free-list explosion.
+  int freed = 0;
   while (garbage != kInvalidRid) {
+    if (++freed > 4096) {
+      SPITFIRE_DCHECK(false && "version chain cycle detected");
+      return;
+    }
     auto gref_r = PinSlot(garbage, AccessIntent::kWrite);
     if (!gref_r.ok()) return;
     SlotRef gref = gref_r.MoveValue();

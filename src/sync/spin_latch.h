@@ -2,6 +2,7 @@
 #define SPITFIRE_SYNC_SPIN_LATCH_H_
 
 #include <atomic>
+#include <thread>
 
 #include "common/macros.h"
 
@@ -9,7 +10,10 @@ namespace spitfire {
 
 // Test-and-test-and-set spin latch. Used for the per-tier latches in the
 // shared page descriptor (Section 5.2): critical sections are short page
-// migrations, so spinning beats blocking.
+// migrations, so spinning beats blocking. After a bounded spin the waiter
+// yields: if the holder was preempted (oversubscribed machine), burning
+// the rest of this timeslice can only delay the release we are waiting
+// for.
 class SpinLatch {
  public:
   SpinLatch() = default;
@@ -18,8 +22,14 @@ class SpinLatch {
   void Lock() {
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      int spins = 0;
       while (locked_.load(std::memory_order_relaxed)) {
-        __builtin_ia32_pause();
+        if (++spins < 256) {
+          __builtin_ia32_pause();
+        } else {
+          spins = 0;
+          std::this_thread::yield();
+        }
       }
     }
   }

@@ -151,14 +151,14 @@ TEST_F(BufferManagerTest, LazyPolicyServesFromNvmWithoutPromotion) {
   for (page_id_t pid : pids2) {
     (void)bm2->FlushPage(pid);
   }
-  const uint64_t promos_before = bm2->stats().promotions.load();
+  const uint64_t promos_before = bm2->stats().Snapshot().promotions;
   for (int round = 0; round < 5; ++round) {
     for (page_id_t pid : pids2) {
       auto r = bm2->FetchPage(pid, AccessIntent::kRead);
       ASSERT_TRUE(r.ok());
     }
   }
-  EXPECT_EQ(bm2->stats().promotions.load(), promos_before);
+  EXPECT_EQ(bm2->stats().Snapshot().promotions, promos_before);
 }
 
 TEST_F(BufferManagerTest, EagerPolicyPromotesNvmPagesToDram) {
@@ -185,7 +185,7 @@ TEST_F(BufferManagerTest, EagerPolicyPromotesNvmPagesToDram) {
     EXPECT_EQ(g.tier(), Tier::kDram);
     ExpectStamp(g);
   }
-  EXPECT_GE(bm->stats().promotions.load(), 4u);
+  EXPECT_GE(bm->stats().Snapshot().promotions, 4u);
 }
 
 TEST_F(BufferManagerTest, InclusivityRatioReflectsDuplication) {
@@ -323,8 +323,8 @@ TEST_F(BufferManagerTest, HymemAdmissionQueueGatesNvm) {
       ASSERT_TRUE(g.WriteAt(512, sizeof(v), &v).ok());
     }
   }
-  EXPECT_GT(bm.stats().demotions_to_nvm.load(), 0u);
-  EXPECT_GT(bm.stats().demotions_to_ssd.load(), 0u);
+  EXPECT_GT(bm.stats().Snapshot().demotions_to_nvm, 0u);
+  EXPECT_GT(bm.stats().Snapshot().demotions_to_ssd, 0u);
 }
 
 TEST_F(BufferManagerTest, ConcurrentFetchesKeepDataIntact) {

@@ -151,7 +151,7 @@ TEST_F(HymemIntegrationTest, FineGrainedLoadsOnlyTouchedUnits) {
       ASSERT_TRUE(bm->FetchPage(pid, AccessIntent::kRead).ok());
     }
   }
-  const uint64_t loads_before = bm->stats().fine_grained_loads.load();
+  const uint64_t loads_before = bm->stats().Snapshot().fine_grained_loads;
   auto r = bm->FetchPage(0, AccessIntent::kRead);
   ASSERT_TRUE(r.ok());
   PageGuard g = r.MoveValue();
@@ -159,7 +159,7 @@ TEST_F(HymemIntegrationTest, FineGrainedLoadsOnlyTouchedUnits) {
   uint64_t v = 0;
   ASSERT_TRUE(g.ReadAt(kPageHeaderSize, sizeof(v), &v).ok());
   EXPECT_EQ(v, 0u * 100000 + kPageHeaderSize);
-  const uint64_t loads = bm->stats().fine_grained_loads.load() - loads_before;
+  const uint64_t loads = bm->stats().Snapshot().fine_grained_loads - loads_before;
   // One 256 B unit covers the 8-byte read (plus at most one more for
   // alignment) — far fewer than the 64 units of a full page.
   EXPECT_GE(loads, 1u);
@@ -207,7 +207,7 @@ TEST_F(HymemIntegrationTest, MiniPagePromotionOnOverflow) {
   for (int round = 0; round < 2; ++round) {
     ASSERT_TRUE(bm->FetchPage(0, AccessIntent::kRead).ok());
   }
-  EXPECT_GT(bm->stats().mini_page_admits.load(), 0u);
+  EXPECT_GT(bm->stats().Snapshot().mini_page_admits, 0u);
   // Touch more than sixteen distinct 256 B units → transparent promotion.
   auto r = bm->FetchPage(0, AccessIntent::kRead);
   ASSERT_TRUE(r.ok());
@@ -217,7 +217,7 @@ TEST_F(HymemIntegrationTest, MiniPagePromotionOnOverflow) {
     ASSERT_TRUE(g.ReadAt(off, sizeof(v), &v).ok());
     ASSERT_EQ(v, 0u * 100000 + off) << off;
   }
-  EXPECT_GT(bm->stats().mini_page_promotions.load(), 0u);
+  EXPECT_GT(bm->stats().Snapshot().mini_page_promotions, 0u);
 }
 
 TEST_F(HymemIntegrationTest, MiniPageDirtyUnitsSurviveEviction) {

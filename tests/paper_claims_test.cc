@@ -68,7 +68,7 @@ class PaperClaimsTest : public ::testing::Test {
       }
     }
     Traffic t;
-    t.promotions = bm.stats().promotions.load();
+    t.promotions = bm.stats().Snapshot().promotions;
     t.ssd_ops = ssd.stats().num_reads.load() + ssd.stats().num_writes.load();
     t.nvm_media_written =
         bm.nvm_device()->stats().media_bytes_written.load();

@@ -216,5 +216,96 @@ TEST_F(StressTest, FineGrainedAndMiniUnderConcurrency) {
   EXPECT_EQ(errors.load(), 0);
 }
 
+// Hammers the latch-free pin path against eviction pressure (foreground
+// CLOCK sweeps plus the background writer) and checks the accounting
+// invariants the optimistic protocol must preserve: every successful fetch
+// increments exactly one hit/miss counter (so the sharded stats snapshot
+// equals a per-thread ground truth), and no pin is ever leaked or dropped
+// (every state word drains to zero pins once the workers stop).
+TEST_F(StressTest, ConcurrentPinEvictAccounting) {
+  SsdDevice ssd(128ull * 1024 * 1024);
+  BufferManagerOptions opt;
+  opt.dram_frames = 16;
+  opt.nvm_frames = 32;
+  opt.policy = MigrationPolicy::Eager();
+  opt.ssd = &ssd;
+  opt.enable_background_writer = true;
+  opt.bg_writer_low_watermark = 4;
+  BufferManager bm(opt);
+  ASSERT_NE(bm.background_writer(), nullptr);
+
+  constexpr int kPages = 256;
+  std::vector<page_id_t> pids;
+  for (int i = 0; i < kPages; ++i) {
+    auto r = bm.NewPage();
+    ASSERT_TRUE(r.ok());
+    PageGuard g = r.MoveValue();
+    const uint64_t v = g.pid() ^ 0x5157ull;
+    ASSERT_TRUE(g.WriteAt(64, sizeof(v), &v).ok());
+    pids.push_back(g.pid());
+  }
+  bm.stats().Reset();
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::atomic<uint64_t> ground_truth_fetches{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(t * 101 + 7);
+      uint64_t my_fetches = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const page_id_t pid = pids[rng.NextUint64(pids.size())];
+        const bool write = rng.Bernoulli(0.25);
+        auto r = bm.FetchPage(
+            pid, write ? AccessIntent::kWrite : AccessIntent::kRead);
+        if (!r.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        ++my_fetches;
+        PageGuard g = r.MoveValue();
+        uint64_t v = 0;
+        if (!g.ReadAt(64, sizeof(v), &v).ok() || v != (pid ^ 0x5157ull)) {
+          errors.fetch_add(1);
+        }
+        if (write &&
+            !g.WriteAt(512 + static_cast<size_t>(t) * 8, sizeof(v), &v)
+                 .ok()) {
+          errors.fetch_add(1);
+        }
+      }
+      ground_truth_fetches.fetch_add(my_fetches);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(6));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(errors.load(), 0);
+
+  // Exactly one of {dram_hits, nvm_hits, ssd_fetches} per successful fetch.
+  const BufferStatsSnapshot snap = bm.stats().Snapshot();
+  EXPECT_EQ(snap.TotalFetches(), ground_truth_fetches.load());
+  EXPECT_GT(snap.dram_evictions + snap.nvm_evictions, 0u);
+  EXPECT_GT(bm.background_writer()->pages_written_back(), 0u);
+
+  // No leaked or lost pins: with all guards released, every tier state
+  // word must have drained to zero, and every page must still be readable
+  // with its original contents (no double-freed frames).
+  for (page_id_t pid : pids) {
+    auto r = bm.FetchPage(pid, AccessIntent::kRead);
+    ASSERT_TRUE(r.ok());
+    PageGuard g = r.MoveValue();
+    SharedPageDescriptor* d = g.descriptor();
+    uint64_t v = 0;
+    ASSERT_TRUE(g.ReadAt(64, sizeof(v), &v).ok());
+    EXPECT_EQ(v, pid ^ 0x5157ull);
+    g.Release();
+    EXPECT_EQ(d->dram.Pins(), 0u);
+    EXPECT_EQ(d->nvm.Pins(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace spitfire

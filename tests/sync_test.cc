@@ -149,14 +149,18 @@ TEST(OptimisticLatchTest, UnlockNoBumpKeepsVersion) {
 
 TEST(OptimisticLatchTest, OptimisticReadersDetectConcurrentWrites) {
   OptimisticLatch l;
-  uint64_t data[2] = {0, 0};
+  // Relaxed atomics instead of plain uint64_t: real OLC readers race on
+  // plain memory and discard invalidated values, but in this focused test
+  // the racy bytes themselves are not the point — version validation is.
+  // Relaxed ops keep the interleavings while staying TSan-clean.
+  std::atomic<uint64_t> data[2] = {{0}, {0}};
   std::atomic<bool> stop{false};
   std::atomic<int> torn{0};
   std::thread writer([&] {
     for (uint64_t i = 1; i <= 20000; ++i) {
       l.WriteLock();
-      data[0] = i;
-      data[1] = i;
+      data[0].store(i, std::memory_order_relaxed);
+      data[1].store(i, std::memory_order_relaxed);
       l.WriteUnlock();
     }
     stop.store(true);
@@ -165,8 +169,8 @@ TEST(OptimisticLatchTest, OptimisticReadersDetectConcurrentWrites) {
     while (!stop.load()) {
       const uint64_t v = l.ReadLockOrRestart();
       if (v == OptimisticLatch::kRetry) continue;
-      const uint64_t a = data[0];
-      const uint64_t b = data[1];
+      const uint64_t a = data[0].load(std::memory_order_relaxed);
+      const uint64_t b = data[1].load(std::memory_order_relaxed);
       if (l.Validate(v) && a != b) torn.fetch_add(1);
     }
   });
