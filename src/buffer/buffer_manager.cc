@@ -117,6 +117,10 @@ BufferManager::BufferManager(const BufferManagerOptions& options)
   }
   SPITFIRE_CHECK(dram_pool_ != nullptr || nvm_pool_ != nullptr);
 
+  if (options_.enable_io_scheduler) {
+    io_ = std::make_unique<IoScheduler>(ssd_, options_.io_scheduler);
+  }
+
   if (options_.enable_background_writer) {
     size_t wm = options_.bg_writer_low_watermark;
     if (wm == 0) {
@@ -133,8 +137,10 @@ BufferManager::BufferManager(const BufferManagerOptions& options)
 }
 
 BufferManager::~BufferManager() {
-  // Stop the writer before the pools it sweeps are torn down.
+  // Stop the writer before the pools it sweeps are torn down, then drain
+  // the I/O workers (they may still hold prefetch tasks touching pools).
   if (bg_writer_ != nullptr) bg_writer_->Stop();
+  if (io_ != nullptr) io_->Shutdown();
 }
 
 SharedPageDescriptor* BufferManager::GetOrCreateDescriptor(page_id_t pid) {
@@ -205,6 +211,14 @@ Result<PageGuard> BufferManager::FetchPage(page_id_t pid,
   }
   SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
   const MigrationPolicy pol = policy();
+
+  // Read-ahead keepalive: two relaxed loads on the hot path; matches only
+  // inside the live range of the active prefetch chain.
+  if (io_ != nullptr &&
+      pid >= ra_live_lo_.load(std::memory_order_relaxed) &&
+      pid < ra_next_pid_.load(std::memory_order_relaxed)) {
+    ra_consumed_.store(true, std::memory_order_relaxed);
+  }
 
   for (int attempt = 0; attempt < kFetchMaxAttempts; ++attempt) {
     // 1. DRAM hit: one CAS on the packed state word, no latch.
@@ -289,13 +303,62 @@ Result<PageGuard> BufferManager::NewPage(uint32_t page_type) {
   return Status::OutOfMemory("no frame available for new page");
 }
 
+namespace {
+// Per-thread scratch page for miss reads: the device read happens before
+// any descriptor latch is taken, so the destination cannot be the frame.
+std::byte* MissScratch() {
+  thread_local std::unique_ptr<std::byte[]> buf;
+  if (buf == nullptr) buf = std::make_unique<std::byte[]>(kPageSize);
+  return buf.get();
+}
+}  // namespace
+
 Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
                                                 AccessIntent intent) {
+  if (io_ != nullptr) {
+    // Kick read-ahead before the device wait: the prefetch worker then
+    // wakes and registers the next window's read flights while this
+    // thread is still paying the miss latency, so a scan front joins the
+    // coalesced prefetch reads instead of outrunning them.
+    MaybeScheduleReadAhead(d->pid);
+    if (d->DramResident() || d->NvmResident()) {
+      // The read-ahead window covered this page and ran inline.
+      return Status::Busy("page appeared during read-ahead");
+    }
+    // Read — single-flight, no latch held across the device wait — then
+    // validate under the latches that the bytes are still current.
+    std::byte* scratch = MissScratch();
+    uint64_t seq = 0;
+    SPITFIRE_RETURN_NOT_OK(io_->ReadPage(SsdOffset(d->pid), scratch, &seq));
+
+    SpinLatchGuard gd(d->dram_latch);
+    SpinLatchGuard gn(d->nvm_latch);
+    if (d->DramResident() || d->NvmResident()) {
+      return Status::Busy("page appeared while installing");
+    }
+    if (io_->WriteSeq(SsdOffset(d->pid)) != seq) {
+      // A write-back landed between the read and here; the retry is
+      // served straight from the scheduler's staged image.
+      return Status::Busy("page written during miss read");
+    }
+    return InstallPinned(d, intent, scratch);
+  }
+
+  // Legacy synchronous path: device read under the descriptor latches.
   SpinLatchGuard gd(d->dram_latch);
   SpinLatchGuard gn(d->nvm_latch);
   if (d->DramResident() || d->NvmResident()) {
     return Status::Busy("page appeared while installing");
   }
+  std::byte* scratch = MissScratch();
+  SPITFIRE_RETURN_NOT_OK(ssd_->Read(SsdOffset(d->pid), scratch, kPageSize));
+  return InstallPinned(d, intent, scratch);
+}
+
+Result<PageGuard> BufferManager::InstallPinned(SharedPageDescriptor* d,
+                                               AccessIntent intent,
+                                               const std::byte* src) {
+  (void)intent;  // the landing tier depends only on Nr today
   const MigrationPolicy pol = policy();
   const bool have_dram = dram_pool_ != nullptr;
   const bool have_nvm = nvm_pool_ != nullptr;
@@ -318,12 +381,7 @@ Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
       if (!have_dram) return Status::Busy("NVM pool exhausted; retry");
       to_nvm = false;  // fall back to DRAM
     } else {
-      std::byte* ptr = nvm_pool_->FramePtr(f);
-      const Status st = ssd_->Read(SsdOffset(d->pid), ptr, kPageSize);
-      if (!st.ok()) {
-        nvm_pool_->FreeFrame(f);
-        return st;
-      }
+      std::memcpy(nvm_pool_->FramePtr(f), src, kPageSize);
       nvm_->OnDirectWrite(nvm_pool_->FrameOffset(f), kPageSize,
                           /*sequential=*/true);
       nvm_pool_->SetOwner(f, d, d->pid);
@@ -344,12 +402,7 @@ Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
     if (have_nvm) {
       const frame_id_t nf = AcquireNvmFrame();
       if (nf != kInvalidFrameId) {
-        std::byte* nptr = nvm_pool_->FramePtr(nf);
-        const Status st = ssd_->Read(SsdOffset(d->pid), nptr, kPageSize);
-        if (!st.ok()) {
-          nvm_pool_->FreeFrame(nf);
-          return st;
-        }
+        std::memcpy(nvm_pool_->FramePtr(nf), src, kPageSize);
         nvm_->OnDirectWrite(nvm_pool_->FrameOffset(nf), kPageSize,
                             /*sequential=*/true);
         nvm_pool_->SetOwner(nf, d, d->pid);
@@ -364,12 +417,7 @@ Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
     }
     return Status::Busy("DRAM pool exhausted; retry");
   }
-  std::byte* ptr = dram_pool_->FramePtr(f);
-  const Status st = ssd_->Read(SsdOffset(d->pid), ptr, kPageSize);
-  if (!st.ok()) {
-    dram_pool_->FreeFrame(f);
-    return st;
-  }
+  std::memcpy(dram_pool_->FramePtr(f), src, kPageSize);
   dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f), kPageSize,
                                /*sequential=*/true);
   dram_pool_->SetOwner(f, d, d->pid);
@@ -379,6 +427,206 @@ Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
   dram_pool_->replacer().RecordAccess(f);
   stats_.Add(BufferCounter::kSsdFetches);
   return PageGuard(this, d, Tier::kDram);
+}
+
+// ---------------------------------------------------------------------------
+// Read-ahead
+// ---------------------------------------------------------------------------
+
+void BufferManager::MaybeScheduleReadAhead(page_id_t pid) {
+  if (io_ == nullptr || options_.io_scheduler.read_ahead_pages == 0) return;
+  const page_id_t prev = last_miss_pid_.exchange(pid);
+  bool trigger = false;
+  if (pid == ra_next_pid_.load(std::memory_order_relaxed)) {
+    // The scan consumed the previous window and ran off its end: chain the
+    // next window without rebuilding a two-miss run.
+    trigger = true;
+  } else if (prev != kInvalidPageId && pid == prev + 1) {
+    trigger = seq_miss_run_.fetch_add(1) + 1 >= 2;
+  } else {
+    seq_miss_run_.store(1, std::memory_order_relaxed);
+  }
+  if (!trigger) return;
+  if (read_ahead_inflight_.exchange(true)) return;  // a window is in flight
+  // The window INCLUDES the missing page: the triggering miss then joins
+  // the window's read flight (or finds the page already installed), so
+  // the whole window is one coalesced device op with no separate
+  // front-page read. Steal the queued execution right away: this thread
+  // is about to wait on the window's boundary page anyway, and on the
+  // synchronous simulated device an inline read beats racing the worker
+  // for the core.
+  if (ClaimAndQueueWindow(pid)) io_->TryRunPendingTask();
+}
+
+bool BufferManager::ClaimAndQueueWindow(page_id_t start) {
+  // Precondition: this thread owns read_ahead_inflight_; ownership passes
+  // to the queued execution on success and is released here on failure.
+  const page_id_t horizon = next_page_id_.load(std::memory_order_relaxed);
+  // Skip pages that are already resident (e.g. whole windows surviving
+  // from the scan's previous pass over the database). Claiming them is
+  // not just wasted transfer: the front HITS straight through a resident
+  // window, so no miss ever joins its flights, nobody steals its queued
+  // execution, and the chain stalls holding the one-window gate while
+  // the front runs ahead on single-page reads. At a miss-triggered call
+  // the first page just missed, so this loop exits immediately; it only
+  // walks (bounded) when the stall it prevents would otherwise begin.
+  size_t trim_budget = 4 * options_.io_scheduler.read_ahead_pages;
+  while (start < horizon) {
+    SharedPageDescriptor* d = GetOrCreateDescriptor(start);
+    if (!d->DramResident() && !d->NvmResident()) break;
+    ++start;
+    if (--trim_budget == 0) break;
+  }
+  const size_t n = start < horizon && trim_budget > 0
+                       ? std::min<size_t>(
+                             options_.io_scheduler.read_ahead_pages,
+                             horizon - start)
+                       : 0;
+  if (n == 0) {
+    read_ahead_inflight_.store(false);
+    return false;
+  }
+  // A miss exactly at the window's end chains the next window without
+  // rebuilding a two-miss run (see MaybeScheduleReadAhead); any access
+  // inside [previous window, claim frontier) marks the chain as consumed
+  // (see FetchPage). The lower bound trails by one window because the
+  // front may still be consuming the window behind the one claimed here
+  // when the next life-or-death decision is made.
+  if (start >= options_.io_scheduler.read_ahead_pages) {
+    ra_live_lo_.store(start - options_.io_scheduler.read_ahead_pages,
+                      std::memory_order_relaxed);
+  } else {
+    ra_live_lo_.store(0, std::memory_order_relaxed);
+  }
+  ra_next_pid_.store(start + n, std::memory_order_relaxed);
+
+  // Claim the window's read flights NOW — from this point every miss on
+  // a window page joins a flight instead of leading its own single-page
+  // device read — with no residency pre-scan: a claimed page that turns
+  // out to be resident costs only its share of the coalesced transfer
+  // and is dropped by InstallPrefetched's residency and write-sequence
+  // checks. Only the device work is deferred.
+  std::shared_ptr<void> claim = io_->ClaimPrefetch(SsdOffset(start), n);
+  if (claim == nullptr) {
+    read_ahead_inflight_.store(false);
+    return false;
+  }
+  const bool queued = io_->Submit([this, claim, start, n] {
+    PrefetchExecute(claim, start, n);
+  });
+  if (!queued) {
+    // Shutting down: the claim must still complete or joiners hang.
+    PrefetchExecute(claim, start, n);
+  }
+  return true;
+}
+
+void BufferManager::PrefetchExecute(std::shared_ptr<void> claim,
+                                    page_id_t start, size_t count) {
+  std::vector<std::byte> buf(count * kPageSize);
+  std::vector<uint64_t> seqs(count, 0);
+  std::vector<char> covered(count, 0);
+  // Reinterpret: ExecutePrefetch wants bool*; vector<bool> is packed, so
+  // use a char vector and cast.
+  // Install each page from the executor's ready callback — after the
+  // device read, but before the page's flight completes — so at every
+  // instant a window page is either resident or has a joinable flight;
+  // there is no gap for a concurrent miss to duplicate the read.
+  (void)io_->ExecutePrefetch(
+      claim, buf.data(), seqs.data(), reinterpret_cast<bool*>(covered.data()),
+      [&](size_t i) {
+        InstallPrefetched(start + i, buf.data() + i * kPageSize, seqs[i]);
+      },
+      /*joined=*/nullptr,
+      // Chain decision — deliberately BEFORE the executor completes the
+      // window's flights. Threads that found their page freshly installed
+      // are already running ahead, and on one core their device busy-waits
+      // can starve the completion pass for milliseconds; deciding here
+      // keeps the next window queued before the front reaches it.
+      //
+      // Joiners (or a hit inside the live range) mean a scan front is
+      // consuming this window: claim the NEXT window in this quiet
+      // moment — the front is at the pages just installed, so the claim
+      // cannot race a miss storm — and leave its execution queued; the
+      // first thread to miss on the new window's boundary page joins the
+      // pre-existing flight and steals the queued read (see
+      // IoScheduler::ReadPage). The chain must also verify the front is
+      // actually AT this window (last miss within one window of it):
+      // if execution was delayed, the front has run past on single reads
+      // and chaining would start a stale chase — claims forever behind
+      // the front, each wasting a full window read whose installs evict
+      // the frames the front just filled. No signal = nobody follows:
+      // release the gate and let the run detector start a fresh chain.
+      [&](size_t early) {
+        const bool cons =
+            ra_consumed_.exchange(false, std::memory_order_relaxed);
+        const page_id_t lm = last_miss_pid_.load(std::memory_order_relaxed);
+        const page_id_t next = start + count;
+        const size_t ra = options_.io_scheduler.read_ahead_pages;
+        const bool near =
+            lm != kInvalidPageId && lm + ra >= start && lm < next + ra;
+        if ((early > 0 || cons) && near) {
+          (void)ClaimAndQueueWindow(next);
+        } else {
+          read_ahead_inflight_.store(false);
+        }
+      });
+}
+
+void BufferManager::InstallPrefetched(page_id_t pid, const std::byte* src,
+                                      uint64_t seq) {
+  SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+  // Never contend with foreground work: TryLock only on the target, and at
+  // most one (try-lock-based) eviction round per pool when no frame is
+  // free — without it read-ahead would go dead the moment the pool warms
+  // up, which is exactly when a scan needs it.
+  if (!d->dram_latch.TryLock()) return;
+  if (!d->nvm_latch.TryLock()) {
+    d->dram_latch.Unlock();
+    return;
+  }
+  [&] {
+    if (d->DramResident() || d->NvmResident()) return;
+    if (io_->WriteSeq(SsdOffset(pid)) != seq) return;
+
+    const MigrationPolicy pol = policy();
+    const bool have_dram = dram_pool_ != nullptr;
+    const bool have_nvm = nvm_pool_ != nullptr;
+    const bool to_nvm = have_nvm && (!have_dram || pol.InstallSsdToNvmOnRead());
+    if (to_nvm) {
+      frame_id_t f;
+      if (!nvm_pool_->TryAllocateFrame(&f)) {
+        (void)EvictOneNvmFrame();
+        if (!nvm_pool_->TryAllocateFrame(&f)) return;
+      }
+      std::memcpy(nvm_pool_->FramePtr(f), src, kPageSize);
+      nvm_->OnDirectWrite(nvm_pool_->FrameOffset(f), kPageSize,
+                          /*sequential=*/true);
+      nvm_pool_->SetOwner(f, d, pid);
+      d->nvm.frame.store(f, std::memory_order_relaxed);
+      d->nvm.dirty.store(false, std::memory_order_relaxed);
+      d->nvm.Publish(DramMode::kFull, /*initial_pins=*/0);
+      nvm_pool_->replacer().RecordAccess(f);
+    } else {
+      if (dram_pool_ == nullptr) return;
+      frame_id_t f;
+      if (!dram_pool_->TryAllocateFrame(&f)) {
+        (void)EvictOneDramFrame();
+        if (!dram_pool_->TryAllocateFrame(&f)) return;
+      }
+      std::memcpy(dram_pool_->FramePtr(f), src, kPageSize);
+      dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f), kPageSize,
+                                   /*sequential=*/true);
+      dram_pool_->SetOwner(f, d, pid);
+      d->dram.frame.store(f, std::memory_order_relaxed);
+      d->dram.dirty.store(false, std::memory_order_relaxed);
+      d->dram.Publish(DramMode::kFull, /*initial_pins=*/0);
+      dram_pool_->replacer().RecordAccess(f);
+    }
+    stats_.Add(BufferCounter::kReadAheadInstalls);
+  }();
+  d->nvm_latch.Unlock();
+  d->dram_latch.Unlock();
 }
 
 // ---------------------------------------------------------------------------
@@ -1090,10 +1338,24 @@ std::byte* BufferManager::GuardRawData(SharedPageDescriptor* d, Tier tier,
 // ---------------------------------------------------------------------------
 
 Status BufferManager::WriteToSsd(page_id_t pid, const std::byte* data) {
+  // Asynchronous staged write: the scheduler copies the image, so the
+  // frame may be reused (evicted, overwritten) the moment this returns.
+  if (io_ != nullptr) return io_->WritePage(SsdOffset(pid), data);
   return ssd_->Write(SsdOffset(pid), data, kPageSize);
 }
 
+Status BufferManager::DrainIo() {
+  return io_ != nullptr ? io_->Drain() : Status::OK();
+}
+
 Status BufferManager::FlushPage(page_id_t pid) {
+  const Status st = FlushPageImpl(pid);
+  const Status drained = DrainIo();
+  SPITFIRE_RETURN_NOT_OK(st);
+  return drained;
+}
+
+Status BufferManager::FlushPageImpl(page_id_t pid) {
   SharedPageDescriptor* d = nullptr;
   if (!mapping_table_.Find(pid, &d)) return Status::OK();  // never buffered
   SpinLatchGuard gd(d->dram_latch);
@@ -1252,6 +1514,10 @@ Status BufferManager::FlushAll(bool include_nvm) {
       }
     }
   });
+  // One drain for the whole sweep: the staged writes coalesce while the
+  // sweep runs, and any async error surfaces here.
+  const Status drained = DrainIo();
+  if (result.ok()) result = drained;
   return result;
 }
 

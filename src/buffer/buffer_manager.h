@@ -15,6 +15,7 @@
 #include "container/admission_queue.h"
 #include "container/concurrent_hash_table.h"
 #include "storage/device.h"
+#include "storage/io_scheduler.h"
 #include "storage/nvm_device.h"
 
 namespace spitfire {
@@ -61,6 +62,12 @@ struct BufferManagerOptions {
   bool enable_background_writer = false;
   size_t bg_writer_low_watermark = 0;  // frames; 0 → smallest pool / 8
   uint64_t bg_writer_interval_us = 200;
+
+  // Async SSD I/O: route all SSD-tier traffic through an IoScheduler
+  // (single-flight miss dedup, write coalescing, read-ahead). Disabling
+  // falls back to synchronous per-page device calls under latches.
+  bool enable_io_scheduler = true;
+  IoSchedulerOptions io_scheduler;
 
   // Devices. `ssd` is required and owned by the caller (it holds the
   // database itself). `nvm` may be supplied by the caller so that its
@@ -163,6 +170,11 @@ class BufferManager {
   // paper's recovery-overhead advantage of app-direct mode).
   Status FlushAll(bool include_nvm = false);
 
+  // Blocks until every asynchronously staged SSD write has reached the
+  // device; returns (and clears) the first async write error. No-op when
+  // the I/O scheduler is disabled.
+  Status DrainIo();
+
   // Rebuilds the mapping table from the NVM device's persistent frame
   // table after a restart (Section 5.2, Recovery). The NvmDevice must have
   // been supplied externally via options.nvm.
@@ -186,6 +198,7 @@ class BufferManager {
 
   BufferStats& stats() { return stats_; }
   BackgroundWriter* background_writer() { return bg_writer_.get(); }
+  IoScheduler* io_scheduler() { return io_.get(); }
 
   // Fraction of buffered pages resident in both DRAM and NVM (Section 3.3).
   double InclusivityRatio() const;
@@ -196,6 +209,13 @@ class BufferManager {
     return next_page_id_.load(std::memory_order_relaxed);
   }
   void SetNextPageId(page_id_t pid) { next_page_id_.store(pid); }
+
+  // Reconfigures the sequential read-ahead window (0 disables). Not
+  // thread-safe against concurrent fetches; meant for tests and setup
+  // code that needs deterministic miss behavior.
+  void SetReadAheadPages(size_t n) {
+    options_.io_scheduler.read_ahead_pages = n;
+  }
 
   Device* ssd() { return ssd_; }
   NvmDevice* nvm_device() { return nvm_; }
@@ -234,9 +254,35 @@ class BufferManager {
   Status PromoteToDram(SharedPageDescriptor* d);
 
   // SSD miss path: installs into NVM (path 1, probability Nr) or directly
-  // into DRAM (path 8), then pins and returns a guard.
+  // into DRAM (path 8), then pins and returns a guard. With the I/O
+  // scheduler the device read runs before any descriptor latch is taken;
+  // the bytes are re-validated against the page's write sequence under the
+  // latches before installing.
   Result<PageGuard> InstallFromSsd(SharedPageDescriptor* d,
                                    AccessIntent intent);
+
+  // Installs the page image in `src` (already read from SSD) into a frame
+  // and returns a pinned guard. Caller holds both descriptor latches and
+  // has verified the page is not resident on any tier.
+  Result<PageGuard> InstallPinned(SharedPageDescriptor* d, AccessIntent intent,
+                                  const std::byte* src);
+
+  // Sequential-miss detection: after a miss on `pid`, schedule a prefetch
+  // window starting at it if the miss run looks sequential.
+  void MaybeScheduleReadAhead(page_id_t pid);
+  // Claims one prefetch window's read flights and queues its execution;
+  // requires ownership of read_ahead_inflight_, which passes to the
+  // queued execution (released on failure; returns whether a window was
+  // claimed).
+  bool ClaimAndQueueWindow(page_id_t start);
+  // Worker-side read-ahead: run the device reads for a claimed window
+  // and install the pages that arrive cleanly.
+  void PrefetchExecute(std::shared_ptr<void> claim, page_id_t start,
+                       size_t count);
+  // Installs one prefetched page image, preferring a free frame and
+  // falling back to at most one try-lock eviction round; silently drops
+  // the page on any contention or residency change.
+  void InstallPrefetched(page_id_t pid, const std::byte* src, uint64_t seq);
 
   // Frame acquisition with eviction. Return kInvalidFrameId on failure.
   frame_id_t AcquireDramFrame();
@@ -272,6 +318,9 @@ class BufferManager {
 
   Status WriteToSsd(page_id_t pid, const std::byte* data);
 
+  // FlushPage body without the I/O drain (FlushAll batches the drain).
+  Status FlushPageImpl(page_id_t pid);
+
   // Loads the units covering [offset, offset+size) of a cache-line-grained
   // page from its NVM copy. Caller holds the dram latch.
   void EnsureUnitsResident(SharedPageDescriptor* d, size_t offset,
@@ -305,6 +354,25 @@ class BufferManager {
   std::atomic<page_id_t> next_page_id_{0};
   BufferStats stats_;
   std::unique_ptr<BackgroundWriter> bg_writer_;
+  std::unique_ptr<IoScheduler> io_;
+
+  // Sequential-miss run detection for read-ahead. `ra_next_pid_` is the
+  // page just past the last prefetched window: a miss landing exactly
+  // there means the scan consumed the whole window, so the next one is
+  // chained immediately instead of waiting for the run counter to rebuild
+  // (trailing joiner misses inside the window scramble the counter).
+  std::atomic<page_id_t> last_miss_pid_{kInvalidPageId};
+  std::atomic<uint32_t> seq_miss_run_{0};
+  std::atomic<page_id_t> ra_next_pid_{kInvalidPageId};
+  // Live range [ra_live_lo_, ra_next_pid_) of the chain's recent windows
+  // and the consumed flag an access inside it sets: a HIT there proves a
+  // scan front is following the chain even when prefetch runs far enough
+  // ahead that the front never misses (and so never joins a flight).
+  // Without it a perfectly-overlapped chain would look abandoned and die
+  // every other window.
+  std::atomic<page_id_t> ra_live_lo_{kInvalidPageId};
+  std::atomic<bool> ra_consumed_{false};
+  std::atomic<bool> read_ahead_inflight_{false};
 };
 
 }  // namespace spitfire

@@ -24,6 +24,7 @@ enum class BufferCounter : uint8_t {
   kFineGrainedLoads,    // cache-line units loaded
   kMiniPageAdmits,
   kMiniPagePromotions,  // mini → full overflow
+  kReadAheadInstalls,   // pages prefetched by the I/O scheduler
   kNumCounters,
 };
 
@@ -42,6 +43,7 @@ struct BufferStatsSnapshot {
   uint64_t fine_grained_loads = 0;
   uint64_t mini_page_admits = 0;
   uint64_t mini_page_promotions = 0;
+  uint64_t read_ahead_installs = 0;
 
   // Every successful FetchPage increments exactly one of these three.
   uint64_t TotalFetches() const { return dram_hits + nvm_hits + ssd_fetches; }
@@ -52,7 +54,8 @@ struct BufferStatsSnapshot {
         buf, sizeof(buf),
         "dram_hits=%llu nvm_hits=%llu ssd_fetches=%llu promotions=%llu "
         "dem_nvm=%llu dem_ssd=%llu nvm_installs=%llu nvm_evict=%llu "
-        "dram_evict=%llu fg_loads=%llu mini_admits=%llu mini_promos=%llu",
+        "dram_evict=%llu fg_loads=%llu mini_admits=%llu mini_promos=%llu "
+        "ra_installs=%llu",
         (unsigned long long)dram_hits, (unsigned long long)nvm_hits,
         (unsigned long long)ssd_fetches, (unsigned long long)promotions,
         (unsigned long long)demotions_to_nvm,
@@ -61,7 +64,8 @@ struct BufferStatsSnapshot {
         (unsigned long long)dram_evictions,
         (unsigned long long)fine_grained_loads,
         (unsigned long long)mini_page_admits,
-        (unsigned long long)mini_page_promotions);
+        (unsigned long long)mini_page_promotions,
+        (unsigned long long)read_ahead_installs);
     return buf;
   }
 };
@@ -108,6 +112,8 @@ class BufferStats {
         sums[static_cast<size_t>(BufferCounter::kMiniPageAdmits)];
     snap.mini_page_promotions =
         sums[static_cast<size_t>(BufferCounter::kMiniPagePromotions)];
+    snap.read_ahead_installs =
+        sums[static_cast<size_t>(BufferCounter::kReadAheadInstalls)];
     return snap;
   }
 

@@ -65,6 +65,8 @@ Status Database::InitCommon(bool fresh) {
   bopts.ssd = env_.db_ssd.get();
   bopts.nvm = env_.nvm.get();
   bopts.dram_backing = opts_.dram_backing;
+  bopts.enable_io_scheduler = opts_.enable_io_scheduler;
+  bopts.io_scheduler = opts_.io_scheduler;
   bm_ = std::make_unique<BufferManager>(bopts);
 
   if (opts_.enable_wal) {
@@ -87,6 +89,7 @@ Status Database::InitCommon(bool fresh) {
       commit_forces_drain_ = true;
     }
     lopts.log_ssd = env_.log_ssd.get();
+    lopts.enable_group_commit = opts_.wal_group_commit;
     auto lm_r = fresh ? LogManager::Create(lopts) : LogManager::Attach(lopts);
     SPITFIRE_RETURN_NOT_OK(lm_r.status());
     lm_ = lm_r.MoveValue();

@@ -33,10 +33,17 @@ struct DatabaseOptions {
   std::string ssd_path;  // empty → memory-backed simulated SSD
   Device* dram_backing = nullptr;  // e.g. a MemoryModeDevice (Figure 5)
 
+  // Async SSD I/O scheduler (single-flight misses, write coalescing,
+  // read-ahead) for the buffer manager.
+  bool enable_io_scheduler = true;
+  IoSchedulerOptions io_scheduler;
+
   // Write-ahead logging (Section 5.2).
   bool enable_wal = true;
   uint64_t log_staging_size = 4ull * 1024 * 1024;
   uint64_t log_ssd_capacity = 256ull * 1024 * 1024;
+  // Batch concurrent commit-path appends into one NVM persist.
+  bool wal_group_commit = true;
   // When there is no NVM in the hierarchy, the log stages in DRAM and
   // every commit forces a drain to SSD (group commit without NVM) — the
   // recovery-overhead contrast the paper draws in Sections 6.2/6.6.

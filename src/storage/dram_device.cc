@@ -7,7 +7,10 @@ namespace spitfire {
 
 DramDevice::DramDevice(uint64_t capacity, DeviceProfile profile)
     : Device(std::move(profile), capacity) {
-  base_ = static_cast<std::byte*>(std::aligned_alloc(4096, capacity));
+  // aligned_alloc requires size to be a multiple of the alignment; callers
+  // may ask for capacities (e.g. decimal gigabytes) that are not.
+  const uint64_t alloc_size = (capacity + 4095) / 4096 * 4096;
+  base_ = static_cast<std::byte*>(std::aligned_alloc(4096, alloc_size));
   SPITFIRE_CHECK(base_ != nullptr);
   std::memset(base_, 0, capacity);
 }

@@ -1,0 +1,437 @@
+#include "storage/io_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+namespace spitfire {
+
+IoScheduler::IoScheduler(Device* ssd, const IoSchedulerOptions& opts)
+    : ssd_(ssd), opts_(opts) {
+  SPITFIRE_CHECK(ssd_ != nullptr);
+  if (opts_.num_workers == 0) opts_.num_workers = 1;
+  if (opts_.max_coalesce_pages == 0) opts_.max_coalesce_pages = 1;
+  if (opts_.max_pending_writes == 0) opts_.max_pending_writes = 1;
+  workers_.reserve(opts_.num_workers);
+  for (size_t i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoScheduler::~IoScheduler() { Shutdown(); }
+
+void IoScheduler::MaybeEraseLocked(Shard& s, uint64_t offset) {
+  auto it = s.table.find(offset);
+  if (it == s.table.end()) return;
+  const Entry& e = it->second;
+  if (e.read == nullptr && e.write == nullptr && e.write_seq == 0) {
+    s.table.erase(it);
+  }
+}
+
+Status IoScheduler::ReadPage(uint64_t offset, std::byte* dst,
+                             uint64_t* out_seq) {
+  Shard& s = ShardFor(offset);
+  bool tried_steal = false;
+  std::unique_lock<std::mutex> l(s.mu);
+  for (;;) {
+    Entry& e = s.table[offset];
+    if (e.write != nullptr) {
+      // A staged (not yet device-durable) write holds the freshest bytes.
+      std::memcpy(dst, e.write->buf.get(), kPageSize);
+      if (out_seq != nullptr) *out_seq = e.write_seq;
+      stats_.reads_from_staged.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    if (e.read != nullptr) {
+      // Single-flight: join the in-flight read instead of duplicating it.
+      std::shared_ptr<ReadFlight> f = e.read;
+      ++f->joiners;
+      stats_.reads_deduped.fetch_add(1, std::memory_order_relaxed);
+      // The flight may belong to a claimed prefetch window whose
+      // execution is queued but not yet running (the claimer can be
+      // descheduled between registering the claim and submitting the
+      // task, and the worker never races the submitter for the core); run
+      // it inline instead of sleeping on work nobody is executing. The
+      // timed re-check matters: if the task was submitted AFTER our first
+      // steal attempt found the queue empty, a plain wait would sleep
+      // until some other thread ran it — with every peer parked on the
+      // same window, that is a multi-millisecond stall.
+      while (!f->done) {
+        l.unlock();
+        TryRunPendingTask();
+        l.lock();
+        if (f->done) break;
+        s.cv.wait_for(l, std::chrono::microseconds(100),
+                      [&] { return f->done; });
+      }
+      if (f->stale) {
+        // A write landed mid-flight; re-resolve (it is staged or queued).
+        stats_.stale_read_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!f->status.ok()) return f->status;
+      std::memcpy(dst, f->buf, kPageSize);
+      if (out_seq != nullptr) *out_seq = f->seq;
+      return Status::OK();
+    }
+    if (!tried_steal) {
+      // Before leading a single-page read, drain one queued prefetch task
+      // (if any): a pending window may cover this offset, and on the
+      // synchronous simulated device running it here both avoids a
+      // duplicate read and keeps the window one coalesced op. The entry
+      // reference is stale after the relock either way, so loop.
+      tried_steal = true;
+      l.unlock();
+      TryRunPendingTask();
+      l.lock();
+      continue;
+    }
+    // Leader: register the flight, then run the device read without the
+    // shard lock so joiners can attach (and writers can supersede).
+    auto f = std::make_shared<ReadFlight>();
+    f->seq = e.write_seq;
+    e.read = f;
+    l.unlock();
+    const Status st = ssd_->Read(offset, dst, kPageSize);
+    stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+    l.lock();
+    {
+      // The map may have rehashed while unlocked; re-resolve the entry.
+      Entry& e2 = s.table[offset];
+      f->status = st;
+      f->stale = (e2.write_seq != f->seq);
+      // Joiners registered before this relock; none can attach after the
+      // flight is unlinked below, so the copy is skipped when uncontended.
+      if (f->joiners > 0 && st.ok() && !f->stale) {
+        std::memcpy(f->buf, dst, kPageSize);
+      }
+      f->done = true;
+      if (e2.read == f) e2.read.reset();
+    }
+    MaybeEraseLocked(s, offset);
+    s.cv.notify_all();
+    if (f->stale) {
+      stats_.stale_read_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!st.ok()) return st;
+    if (out_seq != nullptr) *out_seq = f->seq;
+    return Status::OK();
+  }
+}
+
+std::shared_ptr<void> IoScheduler::ClaimPrefetch(uint64_t offset, size_t n) {
+  auto rec = std::make_shared<PrefetchClaimRec>();
+  rec->offset = offset;
+  rec->n = n;
+  rec->flights.resize(n);
+  size_t owned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t off = offset + i * kPageSize;
+    Shard& s = ShardFor(off);
+    std::lock_guard<std::mutex> l(s.mu);
+    Entry& e = s.table[off];
+    // Pages with a staged write or an in-flight read stay with their
+    // current owner.
+    if (e.write != nullptr || e.read != nullptr) continue;
+    auto f = std::make_shared<ReadFlight>();
+    f->seq = e.write_seq;
+    e.read = f;
+    rec->flights[i] = std::move(f);
+    ++owned;
+  }
+  if (owned == 0) return nullptr;
+  return rec;
+}
+
+Status IoScheduler::ExecutePrefetch(const std::shared_ptr<void>& claim,
+                                    std::byte* dst, uint64_t* seqs,
+                                    bool* covered,
+                                    const std::function<void(size_t)>& ready,
+                                    size_t* joined,
+                                    const std::function<void(size_t)>& installed) {
+  auto* rec = static_cast<PrefetchClaimRec*>(claim.get());
+  const uint64_t offset = rec->offset;
+  const size_t n = rec->n;
+  for (size_t i = 0; i < n; ++i) covered[i] = false;
+  size_t total_joiners = 0;
+  size_t early_joiners = 0;
+  bool installed_fired = false;
+
+  // One device op per maximal contiguous run of owned pages.
+  Status result = Status::OK();
+  size_t i = 0;
+  while (i < n) {
+    if (rec->flights[i] == nullptr) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < n && rec->flights[j] != nullptr) ++j;
+    const Status st =
+        ssd_->Read(offset + i * kPageSize, dst + i * kPageSize,
+                   (j - i) * kPageSize);
+    stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) result = st;
+    // Three passes over the run, in a strict order: validate every page,
+    // install every page, and only then complete the flights.
+    //
+    //  - Installing before completing means a window page is at every
+    //    instant either resident or joinable: completing first would
+    //    erase the page's single-flight entry while its bytes are still
+    //    unpublished, and a miss in that gap would duplicate the read.
+    //  - Completing the whole run as one batch (rather than per page)
+    //    means each joiner wakes exactly once, to a fully-published run.
+    //    Waking per page lets early joiners outrun the install loop and
+    //    re-sleep on the next page, turning one window into dozens of
+    //    context-switch round trips.
+    for (size_t k = i; k < j; ++k) {
+      const uint64_t off = offset + k * kPageSize;
+      Shard& s = ShardFor(off);
+      std::shared_ptr<ReadFlight>& f = rec->flights[k];
+      std::lock_guard<std::mutex> l(s.mu);
+      Entry& e = s.table[off];
+      f->status = st;
+      f->stale = (e.write_seq != f->seq);
+      if (st.ok() && !f->stale) {
+        seqs[k] = f->seq;
+        covered[k] = true;
+      }
+      early_joiners += static_cast<size_t>(f->joiners);
+    }
+    if (ready) {
+      for (size_t k = i; k < j; ++k) {
+        // Outside the shard lock; the install re-validates WriteSeq.
+        if (covered[k]) ready(k);
+      }
+    }
+    if (installed && !installed_fired) {
+      installed_fired = true;
+      installed(early_joiners);
+    }
+    for (size_t k = i; k < j; ++k) {
+      const uint64_t off = offset + k * kPageSize;
+      Shard& s = ShardFor(off);
+      std::shared_ptr<ReadFlight>& f = rec->flights[k];
+      {
+        std::lock_guard<std::mutex> l(s.mu);
+        Entry& e = s.table[off];
+        // A write may have staged while the installs ran: re-check, so a
+        // joiner retries rather than consuming superseded bytes. (The
+        // install path re-validates against WriteSeq on its own.)
+        f->stale = (e.write_seq != f->seq);
+        total_joiners += static_cast<size_t>(f->joiners);
+        if (f->joiners > 0 && covered[k] && !f->stale) {
+          // Waiters that joined this flight copy from its buffer.
+          std::memcpy(f->buf, dst + k * kPageSize, kPageSize);
+        }
+        f->done = true;
+        if (e.read == f) e.read.reset();
+        MaybeEraseLocked(s, off);
+      }
+      s.cv.notify_all();
+    }
+    i = j;
+  }
+  if (joined != nullptr) *joined = total_joiners;
+  return result;
+}
+
+Status IoScheduler::WritePage(uint64_t offset, const std::byte* src) {
+  {
+    // Backpressure before touching the shard, so a blocked writer never
+    // holds a lock a worker needs to make progress.
+    std::unique_lock<std::mutex> ql(q_mu_);
+    q_cv_.wait(ql, [&] {
+      return pending_writes_ < opts_.max_pending_writes || stop_;
+    });
+    if (stop_) return Status::IoError("io scheduler stopped");
+  }
+
+  Shard& s = ShardFor(offset);
+  std::shared_ptr<StagedWrite> w;
+  {
+    std::unique_lock<std::mutex> l(s.mu);
+    Entry* e = &s.table[offset];
+    while (e->write != nullptr && e->write->issuing) {
+      // The previous image is being copied to the device; wait for it so
+      // this (newer) image cannot be overtaken.
+      s.cv.wait(l);
+      e = &s.table[offset];  // the map may have rehashed while unlocked
+    }
+    // The sequence bump is what invalidates concurrent reads: any read
+    // that sampled an older sequence fails its install-time validation.
+    e->write_seq++;
+    if (e->write != nullptr) {
+      // Still queued: last writer wins in place, no second device op.
+      std::memcpy(e->write->buf.get(), src, kPageSize);
+      return Status::OK();
+    }
+    w = std::make_shared<StagedWrite>();
+    w->buf = std::make_unique<std::byte[]>(kPageSize);
+    std::memcpy(w->buf.get(), src, kPageSize);
+    e->write = w;
+  }
+  stats_.writes_staged.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> ql(q_mu_);
+    ++pending_writes_;
+    write_queue_.push_back(QueueItem{offset, std::move(w)});
+  }
+  q_cv_.notify_all();
+  return Status::OK();
+}
+
+uint64_t IoScheduler::WriteSeq(uint64_t offset) {
+  Shard& s = ShardFor(offset);
+  std::lock_guard<std::mutex> l(s.mu);
+  auto it = s.table.find(offset);
+  return it == s.table.end() ? 0 : it->second.write_seq;
+}
+
+Status IoScheduler::Drain() {
+  std::unique_lock<std::mutex> ql(q_mu_);
+  ++drain_waiters_;
+  q_cv_.notify_all();  // cut any coalescing window short
+  q_cv_.wait(ql, [&] { return pending_writes_ == 0; });
+  --drain_waiters_;
+  Status st = first_write_error_;
+  first_write_error_ = Status::OK();
+  return st;
+}
+
+bool IoScheduler::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> ql(q_mu_);
+    if (stop_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  q_cv_.notify_all();
+  return true;
+}
+
+bool IoScheduler::TryRunPendingTask() {
+  std::function<void()> t;
+  {
+    std::lock_guard<std::mutex> ql(q_mu_);
+    if (tasks_.empty()) return false;
+    t = std::move(tasks_.front());
+    tasks_.pop_front();
+  }
+  t();
+  return true;
+}
+
+void IoScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> ql(q_mu_);
+    if (stop_ && workers_.empty()) return;
+    stop_ = true;
+  }
+  q_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void IoScheduler::WorkerLoop() {
+  std::vector<std::byte> scratch(opts_.max_coalesce_pages * kPageSize);
+  std::unique_lock<std::mutex> ql(q_mu_);
+  for (;;) {
+    q_cv_.wait(ql, [&] { return stop_ || !write_queue_.empty(); });
+    if (write_queue_.empty()) {
+      if (stop_) {
+        // Queued prefetch tasks normally run on the thread that first
+        // waits for one of their pages (TryRunPendingTask): waking a
+        // worker for them would make its simulated device spin compete
+        // with the submitter for the core. Any still pending at shutdown
+        // must run here, though — their claims have flights to complete.
+        while (!tasks_.empty()) {
+          std::function<void()> t = std::move(tasks_.front());
+          tasks_.pop_front();
+          ql.unlock();
+          t();
+          ql.lock();
+        }
+        return;
+      }
+      continue;
+    }
+    if (write_queue_.size() < opts_.max_coalesce_pages && !stop_ &&
+        drain_waiters_ == 0 && opts_.coalesce_window_us > 0) {
+      // Linger briefly so an eviction burst coalesces into fewer ops.
+      q_cv_.wait_for(ql, std::chrono::microseconds(opts_.coalesce_window_us),
+                     [&] {
+                       return stop_ || drain_waiters_ > 0 ||
+                              write_queue_.size() >= opts_.max_coalesce_pages;
+                     });
+    }
+    std::vector<QueueItem> batch;
+    while (!write_queue_.empty() && batch.size() < opts_.max_coalesce_pages) {
+      batch.push_back(std::move(write_queue_.front()));
+      write_queue_.pop_front();
+    }
+    ql.unlock();
+    const Status st = ProcessBatch(&batch, scratch.data());
+    ql.lock();
+    pending_writes_ -= batch.size();
+    if (!st.ok() && first_write_error_.ok()) first_write_error_ = st;
+    q_cv_.notify_all();
+  }
+}
+
+Status IoScheduler::ProcessBatch(std::vector<QueueItem>* batch,
+                                 std::byte* scratch) {
+  std::sort(batch->begin(), batch->end(),
+            [](const QueueItem& a, const QueueItem& b) {
+              return a.offset < b.offset;
+            });
+  // Freeze every image first: after `issuing` is set (under the shard
+  // mutex) writers wait for completion instead of mutating the buffer, so
+  // the copies below are safe without a lock.
+  for (QueueItem& item : *batch) {
+    Shard& s = ShardFor(item.offset);
+    std::lock_guard<std::mutex> l(s.mu);
+    item.w->issuing = true;
+  }
+  Status result = Status::OK();
+  size_t i = 0;
+  while (i < batch->size()) {
+    size_t j = i + 1;
+    while (j < batch->size() &&
+           (*batch)[j].offset == (*batch)[j - 1].offset + kPageSize) {
+      ++j;
+    }
+    const size_t run = j - i;
+    Status st;
+    if (run == 1) {
+      st = ssd_->Write((*batch)[i].offset, (*batch)[i].w->buf.get(),
+                       kPageSize);
+    } else {
+      for (size_t k = i; k < j; ++k) {
+        std::memcpy(scratch + (k - i) * kPageSize, (*batch)[k].w->buf.get(),
+                    kPageSize);
+      }
+      st = ssd_->Write((*batch)[i].offset, scratch, run * kPageSize);
+      stats_.writes_coalesced.fetch_add(run - 1, std::memory_order_relaxed);
+    }
+    stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) result = st;
+    for (size_t k = i; k < j; ++k) {
+      const uint64_t off = (*batch)[k].offset;
+      Shard& s = ShardFor(off);
+      std::lock_guard<std::mutex> l(s.mu);
+      auto it = s.table.find(off);
+      if (it != s.table.end() && it->second.write == (*batch)[k].w) {
+        it->second.write.reset();
+      }
+      s.cv.notify_all();
+    }
+    i = j;
+  }
+  return result;
+}
+
+}  // namespace spitfire

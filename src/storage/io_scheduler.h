@@ -1,0 +1,236 @@
+#ifndef SPITFIRE_STORAGE_IO_SCHEDULER_H_
+#define SPITFIRE_STORAGE_IO_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+#include "storage/device.h"
+
+namespace spitfire {
+
+// Tuning knobs for the SSD I/O scheduler.
+struct IoSchedulerOptions {
+  // Background I/O workers draining the write queue (and running
+  // prefetch tasks). Reads are executed inline by the requesting thread.
+  size_t num_workers = 1;
+  // Maximum pages merged into one device op. Adjacent staged writes (and
+  // prefetch reads) within one batch become a single larger request,
+  // which the device latency model rewards: the per-op fixed cost is paid
+  // once instead of per page.
+  size_t max_coalesce_pages = 8;
+  // After picking up a pending write, a worker lingers this long for more
+  // writes to arrive before issuing, so eviction bursts coalesce. Drain()
+  // requests cut the window short.
+  uint64_t coalesce_window_us = 50;
+  // Backpressure bound on staged-but-unwritten pages (16 KB each).
+  size_t max_pending_writes = 128;
+  // Pages prefetched ahead of a detected sequential miss run; 0 disables
+  // read-ahead. (The trigger lives in the buffer manager; this is the
+  // window size it requests.) 32 pages = 512 KB: on the simulated device
+  // a 32-page sequential read costs ~1/3 of 32 single-page reads, and a
+  // wider window also means fewer chain handoffs per scanned megabyte.
+  size_t read_ahead_pages = 32;
+};
+
+// Monotonic counters; all relaxed, reporting only.
+struct IoSchedulerStats {
+  std::atomic<uint64_t> read_ops{0};          // device read requests issued
+  std::atomic<uint64_t> reads_deduped{0};     // joined an in-flight read
+  std::atomic<uint64_t> reads_from_staged{0};  // served from a queued write
+  std::atomic<uint64_t> stale_read_retries{0};
+  std::atomic<uint64_t> writes_staged{0};
+  std::atomic<uint64_t> write_ops{0};         // device write requests issued
+  std::atomic<uint64_t> writes_coalesced{0};  // pages merged into a larger op
+};
+
+// Owner of all SSD-tier page traffic (an io_uring-style submission model
+// over the simulated device):
+//
+//  - ReadPage is SINGLE-FLIGHT: concurrent readers of one page register on
+//    a shared in-flight request; one leader executes the device read while
+//    the rest sleep on a condition variable and copy the result, so a miss
+//    storm on a hot page costs one device op instead of N.
+//  - WritePage is ASYNCHRONOUS: the page image is staged in a heap buffer
+//    and queued; worker threads drain the queue, merging adjacent-page
+//    writes into one larger device op. Reads of a staged page are served
+//    from the staged image (write-through), so callers may free the source
+//    frame immediately.
+//  - Every offset carries a WRITE SEQUENCE number, bumped when a write is
+//    staged. ReadPage returns the sequence its bytes correspond to; a
+//    caller installing the page into a buffer re-validates the sequence
+//    under its own latches (WriteSeq) and retries on mismatch, which makes
+//    reads safe to run without holding any page latch.
+//
+// Offsets must be kPageSize-aligned; every transfer is kPageSize bytes
+// (prefetch claims: a multiple).
+class IoScheduler {
+ public:
+  explicit IoScheduler(Device* ssd, const IoSchedulerOptions& opts = {});
+  ~IoScheduler();
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(IoScheduler);
+
+  // Reads one page into `dst`. If `out_seq` is non-null it receives the
+  // write sequence the bytes correspond to (see WriteSeq).
+  Status ReadPage(uint64_t offset, std::byte* dst, uint64_t* out_seq);
+
+  // Read-ahead, split in two so a trigger can claim its window inline
+  // (cheap, no device work) before handing the reads to a worker:
+  // concurrent ReadPage callers then join the claimed flights instead of
+  // issuing duplicate single-page reads that would fragment the window.
+  //
+  // ClaimPrefetch registers read flights for up to `n` contiguous pages
+  // (pages already staged or in flight are left to their owner) and
+  // returns an opaque claim — nullptr when nothing was claimed.
+  std::shared_ptr<void> ClaimPrefetch(uint64_t offset, size_t n);
+  // Performs the device reads for a claim (one op per contiguous claimed
+  // run) and completes its flights; MUST be called exactly once per
+  // non-null claim or joiners sleep forever. dst must hold n pages;
+  // covered[i] is set true iff dst + i*kPageSize now holds page i's bytes
+  // (with seqs[i] its write sequence). For each covered page, `ready(i)`
+  // runs after the device read but BEFORE the page's flight completes, so
+  // the caller can install the page while its single-flight entry still
+  // absorbs concurrent misses; waking joiners first would open a gap
+  // where a fresh miss finds neither a flight nor a resident page and
+  // duplicates the read.
+  //
+  // If `joined` is non-null it receives the number of ReadPage callers
+  // that joined this claim's flights — the signal that a scan front is
+  // consuming the window (used to decide whether to chain another one).
+  //
+  // `installed(j)` — j the joiner count observed so far — runs once,
+  // after the first run's pages are installed but before any flight
+  // completes. It exists so the caller can claim the NEXT window at the
+  // earliest safe moment: threads that found their page installed are
+  // already running ahead, and on one core their busy-wait reads can
+  // starve this thread's completion pass for many milliseconds — any
+  // follow-up claim deferred to after ExecutePrefetch would arrive far
+  // too late to keep the stream fed.
+  Status ExecutePrefetch(const std::shared_ptr<void>& claim, std::byte* dst,
+                         uint64_t* seqs, bool* covered,
+                         const std::function<void(size_t)>& ready = {},
+                         size_t* joined = nullptr,
+                         const std::function<void(size_t)>& installed = {});
+
+  // Stages one page write and returns immediately; the device write
+  // happens on a worker. A newer write of the same page before the queue
+  // drains overwrites the staged image in place (last writer wins).
+  // Errors surface at the next Drain().
+  Status WritePage(uint64_t offset, const std::byte* src);
+
+  // Current write sequence of `offset` (0 = never written through the
+  // scheduler). Compare against ReadPage's out_seq before installing.
+  uint64_t WriteSeq(uint64_t offset);
+
+  // Blocks until every staged write has reached the device; returns (and
+  // clears) the first asynchronous write error since the previous Drain.
+  Status Drain();
+
+  // Queues `task` for a worker thread (read-ahead prefetch). Returns
+  // false — task NOT queued — when the scheduler is shutting down, in
+  // which case the caller must run it itself if it has side effects that
+  // cannot be dropped (e.g. completing a prefetch claim).
+  bool Submit(std::function<void()> task);
+
+  // Runs one queued task inline on the calling thread, if any is pending.
+  // The simulated device is synchronous (a busy-wait), so a miss leader
+  // that just submitted a prefetch window steals it rather than racing the
+  // worker for the core; with a genuinely asynchronous device the worker
+  // dequeues first and this is a no-op. Returns whether a task ran.
+  bool TryRunPendingTask();
+
+  // Drains outstanding writes and joins the workers. Idempotent; called by
+  // the destructor.
+  void Shutdown();
+
+  IoSchedulerStats& stats() { return stats_; }
+
+ private:
+  static constexpr size_t kNumShards = 16;
+
+  // One single-flight read. `buf` is filled by the leader (under the shard
+  // mutex, before `done` is published) only when `joiners` is non-zero;
+  // waiters copy from it after observing done. Both counters are guarded
+  // by the shard mutex.
+  struct ReadFlight {
+    Status status;
+    uint64_t seq = 0;    // write sequence sampled at registration
+    int joiners = 0;     // readers waiting on this flight
+    bool done = false;
+    bool stale = false;  // a write superseded the bytes mid-flight
+    std::byte buf[kPageSize];
+  };
+
+  // One staged write. The image may be overwritten (under the shard
+  // mutex) only while `issuing` is false; a worker sets `issuing` under
+  // the mutex before copying the image out, so the copy needs no lock.
+  struct StagedWrite {
+    std::unique_ptr<std::byte[]> buf;
+    bool issuing = false;
+  };
+
+  struct Entry {
+    std::shared_ptr<ReadFlight> read;
+    std::shared_ptr<StagedWrite> write;
+    uint64_t write_seq = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<uint64_t, Entry> table;
+  };
+
+  struct QueueItem {
+    uint64_t offset = 0;
+    std::shared_ptr<StagedWrite> w;
+  };
+
+  // A claimed read-ahead window: flights[i] is non-null iff this claim
+  // owns page i's flight (ClaimPrefetch skipped the others).
+  struct PrefetchClaimRec {
+    uint64_t offset = 0;
+    size_t n = 0;
+    std::vector<std::shared_ptr<ReadFlight>> flights;
+  };
+
+  Shard& ShardFor(uint64_t offset) {
+    return shards_[(offset / kPageSize) % kNumShards];
+  }
+  // Entries that never saw a write (seq 0) are erased once idle; written
+  // entries are kept so sequence numbers stay monotonic for the device's
+  // lifetime (bounded by the page count).
+  void MaybeEraseLocked(Shard& s, uint64_t offset);
+
+  void WorkerLoop();
+  Status ProcessBatch(std::vector<QueueItem>* batch, std::byte* scratch);
+
+  Device* ssd_;
+  IoSchedulerOptions opts_;
+  IoSchedulerStats stats_;
+
+  Shard shards_[kNumShards];
+
+  std::mutex q_mu_;
+  std::condition_variable q_cv_;
+  std::deque<QueueItem> write_queue_;
+  std::deque<std::function<void()>> tasks_;
+  size_t pending_writes_ = 0;  // staged, not yet on the device
+  size_t drain_waiters_ = 0;
+  Status first_write_error_;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_STORAGE_IO_SCHEDULER_H_

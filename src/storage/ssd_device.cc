@@ -3,7 +3,10 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
+
+#include "common/constants.h"
 
 namespace spitfire {
 
@@ -25,27 +28,89 @@ SsdDevice::~SsdDevice() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void SsdDevice::LockRange(uint64_t offset, size_t size, bool exclusive) {
+  const uint64_t first = offset / kPageSize;
+  const uint64_t count = (size + kPageSize - 1) / kPageSize;
+  bool used[kCopyLockStripes] = {};
+  for (uint64_t p = 0; p < count && p < kCopyLockStripes; ++p) {
+    used[(first + p) % kCopyLockStripes] = true;
+  }
+  for (size_t i = 0; i < kCopyLockStripes; ++i) {
+    if (!used[i]) continue;
+    if (exclusive) {
+      copy_locks_[i].lock();
+    } else {
+      copy_locks_[i].lock_shared();
+    }
+  }
+}
+
+void SsdDevice::UnlockRange(uint64_t offset, size_t size, bool exclusive) {
+  const uint64_t first = offset / kPageSize;
+  const uint64_t count = (size + kPageSize - 1) / kPageSize;
+  bool used[kCopyLockStripes] = {};
+  for (uint64_t p = 0; p < count && p < kCopyLockStripes; ++p) {
+    used[(first + p) % kCopyLockStripes] = true;
+  }
+  for (size_t i = 0; i < kCopyLockStripes; ++i) {
+    if (!used[i]) continue;
+    if (exclusive) {
+      copy_locks_[i].unlock();
+    } else {
+      copy_locks_[i].unlock_shared();
+    }
+  }
+}
+
 Status SsdDevice::Read(uint64_t offset, void* dst, size_t size) {
   SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
   if (fd_ >= 0) {
-    ssize_t n = ::pread(fd_, dst, size, static_cast<off_t>(offset));
-    if (n != static_cast<ssize_t>(size)) return Status::IoError("pread");
+    // pread may legitimately transfer fewer bytes than requested (or be
+    // interrupted by a signal); loop until the full range arrives.
+    auto* p = static_cast<std::byte*>(dst);
+    size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::pread(fd_, p + done, size - done,
+                                static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("pread");
+      }
+      if (n == 0) return Status::IoError("pread: unexpected EOF");
+      done += static_cast<size_t>(n);
+    }
   } else {
+    LockRange(offset, size, /*exclusive=*/false);
     std::memcpy(dst, mem_.get() + offset, size);
+    UnlockRange(offset, size, /*exclusive=*/false);
   }
-  AccountRead(size, /*sequential=*/false);
+  // Multi-page requests (coalesced by the I/O scheduler) stream from
+  // consecutive blocks, so they earn the sequential rate.
+  AccountRead(size, /*sequential=*/size > kPageSize);
   return Status::OK();
 }
 
 Status SsdDevice::Write(uint64_t offset, const void* src, size_t size) {
   SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
   if (fd_ >= 0) {
-    ssize_t n = ::pwrite(fd_, src, size, static_cast<off_t>(offset));
-    if (n != static_cast<ssize_t>(size)) return Status::IoError("pwrite");
+    const auto* p = static_cast<const std::byte*>(src);
+    size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::pwrite(fd_, p + done, size - done,
+                                 static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("pwrite");
+      }
+      if (n == 0) return Status::IoError("pwrite: no progress");
+      done += static_cast<size_t>(n);
+    }
   } else {
+    LockRange(offset, size, /*exclusive=*/true);
     std::memcpy(mem_.get() + offset, src, size);
+    UnlockRange(offset, size, /*exclusive=*/true);
   }
-  AccountWrite(size, /*sequential=*/false);
+  AccountWrite(size, /*sequential=*/size > kPageSize);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define SPITFIRE_STORAGE_SSD_DEVICE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "storage/device.h"
@@ -34,8 +35,23 @@ class SsdDevice : public Device {
   bool file_backed() const { return fd_ >= 0; }
 
  private:
+  // The I/O scheduler may issue a read concurrent with a write of an
+  // overlapping range (the reader re-validates its write sequence and
+  // discards superseded bytes — a torn transfer is acceptable there, as
+  // it would be on real hardware). The kernel makes the file-backed
+  // pread/pwrite pair safe; the memory-backed memcpy pair needs its own
+  // synchronization. Page-striped rwlocks, held only around the copy
+  // (never across the latency simulation), keep reads concurrent with
+  // reads while excluding overlapping writes. Multi-page requests lock
+  // their stripes in ascending order, so crossing requests cannot
+  // deadlock.
+  static constexpr size_t kCopyLockStripes = 64;
+  void LockRange(uint64_t offset, size_t size, bool exclusive);
+  void UnlockRange(uint64_t offset, size_t size, bool exclusive);
+
   int fd_ = -1;
   std::unique_ptr<std::byte[]> mem_;
+  std::shared_mutex copy_locks_[kCopyLockStripes];
 };
 
 }  // namespace spitfire

@@ -64,6 +64,7 @@ Result<lsn_t> LogManager::Append(const LogRecord& record) {
   std::vector<std::byte> buf;
   buf.reserve(record.SerializedSize());
   record.SerializeTo(&buf);
+  if (opts_.enable_group_commit) return AppendGrouped(std::move(buf));
   for (int attempt = 0; attempt < 3; ++attempt) {
     Result<lsn_t> r = staging_->Append(buf.data(), buf.size());
     if (r.ok()) return r;
@@ -71,6 +72,72 @@ Result<lsn_t> LogManager::Append(const LogRecord& record) {
     SPITFIRE_RETURN_NOT_OK(Drain());
   }
   return Status::OutOfMemory("log record larger than NVM buffer");
+}
+
+Result<lsn_t> LogManager::AppendGrouped(std::vector<std::byte> buf) {
+  if (buf.size() > staging_->capacity()) {
+    return Status::OutOfMemory("log record larger than NVM buffer");
+  }
+  std::unique_lock<std::mutex> l(group_mu_);
+  // A group never outgrows the staging buffer, so its payload persists
+  // with ONE atomic staging append (no torn groups on crash). A full
+  // group closes to new joiners; its leader persists it as formed.
+  if (open_group_ != nullptr &&
+      open_group_->bytes.size() + buf.size() > staging_->capacity()) {
+    open_group_.reset();
+  }
+  if (open_group_ == nullptr) {
+    // Leader: open generation g and wait for g-1 to become durable.
+    // The group keeps accumulating followers while we wait — that wait
+    // IS the batching window, sized by upstream persist latency.
+    auto g = std::make_shared<CommitGroup>();
+    g->gen = next_gen_++;
+    g->bytes = std::move(buf);
+    g->records = 1;
+    open_group_ = g;
+    group_cv_.wait(l, [&] { return durable_gen_ == g->gen - 1; });
+    if (open_group_ == g) open_group_.reset();  // close to joiners
+    std::vector<std::byte> payload;
+    payload.swap(g->bytes);
+    l.unlock();
+    lsn_t base = 0;
+    const Status st = PersistGroup(payload, &base);
+    l.lock();
+    g->base_lsn = base;
+    g->status = st;
+    g->done = true;
+    // The epoch advances even on failure so later groups are not stuck
+    // behind a failed one; the error goes to every member of this group.
+    durable_gen_ = g->gen;
+    group_cv_.notify_all();
+    l.unlock();
+    if (!st.ok()) return st;
+    (void)MaybeDrain();
+    return base;
+  }
+  // Follower: stash the record in the open group and sleep until its
+  // leader reports the group durable.
+  std::shared_ptr<CommitGroup> g = open_group_;
+  const size_t off = g->bytes.size();
+  g->bytes.insert(g->bytes.end(), buf.begin(), buf.end());
+  g->records++;
+  group_cv_.wait(l, [&] { return g->done; });
+  if (!g->status.ok()) return g->status;
+  return g->base_lsn + off;
+}
+
+Status LogManager::PersistGroup(const std::vector<std::byte>& payload,
+                                lsn_t* base) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Result<lsn_t> r = staging_->Append(payload.data(), payload.size());
+    if (r.ok()) {
+      *base = r.value();
+      return Status::OK();
+    }
+    if (!r.status().IsOutOfMemory()) return r.status();
+    SPITFIRE_RETURN_NOT_OK(Drain());
+  }
+  return Status::OutOfMemory("log group larger than NVM buffer");
 }
 
 Status LogManager::Drain() {

@@ -1,6 +1,7 @@
 #ifndef SPITFIRE_WAL_LOG_MANAGER_H_
 #define SPITFIRE_WAL_LOG_MANAGER_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -28,6 +29,12 @@ class LogManager {
     uint64_t nvm_size = 1 << 20;
     Device* log_ssd = nullptr;  // SSD device holding the log file
     uint64_t drain_threshold = 512 * 1024;  // bytes
+    // Group commit: concurrent Appends batch into one NVM persist. Each
+    // group has a generation; a group's leader waits until the previous
+    // generation is durable, persists the whole batch with a single
+    // NvmLogBuffer::Append, then advances the durability epoch and wakes
+    // the group's followers. Disabling restores per-record appends.
+    bool enable_group_commit = true;
   };
 
   static constexpr uint64_t kLogDataOffset = 4096;
@@ -55,16 +62,47 @@ class LogManager {
   uint64_t durable_file_bytes() const { return file_bytes_; }
   uint64_t staged_bytes() const { return staging_->StagedBytes(); }
 
+  // Monotonic durability epoch: generation of the newest group whose
+  // bytes are persisted in the NVM staging buffer.
+  uint64_t durable_generation() const {
+    std::lock_guard<std::mutex> g(group_mu_);
+    return durable_gen_;
+  }
+
  private:
   explicit LogManager(const Options& opts);
 
   Status WriteFileHeader();
   Status ReadFileHeader(uint64_t* len);
 
+  // One commit group: records serialized back to back, persisted with a
+  // single staging append. The creator of the group is its leader.
+  struct CommitGroup {
+    uint64_t gen = 0;
+    std::vector<std::byte> bytes;
+    size_t records = 0;
+    bool done = false;
+    Status status;
+    lsn_t base_lsn = 0;
+  };
+
+  // Group-commit append: join (or open) the current group, wait for its
+  // durability. Returns the record's LSN.
+  Result<lsn_t> AppendGrouped(std::vector<std::byte> buf);
+  // One staging append for the whole group's payload (drains to SSD on
+  // buffer pressure, like the per-record path).
+  Status PersistGroup(const std::vector<std::byte>& payload, lsn_t* base);
+
   Options opts_;
   std::unique_ptr<NvmLogBuffer> staging_;
   std::mutex drain_mu_;
   uint64_t file_bytes_ = 0;  // durable bytes in the SSD log file
+
+  mutable std::mutex group_mu_;
+  std::condition_variable group_cv_;
+  std::shared_ptr<CommitGroup> open_group_;
+  uint64_t next_gen_ = 1;
+  uint64_t durable_gen_ = 0;
 };
 
 }  // namespace spitfire

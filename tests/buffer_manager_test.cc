@@ -163,6 +163,11 @@ TEST_F(BufferManagerTest, LazyPolicyServesFromNvmWithoutPromotion) {
 
 TEST_F(BufferManagerTest, EagerPolicyPromotesNvmPagesToDram) {
   auto bm = Make(8, 8, MigrationPolicy::Eager());
+  // This test pins down which ACCESS causes the SSD->NVM->DRAM walk, so
+  // sequential read-ahead (which would pre-install pages 1..3 during the
+  // fetch of page 0 and make their first fetch look like a second access)
+  // must stay out of the picture.
+  bm->SetReadAheadPages(0);
   // Force pages onto NVM: no DRAM tier usage first — create via a
   // NVM-only manager sharing the SSD, then reopen with both tiers.
   {
