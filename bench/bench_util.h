@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "buffer/buffer_manager.h"
+#include "common/histogram.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "storage/memory_mode_device.h"
@@ -350,6 +351,16 @@ class JsonLine {
   }
   std::string buf_;
 };
+
+// Attaches tail-latency percentiles (in microseconds) of a nanosecond
+// latency histogram: the p999 is what distinguishes "one slow queue" from
+// "the whole device stalled" in the multi-queue model.
+inline JsonLine& AddLatencyPercentiles(JsonLine& line, const Histogram& h) {
+  line.Num("p50_us", static_cast<double>(h.Percentile(50)) * 1e-3)
+      .Num("p99_us", static_cast<double>(h.Percentile(99)) * 1e-3)
+      .Num("p999_us", static_cast<double>(h.Percentile(99.9)) * 1e-3);
+  return line;
+}
 
 inline void PrintBanner(const char* id, const char* title) {
   std::printf("==========================================================\n");

@@ -15,12 +15,24 @@
 //
 // Each configuration runs with the I/O scheduler off (the seed's
 // synchronous read-under-latch path) and on, one JSON line per point.
+//
+// A second section sweeps the submission/completion split: the blocking
+// FetchPage shim versus the asynchronous ring driver
+// (WorkloadDriver::RunAsyncPageOps) at --queue-depth=1,4,16,64 tickets in
+// flight per worker. Blocking keeps at most one miss per thread in the
+// SSD's queues no matter how deep they are; the ring converts queue depth
+// into throughput. Latency percentiles (p50/p99/p999) come from the same
+// histogram for both modes.
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "workload/driver.h"
 
 namespace spitfire::bench {
 namespace {
@@ -117,16 +129,169 @@ void RunMode(bool scheduler_on, double seconds) {
   }
 }
 
-void Main() {
+// Shared op stream for the queue-depth sweep: same distributions as
+// MeasureMissOps, expressed as a PageOp generator so the blocking and
+// async modes measure identical access sequences.
+//
+// The hot pattern here differs from RunMode's scan front on purpose:
+// the storm page jumps kStormStride (> read_ahead_pages) per advance,
+// so every storm target is COLD — read-ahead cannot stream it in, and
+// all eight threads pile onto one in-flight read per advance. Blocking
+// mode therefore serializes on one device latency per 8 ops; the async
+// ring keeps QD storm fronts in flight at once, which is exactly the
+// submission/completion split's win.
+struct MissOpGen {
+  static constexpr uint64_t kStormStride = 97;  // prime, > RA window (32)
+
+  uint64_t num_pages = 0;
+  bool hot = false;
+  std::atomic<uint64_t> tick{0};
+
+  PageOp Next(Xoshiro256& rng) {
+    if (hot) {
+      const uint64_t c = tick.fetch_add(1, std::memory_order_relaxed);
+      return {static_cast<page_id_t>(((c / 8) * kStormStride) % num_pages),
+              AccessIntent::kRead};
+    }
+    return {static_cast<page_id_t>(rng.NextUint64(num_pages)),
+            AccessIntent::kRead};
+  }
+};
+
+void EmitSweepLine(const char* mode, int qd, bool hot, int threads,
+                   const DriverResult& res, BufferManager& bm,
+                   SsdDevice& ssd) {
+  const auto snap = bm.stats().Snapshot();
+  JsonLine line;
+  line.Str("bench", "micro_miss_path")
+      .Str("section", "queue_depth_sweep")
+      .Str("mode", mode)
+      .Num("queue_depth", qd)
+      .Str("pattern", hot ? "hot" : "uniform")
+      .Num("threads", threads)
+      .Num("ops_per_sec", res.Throughput())
+      .Num("aborted", res.aborted)
+      .Num("ssd_reads", ssd.stats().num_reads.load())
+      .Num("miss_submits", snap.miss_submits)
+      .Num("miss_joins", snap.miss_joins)
+      .Num("reads_deduped", bm.io_scheduler()->stats().reads_deduped.load())
+      .Num("ra_installs", snap.read_ahead_installs);
+  AddLatencyPercentiles(line, res.latency_ns).Print();
+}
+
+// Blocking vs async at each queue depth, 8 workers each. The blocking
+// reference is the FetchPage shim driven by the closed-loop driver
+// (qd is reported as 1: one op in flight per thread by construction).
+void RunQueueDepthSweep(const std::vector<int>& depths, double seconds) {
+  const uint64_t num_pages = PagesForMb(kDbMb);
+  // SPITFIRE_SWEEP_THREADS overrides the worker count (useful for
+  // isolating driver behavior from cross-thread contention).
+  int threads = 8;
+  if (const char* e = std::getenv("SPITFIRE_SWEEP_THREADS")) {
+    threads = std::max(1, std::atoi(e));
+  }
+  for (const bool hot : {false, true}) {
+    {
+      MissHierarchy h = Make(/*scheduler_on=*/true);
+      Populate(*h.bm, num_pages);
+      LatencySimulator::SetScale(EnvScale(1.0));
+      h.bm->stats().Reset();
+      h.ssd->stats().Reset();
+      MissOpGen gen{num_pages, hot};
+      BufferManager* bm = h.bm.get();
+      const DriverResult res = WorkloadDriver::Run(
+          threads, seconds,
+          [bm, &gen](Xoshiro256& rng) {
+            const PageOp op = gen.Next(rng);
+            auto r = bm->FetchPage(op.pid, op.intent);
+            return r.ok() ? Status::OK() : r.status();
+          });
+      EmitSweepLine("blocking", 1, hot, threads, res, *h.bm, *h.ssd);
+      LatencySimulator::SetScale(0.0);
+    }
+    for (const int qd : depths) {
+      MissHierarchy h = Make(/*scheduler_on=*/true);
+      Populate(*h.bm, num_pages);
+      LatencySimulator::SetScale(EnvScale(1.0));
+      h.bm->stats().Reset();
+      h.ssd->stats().Reset();
+      MissOpGen gen{num_pages, hot};
+      std::atomic<bool> diag_stop{false};
+      std::thread diag;
+      if (std::getenv("SPITFIRE_DIAG") != nullptr) {
+        diag = std::thread([&] {
+          while (!diag_stop.load()) {
+            const auto snap = h.bm->stats().Snapshot();
+            const auto cen = h.bm->DebugDramCensus();
+            std::fprintf(
+                stderr,
+                "[diag] qd=%d hot=%d inflight=%u cap=%u comps=%llu "
+                "submits=%llu fetches=%llu evict=%llu hits=%llu | "
+                "free=%u evictable=%u pinned=%u detached=%u pins=%llu\n",
+                qd, hot ? 1 : 0, h.bm->inflight_misses(),
+                h.bm->miss_admission_cap(),
+                static_cast<unsigned long long>(
+                    h.bm->io_scheduler()->stats().completions_run.load()),
+                static_cast<unsigned long long>(snap.miss_submits),
+                static_cast<unsigned long long>(snap.ssd_fetches),
+                static_cast<unsigned long long>(snap.dram_evictions),
+                static_cast<unsigned long long>(snap.dram_hits), cen.free,
+                cen.evictable, cen.pinned, cen.detached,
+                static_cast<unsigned long long>(cen.total_pins));
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+          }
+        });
+      }
+      const DriverResult res = WorkloadDriver::RunAsyncPageOps(
+          h.bm.get(), threads, seconds, qd,
+          [&gen](Xoshiro256& rng) { return gen.Next(rng); });
+      diag_stop.store(true);
+      if (diag.joinable()) diag.join();
+      EmitSweepLine("async", qd, hot, threads, res, *h.bm, *h.ssd);
+      LatencySimulator::SetScale(0.0);
+    }
+  }
+}
+
+void Main(const std::vector<int>& depths, bool sweep_only) {
   PrintBanner("micro_miss_path", "SSD-miss fetch throughput (I/O scheduler)");
   const double seconds = EnvSeconds(1.5);
   LatencySimulator::SetScale(0.0);
-  RunMode(/*scheduler_on=*/false, seconds);
-  RunMode(/*scheduler_on=*/true, seconds);
+  if (!sweep_only) {
+    RunMode(/*scheduler_on=*/false, seconds);
+    RunMode(/*scheduler_on=*/true, seconds);
+  }
+  RunQueueDepthSweep(depths, seconds);
   LatencySimulator::SetScale(1.0);
 }
 
 }  // namespace
 }  // namespace spitfire::bench
 
-int main() { spitfire::bench::Main(); }
+int main(int argc, char** argv) {
+  // --queue-depth=1,4,16,64 selects the per-worker ring depths swept by
+  // the async section (comma-separated).
+  std::vector<int> depths = {1, 4, 16, 64};
+  bool sweep_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--sweep-only") == 0) {
+      sweep_only = true;
+    } else if (std::strncmp(arg, "--queue-depth=", 14) == 0) {
+      depths.clear();
+      std::string list(arg + 14);
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        depths.push_back(std::atoi(list.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+  spitfire::bench::Main(depths, sweep_only);
+  return 0;
+}

@@ -1,8 +1,11 @@
 #include "buffer/buffer_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "common/timer.h"
 #include "hymem/mini_page.h"
 #include "storage/dram_device.h"
 
@@ -13,6 +16,21 @@ constexpr int kFetchMaxAttempts = 8192;
 // How long a promotion waits to retire the NVM copy (drain optimistic
 // pins, Section 5.2) before giving up and serving the access from NVM.
 constexpr int kPinDrainSpins = 4096;
+
+// Async miss path budgets. A submission spins kSubmitHitAttempts on
+// transient pin races before reporting Busy; a queued ticket survives
+// kTicketMaxAttempts completion-time re-dispatches (this also bounds the
+// recursion depth when the simulated device completes reads inline); the
+// blocking FetchPage shim resubmits a Busy ticket kFetchBusyRounds times
+// under exponential backoff between kBackoffMinNanos and kBackoffMaxNanos.
+constexpr int kSubmitHitAttempts = 256;
+constexpr int kTicketMaxAttempts = 48;
+constexpr int kFetchBusyRounds = 64;
+constexpr uint64_t kBackoffMinNanos = 1'000;
+constexpr uint64_t kBackoffMaxNanos = 512'000;
+// Below this a backoff spins (sleeping costs more than it yields);
+// above it the thread sleeps so evictors and completions get the core.
+constexpr uint64_t kBackoffSpinCapNanos = 8'192;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -120,6 +138,8 @@ BufferManager::BufferManager(const BufferManagerOptions& options)
   if (options_.enable_io_scheduler) {
     io_ = std::make_unique<IoScheduler>(ssd_, options_.io_scheduler);
   }
+  miss_admission_cap_ = std::max<uint32_t>(
+      8, static_cast<uint32_t>(options_.dram_frames + options_.nvm_frames) / 2);
 
   if (options_.enable_background_writer) {
     size_t wm = options_.bg_writer_low_watermark;
@@ -139,6 +159,10 @@ BufferManager::BufferManager(const BufferManagerOptions& options)
 BufferManager::~BufferManager() {
   // Stop the writer before the pools it sweeps are torn down, then drain
   // the I/O workers (they may still hold prefetch tasks touching pools).
+  // The flag makes completions fired during the drain fail their tickets
+  // with Busy instead of installing pages and handing out guards that
+  // would outlive the descriptors they pin.
+  shutting_down_.store(true, std::memory_order_release);
   if (bg_writer_ != nullptr) bg_writer_->Stop();
   if (io_ != nullptr) io_->Shutdown();
 }
@@ -204,66 +228,407 @@ void BufferManager::Unpin(SharedPageDescriptor* d, Tier tier) {
 // Fetch
 // ---------------------------------------------------------------------------
 
+int BufferManager::TryHitOnce(SharedPageDescriptor* d, AccessIntent intent,
+                              const MigrationPolicy& pol, Tier* tier) {
+  // 1. DRAM hit: one CAS on the packed state word, no latch.
+  if (TryPinDram(d)) {
+    stats_.Add(BufferCounter::kDramHits);
+    *tier = Tier::kDram;
+    return 1;
+  }
+
+  // 2. NVM hit: possibly migrate up (Dr / Dw), else serve in place.
+  if (d->NvmResident()) {
+    const bool promote =
+        dram_pool_ != nullptr &&
+        (intent == AccessIntent::kRead ? pol.MigrateNvmToDramOnRead()
+                                       : pol.UseDramOnWrite());
+    if (promote) {
+      const Status st = PromoteToDram(d);
+      if (st.ok()) return -1;  // retry: should pin DRAM now
+      // Busy: fall through and serve from NVM.
+    }
+    if (TryPinNvm(d)) {
+      if (d->DramResident()) {
+        // A promotion slipped in between the DRAM miss above and this
+        // pin. Once a DRAM copy exists it is authoritative — every
+        // other thread pins it first and writes land there — so serving
+        // (or writing) the NVM copy now would act on stale bytes.
+        // Promotion cannot exclude us either: it only drains NVM pins
+        // that exist while it runs. Drop the pin and retry; the pin CAS
+        // (acquire) pairs with the promoter's release publishes, so
+        // this residency re-read is reliable.
+        Unpin(d, Tier::kNvm);
+        return -1;
+      }
+      stats_.Add(BufferCounter::kNvmHits);
+      *tier = Tier::kNvm;
+      return 1;
+    }
+    return -1;  // raced with an NVM eviction
+  }
+  return 0;
+}
+
 Result<PageGuard> BufferManager::FetchPage(page_id_t pid,
                                            AccessIntent intent) {
   if (pid >= next_page_id_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("fetch of unallocated page");
   }
   SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
-  const MigrationPolicy pol = policy();
+  if (io_ == nullptr) return FetchPageSync(d, intent);
 
-  // Read-ahead keepalive: two relaxed loads on the hot path; matches only
-  // inside the live range of the active prefetch chain.
-  if (io_ != nullptr &&
-      pid >= ra_live_lo_.load(std::memory_order_relaxed) &&
-      pid < ra_next_pid_.load(std::memory_order_relaxed)) {
-    ra_consumed_.store(true, std::memory_order_relaxed);
-  }
-
-  for (int attempt = 0; attempt < kFetchMaxAttempts; ++attempt) {
-    // 1. DRAM hit: one CAS on the packed state word, no latch.
-    if (TryPinDram(d)) {
-      stats_.Add(BufferCounter::kDramHits);
-      return PageGuard(this, d, Tier::kDram);
-    }
-
-    // 2. NVM hit: possibly migrate up (Dr / Dw), else serve in place.
-    if (d->NvmResident()) {
-      const bool promote =
-          dram_pool_ != nullptr &&
-          (intent == AccessIntent::kRead ? pol.MigrateNvmToDramOnRead()
-                                         : pol.UseDramOnWrite());
-      if (promote) {
-        const Status st = PromoteToDram(d);
-        if (st.ok()) continue;  // retry: should pin DRAM now
-        // Busy: fall through and serve from NVM.
-      }
-      if (TryPinNvm(d)) {
-        if (d->DramResident()) {
-          // A promotion slipped in between the DRAM miss above and this
-          // pin. Once a DRAM copy exists it is authoritative — every
-          // other thread pins it first and writes land there — so serving
-          // (or writing) the NVM copy now would act on stale bytes.
-          // Promotion cannot exclude us either: it only drains NVM pins
-          // that exist while it runs. Drop the pin and retry; the pin CAS
-          // (acquire) pairs with the promoter's release publishes, so
-          // this residency re-read is reliable.
-          Unpin(d, Tier::kNvm);
-          continue;
+  // Blocking shim over the submission/completion split: submit a ticket,
+  // drive completions until it fires, retry transient failures with a
+  // bounded exponential backoff (the old code retried with a bare pause,
+  // which under pool exhaustion just hammered the evictors it was
+  // waiting on).
+  FetchTicket t;
+  uint64_t backoff_ns = kBackoffMinNanos;
+  for (int round = 0; round < kFetchBusyRounds; ++round) {
+    const FetchSubmit s = SubmitFetch(pid, intent, &t);
+    if (s == FetchSubmit::kQueuedLeader) {
+      // Blocking fidelity: the leader pays its miss latency on this core,
+      // pumping completions (its own included) while it waits.
+      while (!t.ready.load(std::memory_order_acquire)) {
+        if (!io_->PumpCompletions(/*may_sleep=*/false)) {
+          __builtin_ia32_pause();
         }
-        stats_.Add(BufferCounter::kNvmHits);
-        return PageGuard(this, d, Tier::kNvm);
       }
-      continue;  // raced with an NVM eviction
+    } else if (s == FetchSubmit::kQueuedJoined) {
+      // A joiner's latency is covered by the leader's spin (or by the
+      // async ring); don't burn the core next to it. Sleep on the
+      // scheduler's completion broadcast — epoch-checked, so a completion
+      // firing between the ready check and the wait returns immediately —
+      // and steal queued prefetch work on each wake, exactly as the old
+      // flight join did through the shard condvar.
+      while (!t.ready.load(std::memory_order_acquire)) {
+        const uint64_t epoch = io_->completion_epoch();
+        if (t.ready.load(std::memory_order_acquire)) break;
+        if (io_->TryRunPendingTask()) continue;
+        if (t.ready.load(std::memory_order_acquire)) break;
+        io_->WaitForCompletion(epoch, 100'000);
+      }
     }
+    if (t.status.ok()) return std::move(t.guard);
+    if (!t.status.IsBusy()) return t.status;
+    if (backoff_ns <= kBackoffSpinCapNanos) {
+      SpinWaitNanos(backoff_ns);
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
+    }
+    backoff_ns = std::min(backoff_ns * 2, kBackoffMaxNanos);
+    t.Reset();
+  }
+  return Status::Busy("FetchPage exceeded retry budget");
+}
 
-    // 3. Miss: fetch from SSD.
-    Result<PageGuard> r = InstallFromSsd(d, intent);
-    if (r.ok()) return r;
-    if (!r.status().IsBusy()) return r;
+Result<PageGuard> BufferManager::FetchPageSync(SharedPageDescriptor* d,
+                                               AccessIntent intent) {
+  const MigrationPolicy pol = policy();
+  for (int attempt = 0; attempt < kFetchMaxAttempts; ++attempt) {
+    Tier tier;
+    const int h = TryHitOnce(d, intent, pol, &tier);
+    if (h > 0) return PageGuard(this, d, tier);
+    if (h == 0) {
+      // Miss: fetch from SSD under the latches.
+      Result<PageGuard> r = InstallFromSsd(d, intent);
+      if (r.ok()) return r;
+      if (!r.status().IsBusy()) return r;
+    }
     __builtin_ia32_pause();
   }
   return Status::Busy("FetchPage exceeded retry budget");
+}
+
+BufferManager::FrameCensus BufferManager::DebugDramCensus() const {
+  FrameCensus c;
+  if (dram_pool_ == nullptr) return c;
+  for (frame_id_t f = 0; f < dram_pool_->num_frames(); ++f) {
+    SharedPageDescriptor* d = dram_pool_->Owner(f);
+    if (d == nullptr) {
+      ++c.free;
+      continue;
+    }
+    if (d->dram.frame.load(std::memory_order_relaxed) != f ||
+        !d->dram.Resident()) {
+      ++c.detached;
+      continue;
+    }
+    const uint32_t pins = d->dram.Pins();
+    c.total_pins += pins;
+    if (pins > 0) {
+      ++c.pinned;
+    } else {
+      ++c.evictable;
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous miss path: submission half
+// ---------------------------------------------------------------------------
+
+void BufferManager::FinishTicket(FetchTicket* t, Status st) {
+  t->status = std::move(st);
+  t->ready.store(true, std::memory_order_release);
+}
+
+bool BufferManager::PumpIo(bool may_sleep) {
+  return io_ != nullptr && io_->PumpCompletions(may_sleep);
+}
+
+FetchSubmit BufferManager::SubmitFetch(page_id_t pid, AccessIntent intent,
+                                       FetchTicket* t) {
+  t->pid = pid;
+  t->intent = intent;
+  if (pid >= next_page_id_.load(std::memory_order_relaxed)) {
+    FinishTicket(t, Status::InvalidArgument("fetch of unallocated page"));
+    return FetchSubmit::kCompleted;
+  }
+  SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+  if (io_ == nullptr) {
+    // No async engine: serve through the legacy synchronous path.
+    Result<PageGuard> r = FetchPageSync(d, intent);
+    if (r.ok()) {
+      t->guard = r.MoveValue();
+      FinishTicket(t, Status::OK());
+    } else {
+      FinishTicket(t, r.status());
+    }
+    return FetchSubmit::kCompleted;
+  }
+
+  // Read-ahead keepalive: two relaxed loads on the hot path; matches only
+  // inside the live range of the active prefetch chain.
+  if (pid >= ra_live_lo_.load(std::memory_order_relaxed) &&
+      pid < ra_next_pid_.load(std::memory_order_relaxed)) {
+    ra_consumed_.store(true, std::memory_order_relaxed);
+  }
+  return SubmitFetchOnDescriptor(d, intent, t);
+}
+
+FetchSubmit BufferManager::SubmitFetchOnDescriptor(SharedPageDescriptor* d,
+                                                   AccessIntent intent,
+                                                   FetchTicket* t) {
+  const MigrationPolicy pol = policy();
+  for (int attempt = 0; attempt < kSubmitHitAttempts; ++attempt) {
+    Tier tier;
+    const int h = TryHitOnce(d, intent, pol, &tier);
+    if (h > 0) {
+      // Capture before firing: the owner may destroy the ticket the
+      // moment ready reads true. A re-dispatched ticket (attempts > 0)
+      // may have a sleeping owner, so wake the completion waiters.
+      const bool redispatched = t->attempts > 0;
+      t->guard = PageGuard(this, d, tier);
+      FinishTicket(t, Status::OK());
+      if (redispatched) io_->SignalCompletions();
+      return FetchSubmit::kCompleted;
+    }
+    if (h < 0) {
+      __builtin_ia32_pause();
+      continue;
+    }
+
+    // Clean miss: join the in-flight fetch or become its leader. io_latch
+    // is taken alone here — never a tier latch inside it — so it can nest
+    // inside the tier latches on the completion side.
+    d->io_latch.Lock();
+    if (d->io_state == IoState::kIoInflight) {
+      t->next = d->io_waiters;
+      d->io_waiters = t;
+      d->io_latch.Unlock();
+      // Misses that piggyback on an in-flight read are dedup wins exactly
+      // like scheduler-level flight joiners; count them with the same
+      // stat so "N threads, one device read" stays observable.
+      io_->stats().reads_deduped.fetch_add(1, std::memory_order_relaxed);
+      stats_.Add(BufferCounter::kMissJoins);
+      return FetchSubmit::kQueuedJoined;
+    }
+    if (d->DramResident() || d->NvmResident()) {
+      // Residency appeared between the pin probe and the latch; loop and
+      // pin it.
+      d->io_latch.Unlock();
+      continue;
+    }
+    // Admission control: refuse to lead a new miss once half the pool's
+    // worth of pages is already in flight — the install would find no
+    // frame and the re-dispatch re-reads would crowd the device queues.
+    // Fail fast with Busy so the submitter backs off or works elsewhere.
+    if (inflight_misses_.fetch_add(1, std::memory_order_acq_rel) >=
+        miss_admission_cap_) {
+      inflight_misses_.fetch_sub(1, std::memory_order_acq_rel);
+      d->io_latch.Unlock();
+      const bool redispatched = t->attempts > 0;
+      FinishTicket(t, Status::Busy("miss admission: buffer saturated"));
+      if (redispatched) io_->SignalCompletions();
+      return FetchSubmit::kCompleted;
+    }
+    d->io_state = IoState::kIoInflight;
+    t->next = nullptr;
+    d->io_waiters = t;
+    d->io_latch.Unlock();
+    stats_.Add(BufferCounter::kMissSubmits);
+    LeadMiss(d);
+    return FetchSubmit::kQueuedLeader;
+  }
+  {
+    const bool redispatched = t->attempts > 0;
+    FinishTicket(t, Status::Busy("fetch submission starved by races"));
+    if (redispatched) io_->SignalCompletions();
+  }
+  return FetchSubmit::kCompleted;
+}
+
+void BufferManager::LeadMiss(SharedPageDescriptor* d) {
+  // Kick read-ahead before submitting: the window claim registers this
+  // page's read flight, so the submission below joins the coalesced
+  // window read instead of leading a separate single-page device op.
+  MaybeScheduleReadAhead(d->pid);
+  if (d->DramResident() || d->NvmResident()) {
+    // The window ran inline and installed the page. Resolve the in-flight
+    // state without touching the device; waiters re-dispatch and hit.
+    CompleteMiss(d, Status::Busy("page appeared during read-ahead"),
+                 /*data=*/nullptr, /*seq=*/0);
+    return;
+  }
+  io_->SubmitRead(
+      SsdOffset(d->pid),
+      [this, d](const Status& st, const std::byte* data, uint64_t seq) {
+        CompleteMiss(d, st, data, seq);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous miss path: completion half
+// ---------------------------------------------------------------------------
+
+void BufferManager::CompleteMiss(SharedPageDescriptor* d, Status st,
+                                 const std::byte* data, uint64_t seq) {
+  // One completion per leader: releases the admission slot taken when the
+  // descriptor entered kIoInflight (re-dispatched waiters that lead a new
+  // miss take a fresh slot).
+  inflight_misses_.fetch_sub(1, std::memory_order_acq_rel);
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    // Tear-down drain: the scheduler fires leftover flights early. Fail
+    // every waiter without installing — tickets stay guard-free, so they
+    // can safely outlive the buffer manager.
+    d->io_latch.Lock();
+    FetchTicket* w = d->io_waiters;
+    d->io_waiters = nullptr;
+    d->io_state = IoState::kIdle;
+    d->io_latch.Unlock();
+    while (w != nullptr) {
+      FetchTicket* next = w->next;
+      w->next = nullptr;
+      FinishTicket(w, Status::Busy("buffer manager shutting down"));
+      w = next;
+    }
+    return;
+  }
+  FetchTicket* waiters = nullptr;
+  Tier tier = Tier::kDram;
+  bool installed = false;
+  PageGuard first;
+  {
+    SpinLatchGuard gd(d->dram_latch);
+    SpinLatchGuard gn(d->nvm_latch);
+    if (st.ok()) {
+      if (d->DramResident() || d->NvmResident()) {
+        st = Status::Busy("page appeared while installing");
+      } else if (io_->WriteSeq(SsdOffset(d->pid)) != seq) {
+        // A write-back landed while the read was in flight; the
+        // re-dispatch below is served from the scheduler's staged image.
+        st = Status::Busy("page written during miss read");
+      } else {
+        Result<PageGuard> r = InstallPinned(d, AccessIntent::kRead, data);
+        if (r.ok()) {
+          first = r.MoveValue();
+          tier = first.tier();
+          installed = true;
+        } else {
+          st = r.status();
+        }
+      }
+    }
+
+    // Detach the waiter list and clear the in-flight mark. io_latch nests
+    // inside the tier latches only here (submitters take it alone), so
+    // install → detach → pin is one atomic step with respect to evictors:
+    // nothing can retire the fresh copy before every waiter holds a pin.
+    d->io_latch.Lock();
+    waiters = d->io_waiters;
+    d->io_waiters = nullptr;
+    d->io_state = IoState::kIdle;
+    d->io_latch.Unlock();
+
+    if (installed) {
+      bool first_pin_used = false;
+      for (FetchTicket* t = waiters; t != nullptr; t = t->next) {
+        if (!first_pin_used) {
+          t->guard = std::move(first);  // the install's own pin
+          first_pin_used = true;
+        } else {
+          // Cannot fail: the copy was published above and both tier
+          // latches are held, so no evictor can retire it.
+          const DramMode m =
+              tier == Tier::kDram ? d->dram.TryPin() : d->nvm.TryPin();
+          SPITFIRE_DCHECK(m != DramMode::kNone);
+          (void)m;
+          t->guard = PageGuard(this, d, tier);
+          // Each completed waiter is one fetch served from SSD —
+          // TotalFetches counts exactly one counter per success.
+          stats_.Add(BufferCounter::kSsdFetches);
+        }
+        t->status = Status::OK();
+      }
+      // With no waiters (all were re-dispatched away earlier) `first`
+      // drops its pin on scope exit and the page simply stays resident.
+    }
+  }  // tier latches released
+
+  if (installed) {
+    // Fire outside the latches. Read `next` before the release store:
+    // the owner may destroy (or Reset and relink) the ticket the moment
+    // it observes ready == true.
+    bool woke_joiner = false;
+    for (FetchTicket* t = waiters; t != nullptr;) {
+      FetchTicket* next = t->next;
+      t->next = nullptr;
+      t->ready.store(true, std::memory_order_release);
+      woke_joiner = true;
+      t = next;
+    }
+    // When this completion ran inside a scheduler callback the scheduler
+    // broadcasts right after it; signal here too so tickets completed on
+    // the direct path (LeadMiss's resident short-circuit, re-dispatch)
+    // also wake their sleeping owners promptly.
+    if (woke_joiner) io_->SignalCompletions();
+    return;
+  }
+
+  // Failure. Hard errors complete every waiter; Busy re-dispatches them
+  // (the page may have appeared, be staged in the scheduler, or need a
+  // fresh read) under a per-ticket attempt budget that also bounds the
+  // recursion when the simulated device completes re-reads inline.
+  // Resubmission runs outside all latches for the same reason.
+  bool finished_any = false;
+  for (FetchTicket* t = waiters; t != nullptr;) {
+    FetchTicket* next = t->next;
+    t->next = nullptr;
+    if (!st.IsBusy()) {
+      FinishTicket(t, st);
+      finished_any = true;
+    } else if (++t->attempts >= kTicketMaxAttempts) {
+      FinishTicket(t, Status::Busy("fetch re-dispatch budget exhausted"));
+      finished_any = true;
+    } else {
+      (void)SubmitFetchOnDescriptor(d, t->intent, t);
+    }
+    t = next;
+  }
+  if (finished_any) io_->SignalCompletions();
 }
 
 Result<PageGuard> BufferManager::NewPage(uint32_t page_type) {
@@ -315,35 +680,9 @@ std::byte* MissScratch() {
 
 Result<PageGuard> BufferManager::InstallFromSsd(SharedPageDescriptor* d,
                                                 AccessIntent intent) {
-  if (io_ != nullptr) {
-    // Kick read-ahead before the device wait: the prefetch worker then
-    // wakes and registers the next window's read flights while this
-    // thread is still paying the miss latency, so a scan front joins the
-    // coalesced prefetch reads instead of outrunning them.
-    MaybeScheduleReadAhead(d->pid);
-    if (d->DramResident() || d->NvmResident()) {
-      // The read-ahead window covered this page and ran inline.
-      return Status::Busy("page appeared during read-ahead");
-    }
-    // Read — single-flight, no latch held across the device wait — then
-    // validate under the latches that the bytes are still current.
-    std::byte* scratch = MissScratch();
-    uint64_t seq = 0;
-    SPITFIRE_RETURN_NOT_OK(io_->ReadPage(SsdOffset(d->pid), scratch, &seq));
-
-    SpinLatchGuard gd(d->dram_latch);
-    SpinLatchGuard gn(d->nvm_latch);
-    if (d->DramResident() || d->NvmResident()) {
-      return Status::Busy("page appeared while installing");
-    }
-    if (io_->WriteSeq(SsdOffset(d->pid)) != seq) {
-      // A write-back landed between the read and here; the retry is
-      // served straight from the scheduler's staged image.
-      return Status::Busy("page written during miss read");
-    }
-    return InstallPinned(d, intent, scratch);
-  }
-
+  // Only reached with the I/O scheduler disabled (FetchPageSync); misses
+  // otherwise go through SubmitFetch → LeadMiss → CompleteMiss.
+  SPITFIRE_DCHECK(io_ == nullptr);
   // Legacy synchronous path: device read under the descriptor latches.
   SpinLatchGuard gd(d->dram_latch);
   SpinLatchGuard gn(d->nvm_latch);

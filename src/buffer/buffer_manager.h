@@ -140,6 +140,42 @@ class PageGuard {
   Tier tier_ = Tier::kDram;
 };
 
+// One asynchronous fetch continuation. The caller owns the ticket (stack
+// or slot storage both work) and submits it with BufferManager::SubmitFetch;
+// the miss completion installs the page, pins it, fills in `guard`/`status`
+// and flips `ready` last (release). The completer never touches the ticket
+// after that store, so the owner may poll `ready` and destroy or Reset()
+// the ticket as soon as it reads true (acquire).
+struct FetchTicket {
+  page_id_t pid = kInvalidPageId;
+  AccessIntent intent = AccessIntent::kRead;
+
+  // Outputs; valid once ready == true. On status.ok(), guard holds the pin.
+  Status status;
+  PageGuard guard;
+  std::atomic<bool> ready{false};
+
+  // Internals: re-dispatch budget and the io_waiters list link (both owned
+  // by the buffer manager while the ticket is in flight).
+  int attempts = 0;
+  FetchTicket* next = nullptr;
+
+  void Reset() {
+    status = Status::OK();
+    guard.Release();
+    attempts = 0;
+    next = nullptr;
+    ready.store(false, std::memory_order_relaxed);
+  }
+};
+
+// How SubmitFetch disposed of a ticket.
+enum class FetchSubmit : uint8_t {
+  kCompleted,     // ready already true: hit, inline completion, or error
+  kQueuedLeader,  // the ticket's miss leads a newly submitted device read
+  kQueuedJoined,  // the ticket joined a read another fetch already leads
+};
+
 // The Spitfire multi-threaded three-tier buffer manager (Section 5).
 //
 // A unified DRAM-resident mapping table maps page ids to shared page
@@ -156,7 +192,28 @@ class BufferManager {
 
   // Pins the page on some tier and returns a guard for it. Thread-safe.
   // A thread must not fetch a page it already holds a guard on.
+  // With the I/O scheduler enabled this is a blocking shim over the
+  // submission/completion split below: it submits a ticket, pumps I/O
+  // completions until the ticket fires, and retries transient Busy
+  // completions under a bounded exponential backoff.
   Result<PageGuard> FetchPage(page_id_t pid, AccessIntent intent);
+
+  // Submission half of the asynchronous miss path. Hits complete the
+  // ticket inline (kCompleted, ready == true on return). A miss either
+  // joins the page's in-flight read (kQueuedJoined) or marks the
+  // descriptor kIoInflight and submits the device read (kQueuedLeader);
+  // either way the ticket fires when the completion installs the page —
+  // possibly inside this call when the simulated device completes
+  // immediately. The caller keeps the ticket alive and unmoved until
+  // `ready` reads true, and drives progress by calling PumpIo (or any
+  // other FetchPage/SubmitFetch activity) between polls.
+  FetchSubmit SubmitFetch(page_id_t pid, AccessIntent intent, FetchTicket* t);
+
+  // Runs due I/O completions on the calling thread. With may_sleep, waits
+  // briefly (marking this thread async-aware: simulated device waits then
+  // sleep instead of spinning). Returns whether any work was done. No-op
+  // without the I/O scheduler.
+  bool PumpIo(bool may_sleep);
 
   // Allocates a fresh page id and materializes a zeroed, dirty page in the
   // top available buffer, bypassing the SSD read.
@@ -199,6 +256,23 @@ class BufferManager {
   BufferStats& stats() { return stats_; }
   BackgroundWriter* background_writer() { return bg_writer_.get(); }
   IoScheduler* io_scheduler() { return io_.get(); }
+
+  // Misses currently between submission and completion, and the admission
+  // cap that bounds them (misses beyond the cap fail fast with Busy).
+  uint32_t inflight_misses() const {
+    return inflight_misses_.load(std::memory_order_relaxed);
+  }
+  uint32_t miss_admission_cap() const { return miss_admission_cap_; }
+
+  // Racy debug census of the DRAM pool: how many frames are on the free
+  // list, owned with zero pins (evictable), owned with pins, or owned by
+  // a descriptor that no longer maps back to the frame (transient during
+  // install/evict). Diagnostic only — takes no latches.
+  struct FrameCensus {
+    uint32_t free = 0, evictable = 0, pinned = 0, detached = 0;
+    uint64_t total_pins = 0;
+  };
+  FrameCensus DebugDramCensus() const;
 
   // Fraction of buffered pages resident in both DRAM and NVM (Section 3.3).
   double InclusivityRatio() const;
@@ -253,11 +327,34 @@ class BufferManager {
   // Busy when the caller should serve the access from NVM instead.
   Status PromoteToDram(SharedPageDescriptor* d);
 
-  // SSD miss path: installs into NVM (path 1, probability Nr) or directly
-  // into DRAM (path 8), then pins and returns a guard. With the I/O
-  // scheduler the device read runs before any descriptor latch is taken;
-  // the bytes are re-validated against the page's write sequence under the
-  // latches before installing.
+  // One pass over the buffered tiers: returns 1 with a pin taken (*tier
+  // set), 0 on a clean miss (no copy on any buffered tier), and -1 on a
+  // transient race the caller should simply retry (promotion or eviction
+  // in progress).
+  int TryHitOnce(SharedPageDescriptor* d, AccessIntent intent,
+                 const MigrationPolicy& pol, Tier* tier);
+
+  // Legacy fully synchronous fetch (I/O scheduler disabled): the old
+  // pin-or-install retry loop with the device read under the latches.
+  Result<PageGuard> FetchPageSync(SharedPageDescriptor* d,
+                                  AccessIntent intent);
+
+  // Async miss-path internals. SubmitFetchOnDescriptor is SubmitFetch
+  // minus pid validation; LeadMiss kicks read-ahead and submits the
+  // device read for a descriptor this thread just marked kIoInflight;
+  // CompleteMiss is the continuation every miss read resolves through:
+  // it installs the bytes, pins the new copy for every queued waiter and
+  // fires their tickets — or re-dispatches them on transient failure.
+  FetchSubmit SubmitFetchOnDescriptor(SharedPageDescriptor* d,
+                                      AccessIntent intent, FetchTicket* t);
+  void LeadMiss(SharedPageDescriptor* d);
+  void CompleteMiss(SharedPageDescriptor* d, Status st, const std::byte* data,
+                    uint64_t seq);
+  static void FinishTicket(FetchTicket* t, Status st);
+
+  // SSD miss path with the I/O scheduler disabled: installs into NVM
+  // (path 1, probability Nr) or directly into DRAM (path 8), then pins
+  // and returns a guard. The device read runs under the latches.
   Result<PageGuard> InstallFromSsd(SharedPageDescriptor* d,
                                    AccessIntent intent);
 
@@ -364,6 +461,17 @@ class BufferManager {
   std::atomic<page_id_t> last_miss_pid_{kInvalidPageId};
   std::atomic<uint32_t> seq_miss_run_{0};
   std::atomic<page_id_t> ra_next_pid_{kInvalidPageId};
+  // Set by the destructor before draining the scheduler: completions
+  // fired during tear-down fail their tickets instead of installing.
+  std::atomic<bool> shutting_down_{false};
+  // Miss admission control: distinct pages in kIoInflight right now and
+  // the cap (half the pool). Async rings can submit far more concurrent
+  // misses than there are frames; past the cap a would-be leader fails
+  // fast with Busy instead of queueing a device read whose install is
+  // doomed to find no free frame (and whose re-dispatch re-reads would
+  // crowd the device queues into livelock).
+  std::atomic<uint32_t> inflight_misses_{0};
+  uint32_t miss_admission_cap_ = 0;
   // Live range [ra_live_lo_, ra_next_pid_) of the chain's recent windows
   // and the consumed flag an access inside it sets: a HIT there proves a
   // scan front is following the chain even when prefetch runs far enough

@@ -156,6 +156,17 @@ struct TierState {
   bool Resident() const { return Mode() != DramMode::kNone; }
 };
 
+// SSD-fetch state of a page (guarded by SharedPageDescriptor::io_latch).
+// kIdle — no fetch in flight; a miss may become the submission leader.
+// kIoInflight — a leader has submitted the device read; later misses
+// enqueue a FetchTicket on `io_waiters` instead of duplicating the I/O,
+// and the completion installs the page, pins it for every waiter, and
+// fires their continuations.
+enum class IoState : uint8_t { kIdle = 0, kIoInflight = 1 };
+
+// Continuation of one asynchronous fetch (declared in buffer_manager.h).
+struct FetchTicket;
+
 // The shared page descriptor of Figure 4: one per logical page, stored in
 // the DRAM-resident mapping table. It carries one latch per storage tier —
 // a migration from tier X to tier Y takes only the X and Y latches, so
@@ -189,6 +200,17 @@ struct SharedPageDescriptor {
   std::atomic<uint32_t> mini_id{0};
   // Resident/dirty unit masks when the DRAM mode is kCacheLineGrained.
   CacheLineState cl;
+
+  // --- Asynchronous miss path, guarded by io_latch ---
+  // io_latch orders strictly AFTER the tier latches: the completion takes
+  // it inside dram_latch+nvm_latch (to detach waiters with no gap between
+  // install and wake-up); submission takes it alone and never acquires a
+  // tier latch while holding it.
+  SpinLatch io_latch;
+  IoState io_state = IoState::kIdle;
+  // Intrusive singly-linked list of continuations waiting on the in-flight
+  // fetch (LIFO; order is irrelevant — every waiter gets its own pin).
+  FetchTicket* io_waiters = nullptr;
 
   bool DramResident() const { return dram.Resident(); }
   bool NvmResident() const { return nvm.Resident(); }

@@ -25,6 +25,8 @@ enum class BufferCounter : uint8_t {
   kMiniPageAdmits,
   kMiniPagePromotions,  // mini → full overflow
   kReadAheadInstalls,   // pages prefetched by the I/O scheduler
+  kMissSubmits,         // misses that led (submitted) a device read
+  kMissJoins,           // misses that joined an already in-flight read
   kNumCounters,
 };
 
@@ -44,6 +46,8 @@ struct BufferStatsSnapshot {
   uint64_t mini_page_admits = 0;
   uint64_t mini_page_promotions = 0;
   uint64_t read_ahead_installs = 0;
+  uint64_t miss_submits = 0;
+  uint64_t miss_joins = 0;
 
   // Every successful FetchPage increments exactly one of these three.
   uint64_t TotalFetches() const { return dram_hits + nvm_hits + ssd_fetches; }
@@ -55,7 +59,7 @@ struct BufferStatsSnapshot {
         "dram_hits=%llu nvm_hits=%llu ssd_fetches=%llu promotions=%llu "
         "dem_nvm=%llu dem_ssd=%llu nvm_installs=%llu nvm_evict=%llu "
         "dram_evict=%llu fg_loads=%llu mini_admits=%llu mini_promos=%llu "
-        "ra_installs=%llu",
+        "ra_installs=%llu miss_submits=%llu miss_joins=%llu",
         (unsigned long long)dram_hits, (unsigned long long)nvm_hits,
         (unsigned long long)ssd_fetches, (unsigned long long)promotions,
         (unsigned long long)demotions_to_nvm,
@@ -65,7 +69,8 @@ struct BufferStatsSnapshot {
         (unsigned long long)fine_grained_loads,
         (unsigned long long)mini_page_admits,
         (unsigned long long)mini_page_promotions,
-        (unsigned long long)read_ahead_installs);
+        (unsigned long long)read_ahead_installs,
+        (unsigned long long)miss_submits, (unsigned long long)miss_joins);
     return buf;
   }
 };
@@ -114,6 +119,8 @@ class BufferStats {
         sums[static_cast<size_t>(BufferCounter::kMiniPagePromotions)];
     snap.read_ahead_installs =
         sums[static_cast<size_t>(BufferCounter::kReadAheadInstalls)];
+    snap.miss_submits = sums[static_cast<size_t>(BufferCounter::kMissSubmits)];
+    snap.miss_joins = sums[static_cast<size_t>(BufferCounter::kMissJoins)];
     return snap;
   }
 

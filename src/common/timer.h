@@ -31,6 +31,15 @@ class Timer {
 // DRAM/NVM accesses, so we spin on the TSC-backed steady clock instead.
 void SpinWaitNanos(uint64_t nanos);
 
+// Current steady-clock time in nanoseconds. Completion deadlines from the
+// async device model are expressed on this clock.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace spitfire
 
 #endif  // SPITFIRE_COMMON_TIMER_H_

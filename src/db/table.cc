@@ -1,8 +1,11 @@
 #include "db/table.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <map>
+
+#include "common/timer.h"
 
 namespace spitfire {
 
@@ -27,15 +30,35 @@ Table::Table(const Options& opts, BufferManager* bm, TransactionManager* tm,
 // ---------------------------------------------------------------------------
 
 Result<Table::SlotRef> Table::PinSlot(rid_t rid, AccessIntent intent) {
-  auto g_r = bm_->FetchPage(RidPage(rid), intent);
-  if (!g_r.ok()) return g_r.status();
-  PageGuard guard = g_r.MoveValue();
-  std::byte* raw = guard.RawData();
-  if (raw == nullptr) return Status::Busy("frame not materializable");
-  std::byte* slot = raw + SlotOffset(RidSlot(rid));
-  SlotRef ref{std::move(guard), reinterpret_cast<VersionHeader*>(slot),
-              slot + sizeof(VersionHeader)};
-  return ref;
+  // Retry transient Busy (miss-storm submission races, frame churn) a few
+  // times with backoff before surfacing it — callers propagate the status
+  // up to the transaction layer, which aborts, so each retry here is one
+  // fewer aborted transaction. Hard errors propagate immediately.
+  constexpr int kPinRetries = 8;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < kPinRetries; ++attempt) {
+    if (attempt > 0) {
+      SpinWaitNanos(std::min<uint64_t>(uint64_t{1'000} << attempt,
+                                       uint64_t{32'000}));
+    }
+    auto g_r = bm_->FetchPage(RidPage(rid), intent);
+    if (!g_r.ok()) {
+      last = g_r.status();
+      if (!last.IsBusy()) return last;
+      continue;
+    }
+    PageGuard guard = g_r.MoveValue();
+    std::byte* raw = guard.RawData();
+    if (raw == nullptr) {
+      last = Status::Busy("frame not materializable");
+      continue;
+    }
+    std::byte* slot = raw + SlotOffset(RidSlot(rid));
+    SlotRef ref{std::move(guard), reinterpret_cast<VersionHeader*>(slot),
+                slot + sizeof(VersionHeader)};
+    return ref;
+  }
+  return last;
 }
 
 Result<rid_t> Table::AllocateSlot() {

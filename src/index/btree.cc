@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/timer.h"
+
 namespace spitfire {
 
 namespace {
@@ -29,6 +31,18 @@ struct MetaPayload {
   uint32_t magic;
 };
 constexpr uint32_t kMetaMagic = 0x42545245;  // "BTRE"
+
+// The meta page is hot, but under an async miss storm FetchPage can return
+// Busy transiently (submission starved by races, or a retry budget hit).
+// Meta accessors retry with exponential backoff instead of treating Busy
+// as fatal; hard errors (corruption, I/O) still crash.
+constexpr int kMetaFetchRetries = 64;
+
+void MetaFetchBackoff(const Status& st, int attempt) {
+  SPITFIRE_CHECK(st.IsBusy());
+  SpinWaitNanos(std::min<uint64_t>(uint64_t{1'000} << std::min(attempt, 6),
+                                   uint64_t{64'000}));
+}
 
 class NodeView {
  public:
@@ -139,27 +153,48 @@ Result<BTree*> BTree::Open(BufferManager* bm, page_id_t meta_pid) {
 }
 
 page_id_t BTree::LoadRoot() const {
-  auto meta_r = bm_->FetchPage(meta_pid_, AccessIntent::kRead);
-  SPITFIRE_CHECK(meta_r.ok());
-  MetaPayload mp{};
-  SPITFIRE_CHECK(meta_r.value().ReadAt(kPageHeaderSize, sizeof(mp), &mp).ok());
-  return mp.root;
+  for (int attempt = 0; attempt < kMetaFetchRetries; ++attempt) {
+    auto meta_r = bm_->FetchPage(meta_pid_, AccessIntent::kRead);
+    if (meta_r.ok()) {
+      MetaPayload mp{};
+      SPITFIRE_CHECK(
+          meta_r.value().ReadAt(kPageHeaderSize, sizeof(mp), &mp).ok());
+      return mp.root;
+    }
+    MetaFetchBackoff(meta_r.status(), attempt);
+  }
+  // Callers' restart loops treat an invalid root as a failed fetch and
+  // retry, so exhaustion degrades to Busy instead of crashing.
+  return kInvalidPageId;
 }
 
 void BTree::StoreRoot(page_id_t root, uint32_t height) {
-  auto meta_r = bm_->FetchPage(meta_pid_, AccessIntent::kWrite);
-  SPITFIRE_CHECK(meta_r.ok());
-  MetaPayload mp{root, height, kMetaMagic};
-  SPITFIRE_CHECK(
-      meta_r.value().WriteAt(kPageHeaderSize, sizeof(mp), &mp).ok());
+  for (int attempt = 0;; ++attempt) {
+    auto meta_r = bm_->FetchPage(meta_pid_, AccessIntent::kWrite);
+    if (meta_r.ok()) {
+      MetaPayload mp{root, height, kMetaMagic};
+      SPITFIRE_CHECK(
+          meta_r.value().WriteAt(kPageHeaderSize, sizeof(mp), &mp).ok());
+      return;
+    }
+    // A root update cannot be dropped; keep retrying Busy forever (the
+    // meta page cannot stay in-flight indefinitely), crash on hard errors.
+    MetaFetchBackoff(meta_r.status(), attempt);
+  }
 }
 
 uint32_t BTree::height() const {
-  auto meta_r = bm_->FetchPage(meta_pid_, AccessIntent::kRead);
-  SPITFIRE_CHECK(meta_r.ok());
-  MetaPayload mp{};
-  SPITFIRE_CHECK(meta_r.value().ReadAt(kPageHeaderSize, sizeof(mp), &mp).ok());
-  return mp.height;
+  for (int attempt = 0; attempt < kMetaFetchRetries; ++attempt) {
+    auto meta_r = bm_->FetchPage(meta_pid_, AccessIntent::kRead);
+    if (meta_r.ok()) {
+      MetaPayload mp{};
+      SPITFIRE_CHECK(
+          meta_r.value().ReadAt(kPageHeaderSize, sizeof(mp), &mp).ok());
+      return mp.height;
+    }
+    MetaFetchBackoff(meta_r.status(), attempt);
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------

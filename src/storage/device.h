@@ -47,6 +47,24 @@ class Device {
   // Copies `size` bytes from `src` to `offset`.
   virtual Status Write(uint64_t offset, const void* src, size_t size) = 0;
 
+  // Asynchronous submission interface. BeginRead/BeginWrite perform the
+  // data transfer eagerly (the simulation has no DMA engine) but do NOT
+  // delay the caller: they admit the request into the device's multi-queue
+  // model and report, via `*complete_at_ns`, the NowNanos() deadline at
+  // which the request completes. Callers must not observe the data as
+  // arrived (install pages, acknowledge writes) before the deadline.
+  // Devices without a queue model return NotSupported; callers fall back
+  // to the blocking Read/Write.
+  virtual bool SupportsAsyncIo() const { return false; }
+  virtual Status BeginRead(uint64_t offset, void* dst, size_t size,
+                           uint64_t* complete_at_ns) {
+    return Status::NotSupported("device has no async queue model");
+  }
+  virtual Status BeginWrite(uint64_t offset, const void* src, size_t size,
+                            uint64_t* complete_at_ns) {
+    return Status::NotSupported("device has no async queue model");
+  }
+
   // For byte-addressable devices, a pointer through which the CPU can
   // operate on device-resident data in place (the paper's data flow paths
   // 3/8 that bypass DRAM). Returns nullptr for block devices.
@@ -88,16 +106,25 @@ class Device {
   }
 
   void AccountRead(size_t bytes, bool sequential) {
-    stats_.num_reads.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+    AccountReadStats(bytes);
     LatencySimulator::Delay(profile_.ReadLatencyNanos(bytes, sequential));
   }
   void AccountWrite(size_t bytes, bool sequential) {
+    AccountWriteStats(bytes);
+    LatencySimulator::Delay(profile_.WriteLatencyNanos(bytes, sequential));
+  }
+
+  // Stats-only halves, for the async path where the latency is charged as
+  // a completion deadline instead of an inline delay.
+  void AccountReadStats(size_t bytes) {
+    stats_.num_reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AccountWriteStats(size_t bytes) {
     stats_.num_writes.fetch_add(1, std::memory_order_relaxed);
     stats_.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
     stats_.media_bytes_written.fetch_add(profile_.MediaBytes(bytes),
                                          std::memory_order_relaxed);
-    LatencySimulator::Delay(profile_.WriteLatencyNanos(bytes, sequential));
   }
 
   DeviceProfile profile_;

@@ -4,10 +4,21 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/timer.h"
+
 namespace spitfire {
 
+namespace {
+// Threads that pump completions with may_sleep=true (the async workload
+// ring, the completion worker) are async-aware: device waits they execute
+// sleep out their deadlines, yielding the core to useful work. Blocking
+// threads keep the spin-wait so the synchronous path's CPU accounting is
+// unchanged.
+thread_local bool t_async_aware = false;
+}  // namespace
+
 IoScheduler::IoScheduler(Device* ssd, const IoSchedulerOptions& opts)
-    : ssd_(ssd), opts_(opts) {
+    : ssd_(ssd), opts_(opts), async_(ssd != nullptr && ssd->SupportsAsyncIo()) {
   SPITFIRE_CHECK(ssd_ != nullptr);
   if (opts_.num_workers == 0) opts_.num_workers = 1;
   if (opts_.max_coalesce_pages == 0) opts_.max_coalesce_pages = 1;
@@ -15,6 +26,9 @@ IoScheduler::IoScheduler(Device* ssd, const IoSchedulerOptions& opts)
   workers_.reserve(opts_.num_workers);
   for (size_t i = 0; i < opts_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (async_) {
+    completion_worker_ = std::thread([this] { CompletionWorkerLoop(); });
   }
 }
 
@@ -27,6 +41,255 @@ void IoScheduler::MaybeEraseLocked(Shard& s, uint64_t offset) {
   if (e.read == nullptr && e.write == nullptr && e.write_seq == 0) {
     s.table.erase(it);
   }
+}
+
+void IoScheduler::ScheduleAt(uint64_t deadline_ns, std::function<void()> fn,
+                             bool is_write) {
+  if (deadline_ns <= NowNanos()) {
+    // Already due (scale 0, or the queue model admitted instantly): run
+    // inline. Callers hold no scheduler locks here.
+    stats_.completions_run.fetch_add(1, std::memory_order_relaxed);
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> cl(comp_mu_);
+    CompletionHeap& heap = is_write ? wcomps_ : comps_;
+    heap.push(Completion{deadline_ns, comp_seq_++, std::move(fn)});
+  }
+  comp_cv_.notify_all();
+}
+
+bool IoScheduler::PumpDue() {
+  // Entry-time semantics: run the completions due NOW, not until the heap
+  // drains. A completion can submit follow-up I/O (a failed install
+  // re-dispatches its waiters, which lead a fresh read) whose deadline
+  // matures while earlier completions are still running; chasing a fresh
+  // clock each iteration then never exits — the caller's ring (holding
+  // pinned guards the very installs are waiting on) starves, and the
+  // system livelocks. Batching by the entry clock keeps each pump finite.
+  const uint64_t now = NowNanos();
+  bool any = false;
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> cl(comp_mu_);
+      CompletionHeap* heap = nullptr;
+      if (!wcomps_.empty() && wcomps_.top().deadline <= now) {
+        heap = &wcomps_;
+      } else if (!comps_.empty() && comps_.top().deadline <= now) {
+        heap = &comps_;
+      }
+      if (heap == nullptr) break;
+      fn = std::move(const_cast<Completion&>(heap->top()).fn);
+      heap->pop();
+    }
+    stats_.completions_run.fetch_add(1, std::memory_order_relaxed);
+    fn();
+    any = true;
+  }
+  return any;
+}
+
+bool IoScheduler::PumpDueWrites() {
+  const uint64_t now = NowNanos();  // entry-time batch, see PumpDue
+  bool any = false;
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> cl(comp_mu_);
+      if (wcomps_.empty() || wcomps_.top().deadline > now) break;
+      fn = std::move(const_cast<Completion&>(wcomps_.top()).fn);
+      wcomps_.pop();
+    }
+    stats_.completions_run.fetch_add(1, std::memory_order_relaxed);
+    fn();
+    any = true;
+  }
+  return any;
+}
+
+void IoScheduler::WaitUntilDeadline(uint64_t deadline_ns) {
+  for (;;) {
+    const uint64_t now = NowNanos();
+    if (now >= deadline_ns) return;
+    // Keep other requests' completions flowing while this one is in
+    // flight — that is what keeps N queues busy from one thread.
+    if (PumpDue()) continue;
+    const uint64_t remaining = deadline_ns - now;
+    if (t_async_aware && remaining > 5'000) {
+      std::unique_lock<std::mutex> cl(comp_mu_);
+      comp_sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      comp_cv_.wait_for(cl, std::chrono::nanoseconds(std::min<uint64_t>(
+                                remaining, 200'000)));
+      comp_sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    } else {
+      SpinWaitNanos(std::min<uint64_t>(remaining, 2'000));
+    }
+  }
+}
+
+void IoScheduler::CompleteFlight(uint64_t offset,
+                                 std::shared_ptr<ReadFlight> f, Status st) {
+  Shard& s = ShardFor(offset);
+  std::vector<ReadCallback> cbs;
+  {
+    std::lock_guard<std::mutex> l(s.mu);
+    Entry& e = s.table[offset];
+    f->status = st;
+    f->stale = (e.write_seq != f->seq);
+    f->done = true;
+    cbs.swap(f->callbacks);
+    if (e.read == f) e.read.reset();
+    MaybeEraseLocked(s, offset);
+  }
+  s.cv.notify_all();
+  if (f->stale) {
+    stats_.stale_read_retries.fetch_add(cbs.size(), std::memory_order_relaxed);
+  }
+  const Status cb_st =
+      f->stale ? Status::Busy("read superseded by concurrent write") : st;
+  for (ReadCallback& cb : cbs) {
+    cb(cb_st, f->buf, f->seq);
+  }
+  SignalCompletions();
+}
+
+void IoScheduler::SignalCompletions() {
+  // Dekker-style handshake with the sleepers: bump the epoch, THEN check
+  // for sleepers (both seq_cst). A sleeper registers in comp_sleepers_
+  // while holding comp_mu_, THEN rechecks the epoch. Either our bump is
+  // visible to its recheck (it never sleeps), or its registration is
+  // visible to our load (we take the mutex — serializing with its park —
+  // and notify). The common case, a completion with nobody parked, stays
+  // entirely lock-free.
+  comp_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (comp_sleepers_.load(std::memory_order_seq_cst) > 0) {
+    { std::lock_guard<std::mutex> cl(comp_mu_); }
+    comp_cv_.notify_all();
+  }
+}
+
+void IoScheduler::WaitForCompletion(uint64_t observed_epoch,
+                                    uint64_t max_wait_ns) {
+  std::unique_lock<std::mutex> cl(comp_mu_);
+  comp_sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  if (comp_epoch_.load(std::memory_order_seq_cst) == observed_epoch) {
+    comp_cv_.wait_for(cl, std::chrono::nanoseconds(max_wait_ns));
+  }
+  comp_sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void IoScheduler::CompletionWorkerLoop() {
+  t_async_aware = true;
+  std::unique_lock<std::mutex> cl(comp_mu_);
+  for (;;) {
+    if (comps_.empty() && wcomps_.empty()) {
+      if (comp_stop_) return;
+      comp_cv_.wait(cl);
+      continue;
+    }
+    uint64_t next = UINT64_MAX;
+    if (!comps_.empty()) next = comps_.top().deadline;
+    if (!wcomps_.empty()) next = std::min(next, wcomps_.top().deadline);
+    const uint64_t now = NowNanos();
+    if (next > now && !comp_stop_) {
+      // A pumping thread may beat us to this entry — that is fine, the
+      // exclusive pop below keeps completions exactly-once.
+      comp_cv_.wait_for(cl, std::chrono::nanoseconds(
+                                std::min<uint64_t>(next - now, 1'000'000)));
+      continue;
+    }
+    // Due — or shutdown, which fires everything immediately so in-flight
+    // continuations resolve before the scheduler dies.
+    CompletionHeap& heap =
+        (!wcomps_.empty() && (comps_.empty() || wcomps_.top().deadline <= next))
+            ? wcomps_
+            : comps_;
+    std::function<void()> fn = std::move(const_cast<Completion&>(heap.top()).fn);
+    heap.pop();
+    cl.unlock();
+    stats_.completions_run.fetch_add(1, std::memory_order_relaxed);
+    fn();
+    cl.lock();
+  }
+}
+
+IoScheduler::SubmitKind IoScheduler::SubmitRead(uint64_t offset,
+                                                ReadCallback cb) {
+  Shard& s = ShardFor(offset);
+  std::unique_lock<std::mutex> l(s.mu);
+  Entry& e = s.table[offset];
+  if (e.write != nullptr) {
+    // A staged (not yet device-durable) write holds the freshest bytes.
+    // Copy to a thread-local scratch so the callback runs without the
+    // shard lock (it may take buffer-manager latches).
+    thread_local std::unique_ptr<std::byte[]> scratch;
+    if (!scratch) scratch = std::make_unique<std::byte[]>(kPageSize);
+    std::memcpy(scratch.get(), e.write->buf.get(), kPageSize);
+    const uint64_t seq = e.write_seq;
+    l.unlock();
+    stats_.reads_from_staged.fetch_add(1, std::memory_order_relaxed);
+    cb(Status::OK(), scratch.get(), seq);
+    return SubmitKind::kInline;
+  }
+  if (e.read != nullptr) {
+    // Single-flight: ride the in-flight read (a SubmitRead leader's or a
+    // prefetch claim's) instead of duplicating it.
+    e.read->callbacks.push_back(std::move(cb));
+    stats_.reads_deduped.fetch_add(1, std::memory_order_relaxed);
+    return SubmitKind::kJoined;
+  }
+  // Leader: register the flight, then submit without the shard lock so
+  // joiners can attach (and writers can supersede) during the I/O.
+  auto f = std::make_shared<ReadFlight>();
+  f->seq = e.write_seq;
+  f->callbacks.push_back(std::move(cb));
+  e.read = f;
+  l.unlock();
+  stats_.async_submits.fetch_add(1, std::memory_order_relaxed);
+  stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
+  if (async_) {
+    uint64_t deadline = 0;
+    const Status st = ssd_->BeginRead(offset, f->buf, kPageSize, &deadline);
+    if (!st.ok()) {
+      CompleteFlight(offset, std::move(f), st);
+    } else {
+      ScheduleAt(deadline,
+                 [this, offset, f] { CompleteFlight(offset, f, Status::OK()); },
+                 /*is_write=*/false);
+    }
+  } else {
+    // Blocking device: the read happens here (charging the latency to this
+    // thread, like the synchronous path) and completes inline.
+    const Status st = ssd_->Read(offset, f->buf, kPageSize);
+    CompleteFlight(offset, std::move(f), st);
+  }
+  return SubmitKind::kLeader;
+}
+
+bool IoScheduler::PumpCompletions(bool may_sleep) {
+  if (may_sleep) t_async_aware = true;
+  bool ran = TryRunPendingTask();
+  if (PumpDue()) ran = true;
+  if (ran || !may_sleep) return ran;
+  std::unique_lock<std::mutex> cl(comp_mu_);
+  uint64_t next = UINT64_MAX;
+  if (!comps_.empty()) next = comps_.top().deadline;
+  if (!wcomps_.empty()) next = std::min(next, wcomps_.top().deadline);
+  const uint64_t now = NowNanos();
+  if (next <= now) {
+    cl.unlock();
+    return PumpDue();
+  }
+  const uint64_t cap = 200'000;  // notifications cut this short
+  comp_sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  comp_cv_.wait_for(cl, std::chrono::nanoseconds(
+                            next == UINT64_MAX ? cap
+                                               : std::min(next - now, cap)));
+  comp_sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  cl.unlock();
+  return PumpDue();
 }
 
 Status IoScheduler::ReadPage(uint64_t offset, std::byte* dst,
@@ -96,6 +359,7 @@ Status IoScheduler::ReadPage(uint64_t offset, std::byte* dst,
     const Status st = ssd_->Read(offset, dst, kPageSize);
     stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
     l.lock();
+    std::vector<ReadCallback> cbs;
     {
       // The map may have rehashed while unlocked; re-resolve the entry.
       Entry& e2 = s.table[offset];
@@ -103,14 +367,28 @@ Status IoScheduler::ReadPage(uint64_t offset, std::byte* dst,
       f->stale = (e2.write_seq != f->seq);
       // Joiners registered before this relock; none can attach after the
       // flight is unlinked below, so the copy is skipped when uncontended.
-      if (f->joiners > 0 && st.ok() && !f->stale) {
+      if ((f->joiners > 0 || !f->callbacks.empty()) && st.ok() && !f->stale) {
         std::memcpy(f->buf, dst, kPageSize);
       }
       f->done = true;
+      cbs.swap(f->callbacks);
       if (e2.read == f) e2.read.reset();
     }
     MaybeEraseLocked(s, offset);
     s.cv.notify_all();
+    if (!cbs.empty()) {
+      // Async joiners that attached to this blocking-led flight.
+      l.unlock();
+      if (f->stale) {
+        stats_.stale_read_retries.fetch_add(cbs.size(),
+                                            std::memory_order_relaxed);
+      }
+      const Status cb_st =
+          f->stale ? Status::Busy("read superseded by concurrent write") : st;
+      for (ReadCallback& cb : cbs) cb(cb_st, f->buf, f->seq);
+      SignalCompletions();
+      l.lock();
+    }
     if (f->stale) {
       stats_.stale_read_retries.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -169,9 +447,21 @@ Status IoScheduler::ExecutePrefetch(const std::shared_ptr<void>& claim,
     }
     size_t j = i + 1;
     while (j < n && rec->flights[j] != nullptr) ++j;
-    const Status st =
-        ssd_->Read(offset + i * kPageSize, dst + i * kPageSize,
-                   (j - i) * kPageSize);
+    Status st;
+    if (async_) {
+      // Admit the run into the device's queue model and wait out its
+      // deadline here, pumping other completions meanwhile: a second
+      // window can be in flight on another queue while this one drains.
+      // Async-aware threads sleep the wait; blocking threads spin (the
+      // synchronous CPU accounting).
+      uint64_t deadline = 0;
+      st = ssd_->BeginRead(offset + i * kPageSize, dst + i * kPageSize,
+                           (j - i) * kPageSize, &deadline);
+      if (st.ok()) WaitUntilDeadline(deadline);
+    } else {
+      st = ssd_->Read(offset + i * kPageSize, dst + i * kPageSize,
+                      (j - i) * kPageSize);
+    }
     stats_.read_ops.fetch_add(1, std::memory_order_relaxed);
     if (!st.ok()) result = st;
     // Three passes over the run, in a strict order: validate every page,
@@ -214,6 +504,7 @@ Status IoScheduler::ExecutePrefetch(const std::shared_ptr<void>& claim,
       const uint64_t off = offset + k * kPageSize;
       Shard& s = ShardFor(off);
       std::shared_ptr<ReadFlight>& f = rec->flights[k];
+      std::vector<ReadCallback> cbs;
       {
         std::lock_guard<std::mutex> l(s.mu);
         Entry& e = s.table[off];
@@ -221,31 +512,57 @@ Status IoScheduler::ExecutePrefetch(const std::shared_ptr<void>& claim,
         // joiner retries rather than consuming superseded bytes. (The
         // install path re-validates against WriteSeq on its own.)
         f->stale = (e.write_seq != f->seq);
-        total_joiners += static_cast<size_t>(f->joiners);
-        if (f->joiners > 0 && covered[k] && !f->stale) {
+        total_joiners += static_cast<size_t>(f->joiners) + f->callbacks.size();
+        if ((f->joiners > 0 || !f->callbacks.empty()) && covered[k] &&
+            !f->stale) {
           // Waiters that joined this flight copy from its buffer.
           std::memcpy(f->buf, dst + k * kPageSize, kPageSize);
         }
         f->done = true;
+        cbs.swap(f->callbacks);
         if (e.read == f) e.read.reset();
         MaybeEraseLocked(s, off);
       }
       s.cv.notify_all();
+      if (!cbs.empty()) {
+        // Async misses that joined this window's flights.
+        const bool bad = !covered[k] || f->stale;
+        if (f->stale) {
+          stats_.stale_read_retries.fetch_add(cbs.size(),
+                                              std::memory_order_relaxed);
+        }
+        const Status cb_st =
+            bad ? (f->status.ok()
+                       ? Status::Busy("read superseded by concurrent write")
+                       : f->status)
+                : Status::OK();
+        for (ReadCallback& cb : cbs) cb(cb_st, f->buf, f->seq);
+      }
     }
     i = j;
   }
   if (joined != nullptr) *joined = total_joiners;
+  // Wake sleeping pumpers and waiters: installed window pages may unblock
+  // their rings or complete a joined fetch.
+  SignalCompletions();
   return result;
 }
 
 Status IoScheduler::WritePage(uint64_t offset, const std::byte* src) {
   {
     // Backpressure before touching the shard, so a blocked writer never
-    // holds a lock a worker needs to make progress.
+    // holds a lock a worker needs to make progress. The wait pumps due
+    // write completions: this thread may itself be inside a read-flight
+    // completion (install -> evict -> write), in which case nobody else is
+    // guaranteed to retire the writes it is waiting on.
     std::unique_lock<std::mutex> ql(q_mu_);
-    q_cv_.wait(ql, [&] {
-      return pending_writes_ < opts_.max_pending_writes || stop_;
-    });
+    while (!(pending_writes_ < opts_.max_pending_writes || stop_)) {
+      ql.unlock();
+      PumpDueWrites();
+      ql.lock();
+      if (pending_writes_ < opts_.max_pending_writes || stop_) break;
+      q_cv_.wait_for(ql, std::chrono::microseconds(200));
+    }
     if (stop_) return Status::IoError("io scheduler stopped");
   }
 
@@ -256,8 +573,15 @@ Status IoScheduler::WritePage(uint64_t offset, const std::byte* src) {
     Entry* e = &s.table[offset];
     while (e->write != nullptr && e->write->issuing) {
       // The previous image is being copied to the device; wait for it so
-      // this (newer) image cannot be overtaken.
-      s.cv.wait(l);
+      // this (newer) image cannot be overtaken. Same pumping rationale as
+      // the backpressure wait above: the clearing completion may be ours
+      // to run.
+      l.unlock();
+      PumpDueWrites();
+      l.lock();
+      e = &s.table[offset];
+      if (!(e->write != nullptr && e->write->issuing)) break;
+      s.cv.wait_for(l, std::chrono::microseconds(200));
       e = &s.table[offset];  // the map may have rehashed while unlocked
     }
     // The sequence bump is what invalidates concurrent reads: any read
@@ -294,7 +618,16 @@ Status IoScheduler::Drain() {
   std::unique_lock<std::mutex> ql(q_mu_);
   ++drain_waiters_;
   q_cv_.notify_all();  // cut any coalescing window short
-  q_cv_.wait(ql, [&] { return pending_writes_ == 0; });
+  while (pending_writes_ != 0) {
+    // Pump write completions while waiting: submitted writes only count
+    // as drained once their deadline passes, and this thread may be the
+    // one that has to run those completions.
+    ql.unlock();
+    PumpDueWrites();
+    ql.lock();
+    if (pending_writes_ == 0) break;
+    q_cv_.wait_for(ql, std::chrono::microseconds(200));
+  }
   --drain_waiters_;
   Status st = first_write_error_;
   first_write_error_ = Status::OK();
@@ -326,7 +659,7 @@ bool IoScheduler::TryRunPendingTask() {
 void IoScheduler::Shutdown() {
   {
     std::lock_guard<std::mutex> ql(q_mu_);
-    if (stop_ && workers_.empty()) return;
+    if (stop_ && workers_.empty() && !completion_worker_.joinable()) return;
     stop_ = true;
   }
   q_cv_.notify_all();
@@ -334,6 +667,16 @@ void IoScheduler::Shutdown() {
     if (t.joinable()) t.join();
   }
   workers_.clear();
+  // Write workers are gone (their shutdown drain may have scheduled more
+  // completions); now let the completion worker fire everything still in
+  // the heaps — early, but exactly once — so no flight or staged write is
+  // left unresolved, then join it.
+  {
+    std::lock_guard<std::mutex> cl(comp_mu_);
+    comp_stop_ = true;
+  }
+  comp_cv_.notify_all();
+  if (completion_worker_.joinable()) completion_worker_.join();
 }
 
 void IoScheduler::WorkerLoop() {
@@ -374,11 +717,12 @@ void IoScheduler::WorkerLoop() {
       write_queue_.pop_front();
     }
     ql.unlock();
-    const Status st = ProcessBatch(&batch, scratch.data());
+    // ProcessBatch owns retirement: synchronously after the device write,
+    // or at the completion deadline on the async path — where this loop
+    // immediately picks up the next batch, keeping further queues full
+    // instead of spinning out one write at a time.
+    (void)ProcessBatch(&batch, scratch.data());
     ql.lock();
-    pending_writes_ -= batch.size();
-    if (!st.ok() && first_write_error_.ok()) first_write_error_ = st;
-    q_cv_.notify_all();
   }
 }
 
@@ -405,33 +749,64 @@ Status IoScheduler::ProcessBatch(std::vector<QueueItem>* batch,
       ++j;
     }
     const size_t run = j - i;
-    Status st;
+    const std::byte* data;
     if (run == 1) {
-      st = ssd_->Write((*batch)[i].offset, (*batch)[i].w->buf.get(),
-                       kPageSize);
+      data = (*batch)[i].w->buf.get();
     } else {
       for (size_t k = i; k < j; ++k) {
         std::memcpy(scratch + (k - i) * kPageSize, (*batch)[k].w->buf.get(),
                     kPageSize);
       }
-      st = ssd_->Write((*batch)[i].offset, scratch, run * kPageSize);
+      data = scratch;
       stats_.writes_coalesced.fetch_add(run - 1, std::memory_order_relaxed);
     }
     stats_.write_ops.fetch_add(1, std::memory_order_relaxed);
-    if (!st.ok()) result = st;
-    for (size_t k = i; k < j; ++k) {
-      const uint64_t off = (*batch)[k].offset;
-      Shard& s = ShardFor(off);
-      std::lock_guard<std::mutex> l(s.mu);
-      auto it = s.table.find(off);
-      if (it != s.table.end() && it->second.write == (*batch)[k].w) {
-        it->second.write.reset();
-      }
-      s.cv.notify_all();
+    if (async_) {
+      // Submit and defer retirement to the completion deadline. BeginWrite
+      // copies the bytes out eagerly, so `scratch` is reusable immediately
+      // and the staged images stay frozen (issuing) until retirement.
+      uint64_t deadline = 0;
+      const Status st = ssd_->BeginWrite((*batch)[i].offset, data,
+                                         run * kPageSize, &deadline);
+      if (!st.ok()) result = st;
+      auto items = std::make_shared<std::vector<QueueItem>>(
+          batch->begin() + static_cast<ptrdiff_t>(i),
+          batch->begin() + static_cast<ptrdiff_t>(j));
+      ScheduleAt(st.ok() ? deadline : 0,
+                 [this, items, st] { RetireWrites(*items, st); },
+                 /*is_write=*/true);
+    } else {
+      const Status st =
+          ssd_->Write((*batch)[i].offset, data, run * kPageSize);
+      if (!st.ok()) result = st;
+      std::vector<QueueItem> items(batch->begin() + static_cast<ptrdiff_t>(i),
+                                   batch->begin() + static_cast<ptrdiff_t>(j));
+      RetireWrites(items, st);
     }
     i = j;
   }
   return result;
+}
+
+void IoScheduler::RetireWrites(const std::vector<QueueItem>& items,
+                               const Status& st) {
+  for (const QueueItem& item : items) {
+    Shard& s = ShardFor(item.offset);
+    {
+      std::lock_guard<std::mutex> l(s.mu);
+      auto it = s.table.find(item.offset);
+      if (it != s.table.end() && it->second.write == item.w) {
+        it->second.write.reset();
+      }
+    }
+    s.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> ql(q_mu_);
+    pending_writes_ -= items.size();
+    if (!st.ok() && first_write_error_.ok()) first_write_error_ = st;
+  }
+  q_cv_.notify_all();
 }
 
 }  // namespace spitfire

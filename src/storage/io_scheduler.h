@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +51,8 @@ struct IoSchedulerStats {
   std::atomic<uint64_t> writes_staged{0};
   std::atomic<uint64_t> write_ops{0};         // device write requests issued
   std::atomic<uint64_t> writes_coalesced{0};  // pages merged into a larger op
+  std::atomic<uint64_t> async_submits{0};     // SubmitRead leader submissions
+  std::atomic<uint64_t> completions_run{0};   // deferred completions executed
 };
 
 // Owner of all SSD-tier page traffic (an io_uring-style submission model
@@ -81,6 +84,54 @@ class IoScheduler {
   // Reads one page into `dst`. If `out_seq` is non-null it receives the
   // write sequence the bytes correspond to (see WriteSeq).
   Status ReadPage(uint64_t offset, std::byte* dst, uint64_t* out_seq);
+
+  // --- Asynchronous submission/completion interface -----------------------
+  //
+  // Fired exactly once per SubmitRead call, with the page bytes and the
+  // write sequence they correspond to. `data` is only valid for the
+  // duration of the call — copy out what you need. A Busy status means a
+  // concurrent write superseded the bytes mid-flight (the old stale-retry
+  // path); resubmit to read the fresh image. The callback may run inline
+  // inside SubmitRead (staged-write hits, scale-0 completions), from a
+  // thread pumping completions, or from the scheduler's completion worker.
+  // It runs without any scheduler lock held, but must not block on this
+  // scheduler's own completions.
+  using ReadCallback =
+      std::function<void(const Status&, const std::byte* data, uint64_t seq)>;
+
+  // How a SubmitRead resolved: served inline (callback already fired),
+  // admitted as the leader of a new device read, or joined an in-flight
+  // read (dedup — callback fires when the leader's request completes).
+  enum class SubmitKind { kInline, kLeader, kJoined };
+
+  // Single-flight asynchronous read. Never blocks on device latency: a
+  // leader submission returns as soon as the request is admitted to the
+  // device's queue model, with the completion deferred to the deadline.
+  SubmitKind SubmitRead(uint64_t offset, ReadCallback cb);
+
+  // Runs pending work on the calling thread: queued prefetch tasks and any
+  // completions whose deadline has passed. With `may_sleep`, blocks briefly
+  // (bounded, ~200 us) until the next deadline or a notification when
+  // nothing is runnable — the async workload driver's idle wait. Marks the
+  // calling thread as async-aware: prefetch waits it executes sleep out
+  // their deadlines instead of busy-spinning. Returns whether anything ran.
+  bool PumpCompletions(bool may_sleep);
+
+  // Whether the device supports deadline-based submission (SupportsAsyncIo).
+  bool async_io() const { return async_; }
+
+  // Completion broadcast, for continuation waiters (e.g. a fetch that
+  // joined an in-flight read). Every batch of fired read completions bumps
+  // the epoch and notifies; a waiter samples the epoch, re-checks its own
+  // ready flag, then sleeps in WaitForCompletion — which returns
+  // immediately if the epoch moved in between, so no wakeup is lost.
+  // Continuation layers that complete waiters outside a scheduler
+  // callback may call SignalCompletions themselves.
+  uint64_t completion_epoch() const {
+    return comp_epoch_.load(std::memory_order_acquire);
+  }
+  void WaitForCompletion(uint64_t observed_epoch, uint64_t max_wait_ns);
+  void SignalCompletions();
 
   // Read-ahead, split in two so a trigger can claim its window inline
   // (cheap, no device work) before handing the reads to a worker:
@@ -157,15 +208,17 @@ class IoScheduler {
   static constexpr size_t kNumShards = 16;
 
   // One single-flight read. `buf` is filled by the leader (under the shard
-  // mutex, before `done` is published) only when `joiners` is non-zero;
-  // waiters copy from it after observing done. Both counters are guarded
-  // by the shard mutex.
+  // mutex, before `done` is published) only when someone joined — a
+  // cv-waiter (`joiners`) or an async callback; waiters copy from it after
+  // observing done. All fields are guarded by the shard mutex until `done`
+  // is published. Async leaders (SubmitRead) read into `buf` directly.
   struct ReadFlight {
     Status status;
     uint64_t seq = 0;    // write sequence sampled at registration
-    int joiners = 0;     // readers waiting on this flight
+    int joiners = 0;     // cv-waiting readers (ReadPage / prefetch heuristics)
     bool done = false;
     bool stale = false;  // a write superseded the bytes mid-flight
+    std::vector<ReadCallback> callbacks;  // async joiners; fired at completion
     std::byte buf[kPageSize];
   };
 
@@ -212,10 +265,71 @@ class IoScheduler {
 
   void WorkerLoop();
   Status ProcessBatch(std::vector<QueueItem>* batch, std::byte* scratch);
+  // Clears the staged entries of a completed write run and releases its
+  // backpressure slots. Inline after the device write on the sync path; a
+  // deadline completion on the async path.
+  void RetireWrites(const std::vector<QueueItem>& items, const Status& st);
+
+  // --- Completion engine (async devices only) -----------------------------
+  // Deferred completions ordered by their device-model deadline. Two heaps
+  // under one lock: read-flight completions re-enter buffer-manager code
+  // through their callbacks (install pages, evict victims, stage writes),
+  // while write completions only clear scheduler state — so code that must
+  // make progress *inside* a flight completion (WritePage backpressure,
+  // Drain) pumps the write heap alone and cannot recurse.
+  struct Completion {
+    uint64_t deadline = 0;
+    uint64_t seqno = 0;  // FIFO tie-break for equal deadlines
+    std::function<void()> fn;
+  };
+  struct CompletionLater {
+    bool operator()(const Completion& a, const Completion& b) const {
+      return a.deadline != b.deadline ? a.deadline > b.deadline
+                                      : a.seqno > b.seqno;
+    }
+  };
+  using CompletionHeap =
+      std::priority_queue<Completion, std::vector<Completion>, CompletionLater>;
+
+  // Enqueues `fn` to run at `deadline_ns` (NowNanos clock); runs it inline
+  // when the deadline has already passed (scale 0). Callers must not hold
+  // shard or queue locks.
+  void ScheduleAt(uint64_t deadline_ns, std::function<void()> fn,
+                  bool is_write);
+  // Run every completion whose deadline has passed. Exclusive-pop under
+  // comp_mu_, so each completion runs exactly once. Return: anything ran.
+  bool PumpDue();
+  bool PumpDueWrites();  // write heap only; safe inside flight completions
+  // Waits until `deadline_ns`, pumping due completions meanwhile. Async-
+  // aware threads (see PumpCompletions) sleep; others spin, preserving the
+  // blocking path's CPU accounting.
+  void WaitUntilDeadline(uint64_t deadline_ns);
+  // Finishes a SubmitRead leader flight: publishes done/stale under the
+  // shard lock, unlinks the entry, then fires callbacks and waiters.
+  void CompleteFlight(uint64_t offset, std::shared_ptr<ReadFlight> f,
+                      Status st);
+  // Dedicated thread that sleeps to the earliest deadline and runs whatever
+  // nobody pumped — the backstop that makes completions a guarantee rather
+  // than a cooperative convention.
+  void CompletionWorkerLoop();
 
   Device* ssd_;
   IoSchedulerOptions opts_;
+  bool async_ = false;
   IoSchedulerStats stats_;
+
+  std::mutex comp_mu_;
+  std::condition_variable comp_cv_;
+  CompletionHeap comps_;   // read-flight completions
+  CompletionHeap wcomps_;  // write completions
+  uint64_t comp_seq_ = 0;
+  std::atomic<uint64_t> comp_epoch_{0};   // completion-broadcast stamp
+  std::atomic<int> comp_sleepers_{0};     // threads parked on comp_cv_ for
+                                          // completion signals; lets
+                                          // SignalCompletions skip the
+                                          // mutex when nobody sleeps
+  bool comp_stop_ = false;
+  std::thread completion_worker_;
 
   Shard shards_[kNumShards];
 

@@ -3,9 +3,29 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace spitfire {
+
+// Multi-queue submission model for a device. A device exposes `num_queues`
+// independent submission queues, each admitting up to `queue_depth`
+// concurrent requests; transfers within one queue serialize on its channel.
+// `saturating_queues` captures how many concurrently driven queues it takes
+// to reach the profile's aggregate bandwidth: a single queue sustains
+// aggregate / saturating_queues, so the synchronous (one-request-at-a-time)
+// path sees exactly the low-queue-depth bandwidth the old
+// `queue_depth_divisor` scalar modeled.
+struct QueueModel {
+  uint32_t num_queues = 1;
+  uint32_t queue_depth = 1;
+  double saturating_queues = 1.0;
+
+  // Total requests the device can hold in flight.
+  uint32_t TotalDepth() const { return num_queues * queue_depth; }
+};
 
 // Performance/cost profile of a storage device, encoding Table 1 of the
 // paper (DRAM DIMMs, Optane DC PMMs, Optane DC P4800X SSD). Latencies are
@@ -31,10 +51,12 @@ struct DeviceProfile {
   size_t media_granularity = 64;
 
   // The sustained bandwidths above are machine aggregates (6 DIMMs, many
-  // threads). A single in-flight request achieves only a fraction of
-  // them; this divisor models the low-queue-depth bandwidth the 1-2
-  // worker simulation actually sees (Optane PMMs: ~3x below aggregate).
-  double queue_depth_divisor = 1.0;
+  // threads / 16-deep NVMe queues). A single in-flight request achieves
+  // only a fraction of them; `queues.saturating_queues` models the
+  // low-queue-depth bandwidth the synchronous path sees (Optane PMMs:
+  // ~3x below aggregate), while `num_queues`/`queue_depth` bound how much
+  // concurrency the async submission path can extract.
+  QueueModel queues;
 
   bool byte_addressable = true;
   bool persistent = false;
@@ -73,6 +95,39 @@ class LatencySimulator {
   // call itself costs ~50 ns, so modeling sub-50 ns DRAM accesses with a
   // spin would distort rather than improve fidelity.
   static constexpr uint64_t kMinModeledNanos = 60;
+};
+
+// Simulates the timing of a device's multi-queue submission interface.
+// Submit() admits a request and returns the absolute steady-clock nanosecond
+// at which it completes, without delaying the caller — asynchronous callers
+// overlap work until the deadline, synchronous callers wait it out.
+//
+// Per queue, two resources gate a request:
+//  - a slot: at most `queue_depth` requests are in flight; when full, the
+//    request is admitted only when the oldest in-flight one completes;
+//  - the transfer channel: data transfers serialize, each queue sustaining
+//    aggregate-bandwidth / saturating_queues on its own.
+// The per-request idle latency overlaps across requests (that is what queue
+// depth buys on a real NVMe device), so at depth d a queue completes up to d
+// transfers per latency window. Requests round-robin across queues.
+class DeviceQueueSim {
+ public:
+  explicit DeviceQueueSim(const DeviceProfile& profile);
+
+  // Admits a request of `bytes` and returns its completion deadline in
+  // NowNanos() terms. At simulation scale 0 the deadline is "now".
+  uint64_t Submit(size_t bytes, bool sequential, bool is_write);
+
+ private:
+  struct Queue {
+    std::deque<uint64_t> inflight;  // completion deadlines, oldest first
+    uint64_t transfer_tail = 0;     // when the queue's channel frees up
+  };
+
+  const DeviceProfile profile_;  // snapshot; devices never mutate profiles
+  std::mutex mu_;
+  std::vector<Queue> queues_;
+  uint32_t next_queue_ = 0;
 };
 
 }  // namespace spitfire

@@ -11,14 +11,14 @@
 namespace spitfire {
 
 SsdDevice::SsdDevice(uint64_t capacity, DeviceProfile profile)
-    : Device(std::move(profile), capacity) {
+    : Device(std::move(profile), capacity), queue_sim_(profile_) {
   mem_ = std::make_unique<std::byte[]>(capacity);
   std::memset(mem_.get(), 0, capacity);
 }
 
 SsdDevice::SsdDevice(const std::string& path, uint64_t capacity,
                      DeviceProfile profile)
-    : Device(std::move(profile), capacity) {
+    : Device(std::move(profile), capacity), queue_sim_(profile_) {
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   SPITFIRE_CHECK(fd_ >= 0);
   SPITFIRE_CHECK(::ftruncate(fd_, static_cast<off_t>(capacity)) == 0);
@@ -62,7 +62,7 @@ void SsdDevice::UnlockRange(uint64_t offset, size_t size, bool exclusive) {
   }
 }
 
-Status SsdDevice::Read(uint64_t offset, void* dst, size_t size) {
+Status SsdDevice::TransferIn(uint64_t offset, void* dst, size_t size) {
   SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
   if (fd_ >= 0) {
     // pread may legitimately transfer fewer bytes than requested (or be
@@ -84,13 +84,10 @@ Status SsdDevice::Read(uint64_t offset, void* dst, size_t size) {
     std::memcpy(dst, mem_.get() + offset, size);
     UnlockRange(offset, size, /*exclusive=*/false);
   }
-  // Multi-page requests (coalesced by the I/O scheduler) stream from
-  // consecutive blocks, so they earn the sequential rate.
-  AccountRead(size, /*sequential=*/size > kPageSize);
   return Status::OK();
 }
 
-Status SsdDevice::Write(uint64_t offset, const void* src, size_t size) {
+Status SsdDevice::TransferOut(uint64_t offset, const void* src, size_t size) {
   SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
   if (fd_ >= 0) {
     const auto* p = static_cast<const std::byte*>(src);
@@ -110,7 +107,40 @@ Status SsdDevice::Write(uint64_t offset, const void* src, size_t size) {
     std::memcpy(mem_.get() + offset, src, size);
     UnlockRange(offset, size, /*exclusive=*/true);
   }
+  return Status::OK();
+}
+
+Status SsdDevice::Read(uint64_t offset, void* dst, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(TransferIn(offset, dst, size));
+  // Multi-page requests (coalesced by the I/O scheduler) stream from
+  // consecutive blocks, so they earn the sequential rate.
+  AccountRead(size, /*sequential=*/size > kPageSize);
+  return Status::OK();
+}
+
+Status SsdDevice::Write(uint64_t offset, const void* src, size_t size) {
+  SPITFIRE_RETURN_NOT_OK(TransferOut(offset, src, size));
   AccountWrite(size, /*sequential=*/size > kPageSize);
+  return Status::OK();
+}
+
+Status SsdDevice::BeginRead(uint64_t offset, void* dst, size_t size,
+                            uint64_t* complete_at_ns) {
+  SPITFIRE_RETURN_NOT_OK(TransferIn(offset, dst, size));
+  AccountReadStats(size);
+  *complete_at_ns =
+      queue_sim_.Submit(size, /*sequential=*/size > kPageSize,
+                        /*is_write=*/false);
+  return Status::OK();
+}
+
+Status SsdDevice::BeginWrite(uint64_t offset, const void* src, size_t size,
+                             uint64_t* complete_at_ns) {
+  SPITFIRE_RETURN_NOT_OK(TransferOut(offset, src, size));
+  AccountWriteStats(size);
+  *complete_at_ns =
+      queue_sim_.Submit(size, /*sequential=*/size > kPageSize,
+                        /*is_write=*/true);
   return Status::OK();
 }
 

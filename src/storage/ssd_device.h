@@ -32,9 +32,22 @@ class SsdDevice : public Device {
   Status Write(uint64_t offset, const void* src, size_t size) override;
   Status Persist(uint64_t offset, size_t size) override;
 
+  // Async submission: the copy happens eagerly (there is no DMA engine to
+  // defer it to) but no latency is charged inline — the multi-queue model
+  // hands back the completion deadline instead. The I/O scheduler must not
+  // surface the data before that deadline.
+  bool SupportsAsyncIo() const override { return true; }
+  Status BeginRead(uint64_t offset, void* dst, size_t size,
+                   uint64_t* complete_at_ns) override;
+  Status BeginWrite(uint64_t offset, const void* src, size_t size,
+                    uint64_t* complete_at_ns) override;
+
   bool file_backed() const { return fd_ >= 0; }
 
  private:
+  // Shared data-movement halves of the sync and async paths.
+  Status TransferIn(uint64_t offset, void* dst, size_t size);
+  Status TransferOut(uint64_t offset, const void* src, size_t size);
   // The I/O scheduler may issue a read concurrent with a write of an
   // overlapping range (the reader re-validates its write sequence and
   // discards superseded bytes — a torn transfer is acceptable there, as
@@ -52,6 +65,7 @@ class SsdDevice : public Device {
   int fd_ = -1;
   std::unique_ptr<std::byte[]> mem_;
   std::shared_mutex copy_locks_[kCopyLockStripes];
+  DeviceQueueSim queue_sim_;
 };
 
 }  // namespace spitfire

@@ -1,5 +1,6 @@
 #include "workload/driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -10,11 +11,16 @@
 namespace spitfire {
 
 std::string DriverResult::ToString() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "%.0f txn/s (committed=%llu aborted=%llu over %.2fs)",
-                Throughput(), static_cast<unsigned long long>(committed),
-                static_cast<unsigned long long>(aborted), seconds);
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%.0f txn/s (committed=%llu aborted=%llu over %.2fs, "
+      "p50=%.1fus p99=%.1fus p999=%.1fus)",
+      Throughput(), static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(aborted), seconds,
+      static_cast<double>(latency_ns.Percentile(50)) * 1e-3,
+      static_cast<double>(latency_ns.Percentile(99)) * 1e-3,
+      static_cast<double>(latency_ns.Percentile(99.9)) * 1e-3);
   return buf;
 }
 
@@ -57,6 +63,154 @@ DriverResult WorkloadDriver::Run(int num_threads, double seconds,
   if (warmup_seconds > 0) {
     std::this_thread::sleep_for(
         std::chrono::duration<double>(warmup_seconds));
+  }
+  Timer run_timer;
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  phase.store(2, std::memory_order_release);
+  const double elapsed = run_timer.ElapsedSeconds();
+  for (auto& w : workers) w.join();
+
+  DriverResult result;
+  result.seconds = elapsed;
+  for (const auto& s : stats) {
+    result.committed += s.committed;
+    result.aborted += s.aborted;
+    result.latency_ns.Merge(s.latency);
+  }
+  return result;
+}
+
+DriverResult WorkloadDriver::RunAsyncPageOps(BufferManager* bm,
+                                             int num_threads, double seconds,
+                                             int ring_depth,
+                                             const PageOpFn& op_fn,
+                                             double warmup_seconds) {
+  // A Busy completion means transient pool/install contention (or miss
+  // admission rejecting an over-committed ring); a slot resubmits its op
+  // this many times before counting it aborted. Retries are paced by
+  // completion arrival — an instantly-rejected resubmission does not count
+  // as progress, so the worker falls through to PumpIo below instead of
+  // spinning on resubmits — which makes a generous budget cheap.
+  constexpr int kOpMaxRetries = 32;
+
+  struct Slot {
+    FetchTicket ticket;
+    PageOp op;
+    uint64_t start_ns = 0;
+    int retries = 0;
+    bool busy = false;
+  };
+  struct WorkerStats {
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    Histogram latency;
+  };
+
+  const int depth = std::max(1, ring_depth);
+  std::vector<WorkerStats> stats(static_cast<size_t>(num_threads));
+  std::atomic<int> phase{0};  // 0 = warmup, 1 = measure, 2 = stop
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(0xA51D0000ULL + static_cast<uint64_t>(t) * 7919);
+      WorkerStats& my = stats[static_cast<size_t>(t)];
+      std::vector<Slot> ring(static_cast<size_t>(depth));
+      // Mark this worker async-aware up front: simulated device waits on
+      // this thread (e.g. a stolen prefetch execution) sleep instead of
+      // spinning, letting the ring's other completions overlap.
+      (void)bm->PumpIo(/*may_sleep=*/true);
+
+      for (;;) {
+        const int ph = phase.load(std::memory_order_acquire);
+        bool progressed = false;
+        bool any_busy = false;
+        int harvested = 0;
+        // Once one submission this pass is rejected outright (miss
+        // admission: the ring overcommits the pool), every further miss
+        // this pass would be rejected too — stop submitting and let the
+        // pass fall through to PumpIo. Without this, each completion wakes
+        // every worker to re-try its whole ring, and the rejected churn
+        // monopolizes the CPU that completions need.
+        bool saturated = false;
+
+        for (Slot& s : ring) {
+          // Harvest.
+          if (s.busy && s.ticket.ready.load(std::memory_order_acquire)) {
+            if (s.ticket.status.ok()) {
+              s.ticket.guard.Release();
+              if (ph == 1) {
+                ++my.committed;
+                my.latency.Add(NowNanos() - s.start_ns);
+              }
+              s.busy = false;
+              progressed = true;
+              ++harvested;
+            } else if (s.ticket.status.IsBusy()) {
+              if (s.retries >= kOpMaxRetries) {
+                if (ph == 1) ++my.aborted;
+                s.busy = false;
+                progressed = true;
+                ++harvested;
+              } else if (!saturated) {
+                ++s.retries;
+                s.ticket.Reset();
+                // An instantly-Busy resubmission is NOT progress: counting
+                // it would keep the pass "productive" forever and starve
+                // the completion pump — the classic 1-core livelock.
+                if (bm->SubmitFetch(s.op.pid, s.op.intent, &s.ticket) !=
+                        FetchSubmit::kCompleted ||
+                    s.ticket.status.ok()) {
+                  progressed = true;
+                } else {
+                  saturated = true;
+                }
+              }
+              // Saturated: slot stays parked (ready, Busy) and is retried
+              // on a later pass; retries only count actual submissions.
+            } else {
+              if (ph == 1) ++my.aborted;
+              s.busy = false;
+              progressed = true;
+              ++harvested;
+            }
+          }
+          // Refill.
+          if (!s.busy && ph < 2 && !saturated) {
+            s.op = op_fn(rng);
+            s.retries = 0;
+            s.start_ns = NowNanos();
+            s.ticket.Reset();
+            if (bm->SubmitFetch(s.op.pid, s.op.intent, &s.ticket) !=
+                    FetchSubmit::kCompleted ||
+                s.ticket.status.ok()) {
+              progressed = true;
+            } else {
+              saturated = true;
+            }
+            s.busy = true;
+          }
+          any_busy |= s.busy;
+        }
+
+        if (ph >= 2 && !any_busy) break;  // drained
+        if (harvested == 0) {
+          // Nothing in the ring completed this pass, so the worker reaps
+          // completions itself (submit-and-reap, io_uring style) rather
+          // than relying on the background completion thread — on a small
+          // core count, N submitters spinning on instant hits would starve
+          // it. Sleep only if the pass also submitted nothing: the next
+          // event that can change the ring's state is a completion.
+          (void)bm->PumpIo(/*may_sleep=*/!progressed);
+        }
+      }
+    });
+  }
+
+  if (warmup_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(warmup_seconds));
   }
   Timer run_timer;
   phase.store(1, std::memory_order_release);

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "buffer/buffer_manager.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -29,6 +30,12 @@ struct DriverResult {
   std::string ToString() const;
 };
 
+// One page access for the asynchronous driver path below.
+struct PageOp {
+  page_id_t pid = 0;
+  AccessIntent intent = AccessIntent::kRead;
+};
+
 // Multi-threaded closed-loop workload driver: each worker repeatedly calls
 // `txn_fn` (one transaction per call) until the wall-clock duration ends.
 // `txn_fn` returns OK for commit and Aborted for a rolled-back conflict;
@@ -36,11 +43,27 @@ struct DriverResult {
 class WorkloadDriver {
  public:
   using TxnFn = std::function<Status(Xoshiro256&)>;
+  using PageOpFn = std::function<PageOp(Xoshiro256&)>;
 
   // Runs `txn_fn` on `num_threads` workers for `seconds`, after running it
   // for `warmup_seconds` without recording.
   static DriverResult Run(int num_threads, double seconds, const TxnFn& txn_fn,
                           double warmup_seconds = 0.0);
+
+  // Async-aware page-op driver: each worker keeps up to `ring_depth` fetch
+  // tickets in flight through BufferManager::SubmitFetch instead of
+  // blocking one miss at a time, harvesting completions from its ring and
+  // sleeping in PumpIo only when the ring is full with nothing ready.
+  // This is the path that converts device queue depth into throughput: a
+  // worker's misses overlap in the SSD's queues while it keeps submitting.
+  // Each harvested op counts as one committed "transaction"; latency is
+  // submit → completion. Busy completions are resubmitted a few times,
+  // then counted as aborted. `ring_depth` ≤ 1 degenerates to the blocking
+  // behavior of FetchPage (submit, then drain that one ticket).
+  static DriverResult RunAsyncPageOps(BufferManager* bm, int num_threads,
+                                      double seconds, int ring_depth,
+                                      const PageOpFn& op_fn,
+                                      double warmup_seconds = 0.0);
 };
 
 }  // namespace spitfire

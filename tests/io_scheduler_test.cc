@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -8,6 +9,7 @@
 
 #include "buffer/buffer_manager.h"
 #include "buffer/page.h"
+#include "common/random.h"
 #include "storage/io_scheduler.h"
 #include "storage/perf_model.h"
 #include "storage/ssd_device.h"
@@ -268,6 +270,187 @@ TEST_F(IoSchedulerTest, SequentialMissesTriggerReadAhead) {
   ASSERT_TRUE(g.ReadAt(kPageHeaderSize, sizeof(v), &v).ok());
   EXPECT_EQ(v, Stamp(2));
   EXPECT_EQ(ssd_->stats().num_reads.load(), reads_before);
+}
+
+// --- Asynchronous miss path: descriptor state machine ----------------------
+
+// A submitted miss leaves the worker in control (kQueuedLeader), and the
+// continuation fires exactly once: one miss submit, one device read, one
+// ready transition, bytes correct.
+TEST_F(IoSchedulerTest, AsyncSubmitFiresContinuationExactlyOnce) {
+  SeedColdPages(4);
+  BufferManagerOptions opt;
+  opt.dram_frames = 8;
+  opt.nvm_frames = 0;
+  opt.policy = MigrationPolicy::Eager();
+  opt.ssd = ssd_.get();
+  BufferManager bm(opt);
+  bm.SetNextPageId(4);
+
+  // ~12 ms per read: the submission returns long before completion.
+  LatencySimulator::SetScale(1000.0);
+  FetchTicket t;
+  const FetchSubmit s = bm.SubmitFetch(2, AccessIntent::kRead, &t);
+  ASSERT_EQ(s, FetchSubmit::kQueuedLeader);
+  EXPECT_FALSE(t.ready.load(std::memory_order_acquire));
+
+  while (!t.ready.load(std::memory_order_acquire)) {
+    bm.PumpIo(/*may_sleep=*/false);
+  }
+  LatencySimulator::SetScale(0.0);
+
+  ASSERT_TRUE(t.status.ok()) << t.status.ToString();
+  uint64_t v = 0;
+  ASSERT_TRUE(t.guard.ReadAt(kPageHeaderSize, sizeof(v), &v).ok());
+  EXPECT_EQ(v, Stamp(2));
+  EXPECT_EQ(ssd_->stats().num_reads.load(), 1u);
+  const auto snap = bm.stats().Snapshot();
+  EXPECT_EQ(snap.miss_submits, 1u);
+  EXPECT_EQ(snap.miss_joins, 0u);
+
+  // Pumping again must not re-fire anything into the (completed) ticket.
+  t.guard.Release();
+  bm.PumpIo(/*may_sleep=*/false);
+  EXPECT_EQ(bm.stats().Snapshot().miss_submits, 1u);
+}
+
+// N concurrent submitters on one cold page: exactly one leads, the rest
+// join the in-flight read or hit the installed copy — one device read,
+// every ticket completed with the same bytes.
+TEST_F(IoSchedulerTest, ConcurrentSubmitsJoinSingleFlight) {
+  SeedColdPages(4);
+  BufferManagerOptions opt;
+  opt.dram_frames = 8;
+  opt.nvm_frames = 8;
+  opt.policy = MigrationPolicy::Eager();
+  opt.ssd = ssd_.get();
+  BufferManager bm(opt);
+  bm.SetNextPageId(4);
+
+  LatencySimulator::SetScale(2000.0);
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::atomic<int> ok{0};
+  std::vector<std::thread> ths;
+  for (int i = 0; i < kThreads; ++i) {
+    ths.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      FetchTicket t;
+      (void)bm.SubmitFetch(2, AccessIntent::kRead, &t);
+      while (!t.ready.load(std::memory_order_acquire)) {
+        bm.PumpIo(/*may_sleep=*/false);
+      }
+      ASSERT_TRUE(t.status.ok()) << t.status.ToString();
+      uint64_t v = 0;
+      ASSERT_TRUE(t.guard.ReadAt(kPageHeaderSize, sizeof(v), &v).ok());
+      EXPECT_EQ(v, Stamp(2));
+      ok.fetch_add(1);
+    });
+  }
+  for (auto& th : ths) th.join();
+  LatencySimulator::SetScale(0.0);
+
+  EXPECT_EQ(ok.load(), kThreads);
+  EXPECT_EQ(ssd_->stats().num_reads.load(), 1u);
+  const auto snap = bm.stats().Snapshot();
+  EXPECT_EQ(snap.miss_submits, 1u);
+  // Everyone who did not lead either joined the flight or hit the
+  // installed copy; accounting must cover all eight fetches exactly once.
+  EXPECT_EQ(snap.dram_hits + snap.nvm_hits + snap.ssd_fetches,
+            static_cast<uint64_t>(kThreads));
+}
+
+// Destroying the buffer manager with submitted-but-unharvested tickets:
+// the scheduler's shutdown drain fires the leftover completions early and
+// the tear-down path must resolve every ticket (Busy, no guard) instead
+// of installing into freed pools — tickets safely outlive the manager.
+TEST_F(IoSchedulerTest, ShutdownResolvesInflightTickets) {
+  SeedColdPages(16);
+  std::vector<FetchTicket> tickets(6);
+  {
+    BufferManagerOptions opt;
+    opt.dram_frames = 16;
+    opt.nvm_frames = 0;
+    opt.policy = MigrationPolicy::Eager();
+    opt.ssd = ssd_.get();
+    BufferManager bm(opt);
+    bm.SetNextPageId(16);
+
+    // ~24 ms per read, and strided pids so read-ahead stays unarmed: the
+    // destructor runs long before any flight's deadline.
+    LatencySimulator::SetScale(2000.0);
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      (void)bm.SubmitFetch(static_cast<page_id_t>(i * 2), AccessIntent::kRead,
+                           &tickets[i]);
+    }
+    // bm destructs here with the reads still in (simulated) flight.
+  }
+  LatencySimulator::SetScale(0.0);
+  for (auto& t : tickets) {
+    EXPECT_TRUE(t.ready.load(std::memory_order_acquire));
+    // Installing during tear-down would hand out guards that dangle once
+    // the pools are freed; the contract fails the ticket instead.
+    EXPECT_TRUE(t.status.IsBusy()) << t.status.ToString();
+    EXPECT_FALSE(t.guard.valid());
+  }
+}
+
+// A read-ahead window install racing synchronous waiters on the same
+// pages: scanners chase a sequential front (arming prefetch) while a
+// second thread fetches pages inside the upcoming window. Every fetch
+// must return the page's own bytes regardless of who installed it.
+TEST_F(IoSchedulerTest, ReadAheadInstallRacesSynchronousWaiter) {
+  constexpr int kPages = 64;
+  SeedColdPages(kPages);
+  BufferManagerOptions opt;
+  opt.dram_frames = 96;
+  opt.nvm_frames = 0;
+  opt.policy = MigrationPolicy::Eager();
+  opt.ssd = ssd_.get();
+  opt.io_scheduler.read_ahead_pages = 8;
+  BufferManager bm(opt);
+  bm.SetNextPageId(kPages);
+
+  LatencySimulator::SetScale(50.0);
+  std::atomic<int> front{0};
+  std::atomic<int> errors{0};
+  std::thread scanner([&] {
+    for (int pid = 0; pid < kPages; ++pid) {
+      auto r = bm.FetchPage(pid, AccessIntent::kRead);
+      if (!r.ok()) {
+        errors.fetch_add(1);
+        continue;
+      }
+      uint64_t v = 0;
+      if (!r.value().ReadAt(kPageHeaderSize, sizeof(v), &v).ok() ||
+          v != Stamp(pid)) {
+        errors.fetch_add(1);
+      }
+      front.store(pid, std::memory_order_release);
+    }
+  });
+  std::thread chaser([&] {
+    Xoshiro256 rng(42);
+    while (front.load(std::memory_order_acquire) < kPages - 1) {
+      // Aim just ahead of the scan front — where read-ahead installs land.
+      const int base = front.load(std::memory_order_acquire);
+      const page_id_t pid = static_cast<page_id_t>(
+          std::min<int>(base + 1 + static_cast<int>(rng.NextUint64(8)),
+                        kPages - 1));
+      auto r = bm.FetchPage(pid, AccessIntent::kRead);
+      if (!r.ok()) continue;  // Busy under churn is legal; wrong bytes are not
+      uint64_t v = 0;
+      if (!r.value().ReadAt(kPageHeaderSize, sizeof(v), &v).ok() ||
+          v != Stamp(pid)) {
+        errors.fetch_add(1);
+      }
+    }
+  });
+  scanner.join();
+  chaser.join();
+  LatencySimulator::SetScale(0.0);
+  EXPECT_EQ(errors.load(), 0);
 }
 
 // The scheduler-off configuration is the seed behavior; everything must

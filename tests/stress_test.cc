@@ -307,5 +307,147 @@ TEST_F(StressTest, ConcurrentPinEvictAccounting) {
   }
 }
 
+// Asynchronous submit/complete racing blocking fetches and eviction on a
+// pool far smaller than the working set: ring workers keep several misses
+// in flight per thread while blocking writers churn frames, so installs,
+// joins, re-dispatches, and evictions collide on the same descriptors.
+// Accounting must stay exact and every byte must come back correct.
+TEST_F(StressTest, AsyncSubmitCompleteEvictRace) {
+  SsdDevice ssd(128ull * 1024 * 1024);
+  BufferManagerOptions opt;
+  opt.dram_frames = 8;
+  opt.nvm_frames = 8;
+  opt.policy = MigrationPolicy::Eager();
+  opt.ssd = &ssd;
+  BufferManager bm(opt);
+  ASSERT_NE(bm.io_scheduler(), nullptr);
+
+  constexpr int kPages = 128;
+  std::vector<page_id_t> pids;
+  for (int i = 0; i < kPages; ++i) {
+    auto r = bm.NewPage();
+    ASSERT_TRUE(r.ok());
+    PageGuard g = r.MoveValue();
+    const uint64_t v = g.pid() ^ 0xA51Cull;
+    ASSERT_TRUE(g.WriteAt(64, sizeof(v), &v).ok());
+    pids.push_back(g.pid());
+  }
+  bm.stats().Reset();
+
+  // Small but nonzero device latency so misses genuinely overlap.
+  LatencySimulator::SetScale(10.0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::atomic<uint64_t> ground_truth_fetches{0};
+  std::vector<std::thread> workers;
+
+  // Two ring workers: up to 4 async fetches in flight each.
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&, t] {
+      constexpr int kRing = 4;
+      Xoshiro256 rng(t * 733 + 11);
+      FetchTicket ring[kRing];
+      page_id_t in_flight[kRing];
+      bool busy[kRing] = {false, false, false, false};
+      uint64_t my_fetches = 0;
+      auto harvest = [&](int i) {
+        if (!busy[i] || !ring[i].ready.load(std::memory_order_acquire)) {
+          return false;
+        }
+        if (ring[i].status.ok()) {
+          ++my_fetches;
+          uint64_t v = 0;
+          if (!ring[i].guard.ReadAt(64, sizeof(v), &v).ok() ||
+              v != (in_flight[i] ^ 0xA51Cull)) {
+            errors.fetch_add(1);
+          }
+          ring[i].guard.Release();
+        } else if (!ring[i].status.IsBusy()) {
+          errors.fetch_add(1);  // Busy under churn is legal, errors are not
+        }
+        busy[i] = false;
+        return true;
+      };
+      while (!stop.load(std::memory_order_relaxed)) {
+        bool progressed = false;
+        for (int i = 0; i < kRing; ++i) {
+          progressed |= harvest(i);
+          if (!busy[i]) {
+            in_flight[i] = pids[rng.NextUint64(pids.size())];
+            ring[i].Reset();
+            (void)bm.SubmitFetch(in_flight[i], AccessIntent::kRead, &ring[i]);
+            busy[i] = true;
+            progressed = true;
+          }
+        }
+        if (!progressed) bm.PumpIo(/*may_sleep=*/true);
+      }
+      // Drain the ring before the ticket storage goes out of scope.
+      for (bool any = true; any;) {
+        any = false;
+        for (int i = 0; i < kRing; ++i) {
+          harvest(i);
+          any |= busy[i];
+        }
+        if (any) bm.PumpIo(/*may_sleep=*/false);
+      }
+      ground_truth_fetches.fetch_add(my_fetches);
+    });
+  }
+  // Two blocking writers: dirty pages and force evict/write-back traffic.
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(t * 577 + 3);
+      uint64_t my_fetches = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const page_id_t pid = pids[rng.NextUint64(pids.size())];
+        auto r = bm.FetchPage(pid, AccessIntent::kWrite);
+        if (!r.ok()) {
+          if (!r.status().IsBusy()) errors.fetch_add(1);
+          continue;
+        }
+        ++my_fetches;
+        PageGuard g = r.MoveValue();
+        uint64_t v = 0;
+        if (!g.ReadAt(64, sizeof(v), &v).ok() || v != (pid ^ 0xA51Cull)) {
+          errors.fetch_add(1);
+        }
+        if (!g.WriteAt(512 + static_cast<size_t>(t) * 8, sizeof(v), &v)
+                 .ok()) {
+          errors.fetch_add(1);
+        }
+      }
+      ground_truth_fetches.fetch_add(my_fetches);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::seconds(6));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  LatencySimulator::SetScale(0.0);
+  EXPECT_EQ(errors.load(), 0);
+
+  // Exactly one of {dram_hits, nvm_hits, ssd_fetches} per completed fetch,
+  // across hits, leaders, joiners, and re-dispatched tickets alike.
+  const BufferStatsSnapshot snap = bm.stats().Snapshot();
+  EXPECT_EQ(snap.TotalFetches(), ground_truth_fetches.load());
+  EXPECT_GT(snap.miss_submits, 0u);
+
+  // All pins drained, all bytes intact.
+  for (page_id_t pid : pids) {
+    auto r = bm.FetchPage(pid, AccessIntent::kRead);
+    ASSERT_TRUE(r.ok());
+    PageGuard g = r.MoveValue();
+    SharedPageDescriptor* d = g.descriptor();
+    uint64_t v = 0;
+    ASSERT_TRUE(g.ReadAt(64, sizeof(v), &v).ok());
+    EXPECT_EQ(v, pid ^ 0xA51Cull);
+    g.Release();
+    EXPECT_EQ(d->dram.Pins(), 0u);
+    EXPECT_EQ(d->nvm.Pins(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace spitfire
