@@ -168,6 +168,12 @@ struct HierarchySpec {
   bool fine_grained = false;
   bool mini_pages = false;
   uint32_t granularity = 256;
+  // Replacement policy per tier and the hit-path sampling rate (the
+  // phase-change bench compares kClock vs kTwoQ head to head).
+  ReplacerKind dram_replacer = ReplacerKind::kClock;
+  ReplacerKind nvm_replacer = ReplacerKind::kClock;
+  uint32_t replacer_sample_rate = 8;
+  bool background_writer = false;
   // Memory mode (Figure 5): the "DRAM" buffer is NVM fronted by a
   // direct-mapped DRAM cache of dram_cache_mb.
   bool memory_mode = false;
@@ -187,6 +193,10 @@ inline Hierarchy MakeHierarchy(const HierarchySpec& spec) {
   opt.enable_fine_grained_loading = spec.fine_grained;
   opt.enable_mini_pages = spec.mini_pages;
   opt.load_granularity = spec.granularity;
+  opt.dram_replacer = spec.dram_replacer;
+  opt.nvm_replacer = spec.nvm_replacer;
+  opt.replacer_sample_rate = spec.replacer_sample_rate;
+  opt.enable_background_writer = spec.background_writer;
   opt.ssd = h.ssd.get();
   if (spec.memory_mode) {
     const uint64_t backing = BufferPool::RequiredCapacity(
@@ -325,7 +335,14 @@ class JsonLine {
   }
   JsonLine& Num(const char* key, double v) {
     char tmp[64];
-    std::snprintf(tmp, sizeof(tmp), "%.1f", v);
+    // %.1f keeps big throughput numbers diff-friendly, but collapses
+    // small config values (0.05 would print as "0.1"); small magnitudes
+    // get significant digits instead.
+    if (v < 10.0 && v > -10.0) {
+      std::snprintf(tmp, sizeof(tmp), "%.4g", v);
+    } else {
+      std::snprintf(tmp, sizeof(tmp), "%.1f", v);
+    }
     Key(key);
     buf_ += tmp;
     return *this;
@@ -339,6 +356,12 @@ class JsonLine {
   }
   JsonLine& Num(const char* key, int v) {
     return Num(key, static_cast<uint64_t>(v));
+  }
+  // Pre-rendered JSON value (e.g. an array of slice throughputs).
+  JsonLine& Raw(const char* key, const std::string& v) {
+    Key(key);
+    buf_ += v;
+    return *this;
   }
   void Print() { std::printf("{%s}\n", buf_.c_str()); }
 

@@ -53,6 +53,11 @@ size_t BackgroundWriter::ReplenishPool(bool dram) {
   const size_t high =
       std::min(pool->num_frames(), std::max<size_t>(1, low_watermark_) * 2);
   size_t reclaimed = 0;
+  // Victim choice is delegated to the pool's Replacer (EvictOne*Frame →
+  // PickVictim with a 1-round probe budget), never a raw clock hand: under
+  // the scan-resistant policy a scan-heavy phase refills the free list
+  // from the probationary FIFO (the scan's own first-touch pages) and the
+  // cooling stage, so the writer cannot strip the protected segment.
   // Bound the sweep so a pool where everything is pinned cannot spin the
   // writer forever; the next timer tick or nudge retries.
   const size_t max_attempts = high * 4 + 16;

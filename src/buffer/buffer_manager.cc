@@ -88,9 +88,10 @@ BufferManager::BufferManager(const BufferManagerOptions& options)
           options_.nvm_frames, /*persistent_frame_table=*/true));
       nvm_ = owned_nvm_.get();
     }
-    nvm_pool_ = std::make_unique<BufferPool>(Tier::kNvm, nvm_,
-                                             options_.nvm_frames,
-                                             /*persistent_frame_table=*/true);
+    nvm_pool_ = std::make_unique<BufferPool>(
+        BufferPoolConfig{Tier::kNvm, nvm_, options_.nvm_frames,
+                         /*persistent_frame_table=*/true,
+                         options_.nvm_replacer});
     if (options_.nvm_admission == NvmAdmissionMode::kAdmissionQueue) {
       size_t cap = options_.admission_queue_capacity;
       if (cap == 0) cap = std::max<size_t>(1, options_.nvm_frames / 2);
@@ -107,8 +108,9 @@ BufferManager::BufferManager(const BufferManagerOptions& options)
       dram_backing_ = owned_dram_.get();
     }
     dram_pool_ = std::make_unique<BufferPool>(
-        Tier::kDram, dram_backing_, options_.dram_frames,
-        /*persistent_frame_table=*/false);
+        BufferPoolConfig{Tier::kDram, dram_backing_, options_.dram_frames,
+                         /*persistent_frame_table=*/false,
+                         options_.dram_replacer});
 
     if (options_.enable_mini_pages && nvm_pool_ != nullptr) {
       size_t host = options_.mini_host_frames;
@@ -123,7 +125,8 @@ BufferManager::BufferManager(const BufferManagerOptions& options)
       mini_.capacity = mini_.host_frames.size() * mini_.per_frame;
       if (mini_.capacity > 0) {
         mini_.free_list = std::make_unique<MpmcQueue<uint32_t>>(mini_.capacity);
-        mini_.replacer = std::make_unique<ClockReplacer>(mini_.capacity);
+        mini_.replacer =
+            Replacer::Create(ReplacerKind::kClock, mini_.capacity);
         mini_.owners = std::vector<std::atomic<SharedPageDescriptor*>>(
             mini_.capacity);
         for (uint32_t m = 0; m < mini_.capacity; ++m) {
@@ -195,22 +198,27 @@ bool BufferManager::TryPinDram(SharedPageDescriptor* d) {
   // it on every hit restores the very contention the latch-free pin
   // removed. Misses are recorded exactly at install time.
   if (ShouldSampleAccess()) {
+    stats_.Add(BufferCounter::kReplacerSampled);
     if (m == DramMode::kMini) {
       // `mini_id` may be stale if a concurrent overflow promoted the page
       // to a full frame; a stray reference bit on a freed slot is benign.
       mini_.replacer->RecordAccess(d->mini_id.load(std::memory_order_relaxed));
     } else {
-      dram_pool_->replacer().RecordAccess(
+      dram_pool_->ReplacerRecordAccess(
           d->dram.frame.load(std::memory_order_relaxed));
     }
   }
+  // No counter on the suppressed branch: an extra per-hit atomic here costs
+  // ~10% of pure hit throughput. Snapshot() derives suppressed counts as
+  // hits - sampled.
   return true;
 }
 
 bool BufferManager::TryPinNvm(SharedPageDescriptor* d) {
   if (d->nvm.TryPin() == DramMode::kNone) return false;
   if (ShouldSampleAccess()) {
-    nvm_pool_->replacer().RecordAccess(
+    stats_.Add(BufferCounter::kReplacerSampled);
+    nvm_pool_->ReplacerRecordAccess(
         d->nvm.frame.load(std::memory_order_relaxed));
   }
   return true;
@@ -383,6 +391,11 @@ FetchSubmit BufferManager::SubmitFetch(page_id_t pid, AccessIntent intent,
                                        FetchTicket* t) {
   t->pid = pid;
   t->intent = intent;
+  // Write-intent share of the fetch stream; the online tuner reads this
+  // (with the hit/migration counters) as its workload-mix signature.
+  if (intent == AccessIntent::kWrite) {
+    stats_.Add(BufferCounter::kWriteFetches);
+  }
   if (pid >= next_page_id_.load(std::memory_order_relaxed)) {
     FinishTicket(t, Status::InvalidArgument("fetch of unallocated page"));
     return FetchSubmit::kCompleted;
@@ -647,7 +660,7 @@ Result<PageGuard> BufferManager::NewPage(uint32_t page_type) {
       d->dram.frame.store(f, std::memory_order_relaxed);
       d->dram.dirty.store(true, std::memory_order_relaxed);
       d->dram.Publish(DramMode::kFull, /*initial_pins=*/1);
-      dram_pool_->replacer().RecordAccess(f);
+      dram_pool_->ReplacerRecordInstall(f);
       return PageGuard(this, d, Tier::kDram);
     }
   }
@@ -661,7 +674,7 @@ Result<PageGuard> BufferManager::NewPage(uint32_t page_type) {
       d->nvm.frame.store(f, std::memory_order_relaxed);
       d->nvm.dirty.store(true, std::memory_order_relaxed);
       d->nvm.Publish(DramMode::kFull, /*initial_pins=*/1);
-      nvm_pool_->replacer().RecordAccess(f);
+      nvm_pool_->ReplacerRecordInstall(f);
       return PageGuard(this, d, Tier::kNvm);
     }
   }
@@ -727,7 +740,7 @@ Result<PageGuard> BufferManager::InstallPinned(SharedPageDescriptor* d,
       d->nvm.frame.store(f, std::memory_order_relaxed);
       d->nvm.dirty.store(false, std::memory_order_relaxed);
       d->nvm.Publish(DramMode::kFull, /*initial_pins=*/1);
-      nvm_pool_->replacer().RecordAccess(f);
+      nvm_pool_->ReplacerRecordInstall(f);
       stats_.Add(BufferCounter::kSsdFetches);
       stats_.Add(BufferCounter::kNvmInstalls);
       return PageGuard(this, d, Tier::kNvm);
@@ -748,7 +761,7 @@ Result<PageGuard> BufferManager::InstallPinned(SharedPageDescriptor* d,
         d->nvm.frame.store(nf, std::memory_order_relaxed);
         d->nvm.dirty.store(false, std::memory_order_relaxed);
         d->nvm.Publish(DramMode::kFull, /*initial_pins=*/1);
-        nvm_pool_->replacer().RecordAccess(nf);
+        nvm_pool_->ReplacerRecordInstall(nf);
         stats_.Add(BufferCounter::kSsdFetches);
         stats_.Add(BufferCounter::kNvmInstalls);
         return PageGuard(this, d, Tier::kNvm);
@@ -763,7 +776,7 @@ Result<PageGuard> BufferManager::InstallPinned(SharedPageDescriptor* d,
   d->dram.frame.store(f, std::memory_order_relaxed);
   d->dram.dirty.store(false, std::memory_order_relaxed);
   d->dram.Publish(DramMode::kFull, /*initial_pins=*/1);
-  dram_pool_->replacer().RecordAccess(f);
+  dram_pool_->ReplacerRecordInstall(f);
   stats_.Add(BufferCounter::kSsdFetches);
   return PageGuard(this, d, Tier::kDram);
 }
@@ -945,7 +958,7 @@ void BufferManager::InstallPrefetched(page_id_t pid, const std::byte* src,
       d->nvm.frame.store(f, std::memory_order_relaxed);
       d->nvm.dirty.store(false, std::memory_order_relaxed);
       d->nvm.Publish(DramMode::kFull, /*initial_pins=*/0);
-      nvm_pool_->replacer().RecordAccess(f);
+      nvm_pool_->ReplacerRecordInstall(f);
     } else {
       if (dram_pool_ == nullptr) return;
       frame_id_t f;
@@ -960,7 +973,7 @@ void BufferManager::InstallPrefetched(page_id_t pid, const std::byte* src,
       d->dram.frame.store(f, std::memory_order_relaxed);
       d->dram.dirty.store(false, std::memory_order_relaxed);
       d->dram.Publish(DramMode::kFull, /*initial_pins=*/0);
-      dram_pool_->replacer().RecordAccess(f);
+      dram_pool_->ReplacerRecordInstall(f);
     }
     stats_.Add(BufferCounter::kReadAheadInstalls);
   }();
@@ -1008,7 +1021,7 @@ Status BufferManager::PromoteToDram(SharedPageDescriptor* d) {
       d->dram.dirty.store(false, std::memory_order_relaxed);
       d->dram.Publish(DramMode::kMini, 0);
       d->nvm.Publish(DramMode::kFull, 0);
-      mini_.replacer->RecordAccess(m);
+      mini_.replacer->RecordInstall(m);
       stats_.Add(BufferCounter::kMiniPageAdmits);
       stats_.Add(BufferCounter::kPromotions);
       return Status::OK();
@@ -1043,7 +1056,7 @@ Status BufferManager::PromoteToDram(SharedPageDescriptor* d) {
     d->dram.Publish(DramMode::kFull, 0);
   }
   d->nvm.Publish(DramMode::kFull, 0);
-  dram_pool_->replacer().RecordAccess(f);
+  dram_pool_->ReplacerRecordInstall(f);
   stats_.Add(BufferCounter::kPromotions);
   return Status::OK();
 }
@@ -1057,7 +1070,7 @@ frame_id_t BufferManager::AcquireDramFrame() {
     frame_id_t f;
     if (dram_pool_->TryAllocateFrame(&f)) return f;
     if (attempt == 0 && bg_writer_ != nullptr) bg_writer_->Nudge();
-    dram_pool_->replacer().PickVictim(
+    dram_pool_->ReplacerPickVictim(
         [this](frame_id_t v) { return TryEvictDramFrame(v); });
   }
   return kInvalidFrameId;
@@ -1068,20 +1081,20 @@ frame_id_t BufferManager::AcquireNvmFrame() {
     frame_id_t f;
     if (nvm_pool_->TryAllocateFrame(&f)) return f;
     if (attempt == 0 && bg_writer_ != nullptr) bg_writer_->Nudge();
-    nvm_pool_->replacer().PickVictim(
+    nvm_pool_->ReplacerPickVictim(
         [this](frame_id_t v) { return TryEvictNvmFrame(v); });
   }
   return kInvalidFrameId;
 }
 
 frame_id_t BufferManager::EvictOneDramFrame() {
-  return dram_pool_->replacer().PickVictim(
+  return dram_pool_->ReplacerPickVictim(
       [this](frame_id_t v) { return TryEvictDramFrame(v); },
       /*max_rounds=*/1);
 }
 
 frame_id_t BufferManager::EvictOneNvmFrame() {
-  return nvm_pool_->replacer().PickVictim(
+  return nvm_pool_->ReplacerPickVictim(
       [this](frame_id_t v) { return TryEvictNvmFrame(v); },
       /*max_rounds=*/1);
 }
@@ -1202,7 +1215,7 @@ bool BufferManager::TryEvictDramFrame(frame_id_t f) {
         d->nvm.frame.store(nf, std::memory_order_relaxed);
         d->nvm.dirty.store(false, std::memory_order_relaxed);
         d->nvm.Publish(DramMode::kFull, 0);
-        nvm_pool_->replacer().RecordAccess(nf);
+        nvm_pool_->ReplacerRecordInstall(nf);
         stats_.Add(BufferCounter::kDemotionsToNvm);
       }
     }
@@ -1254,7 +1267,7 @@ bool BufferManager::TryEvictDramFrame(frame_id_t f) {
       d->nvm.frame.store(newf, std::memory_order_relaxed);
       d->nvm.dirty.store(true, std::memory_order_relaxed);
       d->nvm.Publish(DramMode::kFull, 0);
-      nvm_pool_->replacer().RecordAccess(newf);
+      nvm_pool_->ReplacerRecordInstall(newf);
       stats_.Add(BufferCounter::kDemotionsToNvm);
       wrote = true;
     }
@@ -1437,7 +1450,7 @@ Status BufferManager::PromoteMiniToFull(SharedPageDescriptor* d) {
   d->dram.frame.store(f, std::memory_order_relaxed);
   if (any_dirty) d->dram.dirty.store(true, std::memory_order_relaxed);
   d->dram.SwitchMode(DramMode::kFull);
-  dram_pool_->replacer().RecordAccess(f);
+  dram_pool_->ReplacerRecordInstall(f);
   mini_.owners[mini_id].store(nullptr, std::memory_order_release);
   while (!mini_.free_list->TryPush(mini_id)) __builtin_ia32_pause();
   stats_.Add(BufferCounter::kMiniPagePromotions);
@@ -1921,6 +1934,13 @@ size_t BufferManager::DramResidentPages() const {
         if (d->DramResident()) ++n;
       });
   return n;
+}
+
+bool BufferManager::IsDramResident(page_id_t pid) const {
+  SharedPageDescriptor* d = nullptr;
+  auto* self = const_cast<BufferManager*>(this);
+  if (!self->mapping_table_.Find(pid, &d)) return false;
+  return d->DramResident();
 }
 
 size_t BufferManager::NvmResidentPages() const {

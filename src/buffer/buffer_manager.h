@@ -56,6 +56,13 @@ struct BufferManagerOptions {
   // promotions, and new pages always record. 1 records every hit.
   uint32_t replacer_sample_rate = 8;
 
+  // Per-tier replacement policy (Replacer::Create). kClock is the PR 1
+  // behavior; kTwoQ adds scan resistance (probation FIFO + protected
+  // CLOCK + cooling stage). The mini-page region always runs CLOCK — its
+  // slots are sub-page and short-lived.
+  ReplacerKind dram_replacer = ReplacerKind::kClock;
+  ReplacerKind nvm_replacer = ReplacerKind::kClock;
+
   // Background writeback: a dedicated thread keeps each pool's free list
   // above a low watermark by proactively evicting (and writing back dirty)
   // CLOCK victims, so foreground misses rarely pay an inline SSD write.
@@ -278,6 +285,9 @@ class BufferManager {
   double InclusivityRatio() const;
   size_t DramResidentPages() const;
   size_t NvmResidentPages() const;
+  // Whether `pid` currently has a full DRAM frame (racy; tests/bench —
+  // the scan-resistance property test checks hot-set retention with it).
+  bool IsDramResident(page_id_t pid) const;
 
   page_id_t next_page_id() const {
     return next_page_id_.load(std::memory_order_relaxed);
@@ -308,7 +318,7 @@ class BufferManager {
     size_t capacity = 0;
     std::vector<frame_id_t> host_frames;
     std::unique_ptr<MpmcQueue<uint32_t>> free_list;
-    std::unique_ptr<ClockReplacer> replacer;
+    std::unique_ptr<Replacer> replacer;
     std::vector<std::atomic<SharedPageDescriptor*>> owners;
   };
 

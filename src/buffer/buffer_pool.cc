@@ -16,16 +16,26 @@ uint64_t BufferPool::RequiredCapacity(size_t num_frames,
 
 BufferPool::BufferPool(Tier tier, Device* device, size_t num_frames,
                        bool persistent_frame_table)
-    : tier_(tier),
-      device_(device),
-      num_frames_(num_frames),
-      persistent_frame_table_(persistent_frame_table),
-      free_list_(num_frames ? num_frames : 1),
-      replacer_(num_frames),
-      owners_(num_frames ? num_frames : 1),
-      in_free_list_(num_frames ? num_frames : 1) {
-  SPITFIRE_CHECK(device != nullptr);
-  SPITFIRE_CHECK(device->capacity() >=
+    : BufferPool(BufferPoolConfig{tier, device, num_frames,
+                                  persistent_frame_table,
+                                  ReplacerKind::kClock}) {}
+
+BufferPool::BufferPool(const BufferPoolConfig& config)
+    : tier_(config.tier),
+      device_(config.device),
+      num_frames_(config.num_frames),
+      persistent_frame_table_(config.persistent_frame_table),
+      free_list_(config.num_frames ? config.num_frames : 1),
+      replacer_(Replacer::Create(config.replacer, config.num_frames)),
+      owners_(config.num_frames ? config.num_frames : 1),
+      in_free_list_(config.num_frames ? config.num_frames : 1) {
+  if (replacer_->kind() == ReplacerKind::kClock) {
+    clock_ = static_cast<ClockReplacer*>(replacer_.get());
+  }
+  const size_t num_frames = num_frames_;
+  const bool persistent_frame_table = persistent_frame_table_;
+  SPITFIRE_CHECK(device_ != nullptr);
+  SPITFIRE_CHECK(device_->capacity() >=
                  RequiredCapacity(num_frames, persistent_frame_table));
   if (persistent_frame_table_) {
     frames_base_ = (num_frames * sizeof(page_id_t) + kPageSize - 1) /

@@ -7,6 +7,7 @@
 
 #include "buffer/clock_replacer.h"
 #include "buffer/page_descriptor.h"
+#include "buffer/replacer.h"
 #include "common/constants.h"
 #include "container/mpmc_queue.h"
 #include "storage/device.h"
@@ -22,8 +23,18 @@ namespace spitfire {
 // of the device: one page id per frame, updated and persisted whenever a
 // frame's owner changes. Recovery scans this table to rebuild the mapping
 // table after a crash (Section 5.2, "Recovery").
+struct BufferPoolConfig {
+  Tier tier = Tier::kDram;
+  Device* device = nullptr;
+  size_t num_frames = 0;
+  bool persistent_frame_table = false;
+  // Replacement policy for this tier (Replacer::Create).
+  ReplacerKind replacer = ReplacerKind::kClock;
+};
+
 class BufferPool {
  public:
+  explicit BufferPool(const BufferPoolConfig& config);
   BufferPool(Tier tier, Device* device, size_t num_frames,
              bool persistent_frame_table);
   SPITFIRE_DISALLOW_COPY_AND_MOVE(BufferPool);
@@ -73,7 +84,38 @@ class BufferPool {
     return owners_[f].load(std::memory_order_acquire);
   }
 
-  ClockReplacer& replacer() { return replacer_; }
+  Replacer& replacer() { return *replacer_; }
+
+  // Replacer forwarders with a monomorphic fast path for the default
+  // CLOCK policy. Virtual dispatch here costs more than it looks: the
+  // pre-interface code inlined the whole sweep loop (and the try_evict
+  // callback) into the eviction sites, and on the read-ahead install
+  // pipeline that inlining is worth several percent end to end. A pool
+  // running CLOCK calls the final class directly (everything in
+  // clock_replacer.h inlines again); any other policy pays the virtual
+  // call as before.
+  void ReplacerRecordAccess(frame_id_t f) {
+    if (clock_ != nullptr) {
+      clock_->RecordAccess(f);
+    } else {
+      replacer_->RecordAccess(f);
+    }
+  }
+  void ReplacerRecordInstall(frame_id_t f) {
+    if (clock_ != nullptr) {
+      clock_->RecordInstall(f);
+    } else {
+      replacer_->RecordInstall(f);
+    }
+  }
+  template <typename TryEvict>
+  frame_id_t ReplacerPickVictim(TryEvict&& try_evict, int max_rounds = 3) {
+    if (clock_ != nullptr) {
+      return clock_->ClockReplacer::PickVictim(
+          TryEvictRef(try_evict), max_rounds);
+    }
+    return replacer_->PickVictim(TryEvictRef(try_evict), max_rounds);
+  }
 
   // Space the frame region occupies on the device, including the frame
   // table if present.
@@ -97,7 +139,10 @@ class BufferPool {
 
   MpmcQueue<frame_id_t> free_list_;
   std::atomic<size_t> free_count_{0};
-  ClockReplacer replacer_;
+  std::unique_ptr<Replacer> replacer_;
+  // Non-null iff replacer_ is a ClockReplacer (set once at construction);
+  // enables the devirtualized fast path above.
+  ClockReplacer* clock_ = nullptr;
   std::vector<std::atomic<SharedPageDescriptor*>> owners_;
   // Guards against frame double-free bugs (one flag per frame).
   std::vector<std::atomic<bool>> in_free_list_;

@@ -1,4 +1,14 @@
 #include "buffer/clock_replacer.h"
 
-// ClockReplacer is header-only (the victim callback is a template); this
-// file anchors the translation unit.
+#include <cstdio>
+
+namespace spitfire {
+
+std::string ClockReplacer::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "clock: frames=%zu referenced=%zu",
+                num_frames_, ReferencedCount());
+  return buf;
+}
+
+}  // namespace spitfire

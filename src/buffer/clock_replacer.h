@@ -2,7 +2,9 @@
 #define SPITFIRE_BUFFER_CLOCK_REPLACER_H_
 
 #include <atomic>
+#include <string>
 
+#include "buffer/replacer.h"
 #include "common/constants.h"
 #include "container/concurrent_bitmap.h"
 
@@ -14,18 +16,21 @@ namespace spitfire {
 // frames with a set bit get a second chance (bit cleared); frames with a
 // clear bit are offered to the caller's try_evict callback, which attempts
 // the actual (latched) eviction and may refuse (pinned / latched / racing).
-class ClockReplacer {
+class ClockReplacer final : public Replacer {
  public:
   explicit ClockReplacer(size_t num_frames)
       : num_frames_(num_frames), ref_bits_(num_frames ? num_frames : 1) {}
   SPITFIRE_DISALLOW_COPY_AND_MOVE(ClockReplacer);
 
-  void RecordAccess(frame_id_t f) { ref_bits_.Set(f); }
+  using Replacer::PickVictim;
+
+  void RecordAccess(frame_id_t f) override { ref_bits_.Set(f); }
+  // CLOCK makes no first-touch distinction: an install counts as a hit.
+  void RecordInstall(frame_id_t f) override { ref_bits_.Set(f); }
 
   // Sweeps until try_evict succeeds or `max_rounds` full revolutions pass.
   // Returns the evicted frame id or kInvalidFrameId.
-  template <typename TryEvict>
-  frame_id_t PickVictim(TryEvict&& try_evict, int max_rounds = 3) {
+  frame_id_t PickVictim(TryEvictRef try_evict, int max_rounds) override {
     if (num_frames_ == 0) return kInvalidFrameId;
     const size_t limit = num_frames_ * static_cast<size_t>(max_rounds);
     for (size_t step = 0; step < limit; ++step) {
@@ -38,8 +43,10 @@ class ClockReplacer {
     return kInvalidFrameId;
   }
 
-  size_t num_frames() const { return num_frames_; }
-  size_t ReferencedCount() const { return ref_bits_.CountSet(); }
+  size_t num_frames() const override { return num_frames_; }
+  size_t ReferencedCount() const override { return ref_bits_.CountSet(); }
+  ReplacerKind kind() const override { return ReplacerKind::kClock; }
+  std::string DebugString() const override;
 
  private:
   const size_t num_frames_;

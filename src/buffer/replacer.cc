@@ -1,0 +1,31 @@
+#include "buffer/replacer.h"
+
+#include "buffer/clock_replacer.h"
+#include "buffer/twoq_replacer.h"
+#include "common/macros.h"
+
+namespace spitfire {
+
+const char* ReplacerKindName(ReplacerKind kind) {
+  switch (kind) {
+    case ReplacerKind::kClock:
+      return "clock";
+    case ReplacerKind::kTwoQ:
+      return "2q";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Replacer> Replacer::Create(ReplacerKind kind,
+                                           size_t num_frames) {
+  switch (kind) {
+    case ReplacerKind::kClock:
+      return std::make_unique<ClockReplacer>(num_frames);
+    case ReplacerKind::kTwoQ:
+      return std::make_unique<TwoQReplacer>(num_frames);
+  }
+  SPITFIRE_CHECK(false && "unknown ReplacerKind");
+  return nullptr;
+}
+
+}  // namespace spitfire

@@ -27,6 +27,8 @@ enum class BufferCounter : uint8_t {
   kReadAheadInstalls,   // pages prefetched by the I/O scheduler
   kMissSubmits,         // misses that led (submitted) a device read
   kMissJoins,           // misses that joined an already in-flight read
+  kReplacerSampled,     // hits forwarded to Replacer::RecordAccess
+  kWriteFetches,        // fetches submitted with write intent
   kNumCounters,
 };
 
@@ -48,6 +50,11 @@ struct BufferStatsSnapshot {
   uint64_t read_ahead_installs = 0;
   uint64_t miss_submits = 0;
   uint64_t miss_joins = 0;
+  uint64_t replacer_sampled = 0;
+  // Derived, not counted: hits the 1-in-N sampler dropped. Counting these
+  // per hit would put an atomic RMW back on the latch-free hit path.
+  uint64_t replacer_suppressed = 0;
+  uint64_t write_fetches = 0;
 
   // Every successful FetchPage increments exactly one of these three.
   uint64_t TotalFetches() const { return dram_hits + nvm_hits + ssd_fetches; }
@@ -59,7 +66,8 @@ struct BufferStatsSnapshot {
         "dram_hits=%llu nvm_hits=%llu ssd_fetches=%llu promotions=%llu "
         "dem_nvm=%llu dem_ssd=%llu nvm_installs=%llu nvm_evict=%llu "
         "dram_evict=%llu fg_loads=%llu mini_admits=%llu mini_promos=%llu "
-        "ra_installs=%llu miss_submits=%llu miss_joins=%llu",
+        "ra_installs=%llu miss_submits=%llu miss_joins=%llu "
+        "repl_sampled=%llu repl_suppressed=%llu write_fetches=%llu",
         (unsigned long long)dram_hits, (unsigned long long)nvm_hits,
         (unsigned long long)ssd_fetches, (unsigned long long)promotions,
         (unsigned long long)demotions_to_nvm,
@@ -70,7 +78,10 @@ struct BufferStatsSnapshot {
         (unsigned long long)mini_page_admits,
         (unsigned long long)mini_page_promotions,
         (unsigned long long)read_ahead_installs,
-        (unsigned long long)miss_submits, (unsigned long long)miss_joins);
+        (unsigned long long)miss_submits, (unsigned long long)miss_joins,
+        (unsigned long long)replacer_sampled,
+        (unsigned long long)replacer_suppressed,
+        (unsigned long long)write_fetches);
     return buf;
   }
 };
@@ -121,6 +132,15 @@ class BufferStats {
         sums[static_cast<size_t>(BufferCounter::kReadAheadInstalls)];
     snap.miss_submits = sums[static_cast<size_t>(BufferCounter::kMissSubmits)];
     snap.miss_joins = sums[static_cast<size_t>(BufferCounter::kMissJoins)];
+    snap.replacer_sampled =
+        sums[static_cast<size_t>(BufferCounter::kReplacerSampled)];
+    // Every DRAM/NVM hit either forwards to the replacer or is suppressed;
+    // derive the suppressed count instead of paying for it on the hit path.
+    const uint64_t hits = snap.dram_hits + snap.nvm_hits;
+    snap.replacer_suppressed =
+        hits > snap.replacer_sampled ? hits - snap.replacer_sampled : 0;
+    snap.write_fetches =
+        sums[static_cast<size_t>(BufferCounter::kWriteFetches)];
     return snap;
   }
 

@@ -1,0 +1,196 @@
+#include "buffer/twoq_replacer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace spitfire {
+
+TwoQReplacer::TwoQReplacer(size_t num_frames, Options options)
+    : num_frames_(num_frames),
+      cooling_target_(std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(num_frames) *
+                                 options.cooling_fraction))),
+      ref_bits_(num_frames ? num_frames : 1),
+      seg_(num_frames ? num_frames : 1),
+      in_prob_q_(num_frames ? num_frames : 1),
+      in_cool_q_(num_frames ? num_frames : 1) {
+  for (auto& s : seg_) s.store(kUntracked, std::memory_order_relaxed);
+  for (auto& f : in_prob_q_) f.store(false, std::memory_order_relaxed);
+  for (auto& f : in_cool_q_) f.store(false, std::memory_order_relaxed);
+}
+
+frame_id_t TwoQReplacer::Pop(Fifo* fifo,
+                             std::vector<std::atomic<bool>>* flags) {
+  SpinLatchGuard guard(fifo->latch);
+  if (fifo->q.empty()) return kInvalidFrameId;
+  const frame_id_t f = fifo->q.front();
+  fifo->q.pop_front();
+  fifo->size.store(fifo->q.size(), std::memory_order_relaxed);
+  // Clear the flag inside the latch so a concurrent Push for the same
+  // frame either sees the flag set (entry still queued) or enqueues after
+  // we are done — never both and never neither.
+  (*flags)[f].store(false, std::memory_order_relaxed);
+  return f;
+}
+
+void TwoQReplacer::Push(Fifo* fifo, std::vector<std::atomic<bool>>* flags,
+                        frame_id_t f) {
+  SpinLatchGuard guard(fifo->latch);
+  if ((*flags)[f].exchange(true, std::memory_order_relaxed)) return;
+  fifo->q.push_back(f);
+  fifo->size.store(fifo->q.size(), std::memory_order_relaxed);
+}
+
+void TwoQReplacer::RecordInstall(frame_id_t f) {
+  if (f >= num_frames_) return;
+  ref_bits_.Clear(f);
+  seg_[f].store(kProbation, std::memory_order_relaxed);
+  Push(&probation_, &in_prob_q_, f);
+}
+
+void TwoQReplacer::RecordAccess(frame_id_t f) {
+  if (f >= num_frames_) return;
+  const bool was_set = ref_bits_.TestAndSet(f);
+  uint8_t s = seg_[f].load(std::memory_order_relaxed);
+  if (s == kCooling) {
+    // Any access during the grace period reheats the frame. The stale
+    // cooling-queue entry is dropped when popped (segment mismatch).
+    if (seg_[f].compare_exchange_strong(s, kProtected,
+                                        std::memory_order_relaxed)) {
+      reheats_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (s == kProbation && was_set) {
+    // Second sampled access: the frame earned the protected segment. The
+    // stale probation entry is dropped when popped.
+    if (seg_[f].compare_exchange_strong(s, kProtected,
+                                        std::memory_order_relaxed)) {
+      promotions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+frame_id_t TwoQReplacer::EvictFromProbation(TryEvictRef try_evict) {
+  // Bounded by the queue length at entry: each entry is handled at most
+  // once per call (stale entries are dropped, refused victims requeued).
+  size_t budget = probation_.size.load(std::memory_order_relaxed);
+  while (budget-- > 0) {
+    const frame_id_t f = Pop(&probation_, &in_prob_q_);
+    if (f == kInvalidFrameId) return kInvalidFrameId;
+    if (seg_[f].load(std::memory_order_relaxed) != kProbation) {
+      continue;  // promoted or reinstalled since it was queued
+    }
+    if (try_evict(f)) {
+      // Deliberately no segment write here: the frame is already free and
+      // may be reinstalled by another thread before we run again;
+      // RecordInstall owns the reset.
+      evict_probation_.fetch_add(1, std::memory_order_relaxed);
+      return f;
+    }
+    Push(&probation_, &in_prob_q_, f);  // pinned/racing: back of the line
+  }
+  return kInvalidFrameId;
+}
+
+frame_id_t TwoQReplacer::EvictFromCooling(TryEvictRef try_evict) {
+  const frame_id_t f = Pop(&cooling_, &in_cool_q_);
+  if (f == kInvalidFrameId) return kInvalidFrameId;
+  uint8_t s = seg_[f].load(std::memory_order_relaxed);
+  if (s != kCooling) return kInvalidFrameId;  // reheated or reinstalled
+  if (ref_bits_.TestAndClear(f)) {
+    // Accessed since demotion but RecordAccess lost the CAS or the access
+    // predates the demotion sweep: treat it as a reheat.
+    if (seg_[f].compare_exchange_strong(s, kProtected,
+                                        std::memory_order_relaxed)) {
+      reheats_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return kInvalidFrameId;
+  }
+  if (try_evict(f)) {
+    evict_cooling_.fetch_add(1, std::memory_order_relaxed);
+    return f;
+  }
+  Push(&cooling_, &in_cool_q_, f);
+  return kInvalidFrameId;
+}
+
+frame_id_t TwoQReplacer::PickVictim(TryEvictRef try_evict, int max_rounds) {
+  if (num_frames_ == 0) return kInvalidFrameId;
+
+  // 1. Probation FIFO: scans evict their own first-touch pages first.
+  frame_id_t victim = EvictFromProbation(try_evict);
+  if (victim != kInvalidFrameId) return victim;
+
+  // 2. Protected clock sweep. Ref-set frames get a second chance,
+  //    ref-clear frames demote to cooling; whenever cooling runs over its
+  //    target the head is drained (reheat-or-evict).
+  const size_t limit = num_frames_ * static_cast<size_t>(max_rounds);
+  for (size_t step = 0; step < limit; ++step) {
+    if (cooling_.size.load(std::memory_order_relaxed) > cooling_target_) {
+      victim = EvictFromCooling(try_evict);
+      if (victim != kInvalidFrameId) return victim;
+    }
+    const size_t pos =
+        hand_.fetch_add(1, std::memory_order_relaxed) % num_frames_;
+    const frame_id_t f = static_cast<frame_id_t>(pos);
+    uint8_t s = seg_[f].load(std::memory_order_relaxed);
+    switch (s) {
+      case kProtected:
+        if (ref_bits_.TestAndClear(f)) break;  // second chance
+        if (seg_[f].compare_exchange_strong(s, kCooling,
+                                            std::memory_order_relaxed)) {
+          demotions_.fetch_add(1, std::memory_order_relaxed);
+          Push(&cooling_, &in_cool_q_, f);
+        }
+        break;
+      case kProbation:
+        // Self-heal: a pop/install race can leave a probation frame with
+        // no queue entry; adopt it so it cannot be stranded.
+        if (!in_prob_q_[f].load(std::memory_order_relaxed)) {
+          Push(&probation_, &in_prob_q_, f);
+        }
+        break;
+      case kCooling:
+        if (!in_cool_q_[f].load(std::memory_order_relaxed)) {
+          Push(&cooling_, &in_cool_q_, f);
+        }
+        break;
+      default:
+        break;  // untracked (free)
+    }
+  }
+
+  // 3. Out of sweep budget: drain cooling below target, then retry
+  //    probation once (the sweep may have adopted strays).
+  size_t drain = cooling_.size.load(std::memory_order_relaxed);
+  while (drain-- > 0) {
+    victim = EvictFromCooling(try_evict);
+    if (victim != kInvalidFrameId) return victim;
+  }
+  return EvictFromProbation(try_evict);
+}
+
+size_t TwoQReplacer::CountSeg(uint8_t s) const {
+  size_t n = 0;
+  for (size_t i = 0; i < num_frames_; ++i) {
+    if (seg_[i].load(std::memory_order_relaxed) == s) ++n;
+  }
+  return n;
+}
+
+std::string TwoQReplacer::DebugString() const {
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      "2q: frames=%zu prob=%zu prot=%zu cool=%zu (target %zu) "
+      "promote=%llu reheat=%llu demote=%llu evict[prob=%llu cool=%llu]",
+      num_frames_, ProbationCount(), ProtectedCount(), CoolingCount(),
+      cooling_target_,
+      static_cast<unsigned long long>(promotions()),
+      static_cast<unsigned long long>(reheats()),
+      static_cast<unsigned long long>(demotions()),
+      static_cast<unsigned long long>(probation_evictions()),
+      static_cast<unsigned long long>(cooling_evictions()));
+  return buf;
+}
+
+}  // namespace spitfire

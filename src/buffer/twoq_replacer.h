@@ -1,0 +1,148 @@
+#ifndef SPITFIRE_BUFFER_TWOQ_REPLACER_H_
+#define SPITFIRE_BUFFER_TWOQ_REPLACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "buffer/replacer.h"
+#include "common/constants.h"
+#include "container/concurrent_bitmap.h"
+#include "sync/spin_latch.h"
+
+namespace spitfire {
+
+// Scan-resistant 2Q/cooling replacement (2Q [Johnson & Shasha, VLDB '94]
+// crossed with LeanStore's cooling stage — SNIPPETS.md Snippet 3).
+//
+// Every frame is in one of four segments:
+//
+//   untracked --install--> probation --2nd sampled access--> protected
+//                              |                                 |
+//                              | FIFO eviction        clock sweep, ref
+//                              v                      bit clear: demote
+//                           evicted <--grace expires-- cooling
+//                                                         ^  |
+//                                                         +--+ any access
+//                                                          reheats
+//
+//  - Probation (2Q's A1): first-touch frames in a FIFO. A table scan
+//    streams through here and evicts only its own pages; it cannot displace
+//    the protected segment. A frame is promoted only when a second sampled
+//    access lands while its reference bit is already set — at the default
+//    sample rate of 8 that is roughly 16 raw hits, so at most 1/rate of
+//    scan pages ever reach protected by accident.
+//  - Protected (2Q's Am): a CLOCK over re-referenced frames. The sweep
+//    gives ref-set frames a second chance and demotes ref-clear frames to
+//    cooling instead of evicting them outright.
+//  - Cooling: a FIFO grace stage sized ~10% of the pool (LeanStore's
+//    cooling stage; in a pointer-swizzling design this is where candidates
+//    are unswizzled). Any access during the grace period reheats the frame
+//    back to protected; frames that reach the head cold are evicted.
+//
+// Eviction order: probation FIFO first, then cooling overflow while the
+// protected sweep refills it, then a full cooling drain. The policy only
+// nominates victims — the caller's try_evict performs the actual latched
+// eviction and may refuse.
+//
+// Concurrency: segment tags and reference bits are relaxed atomics (they
+// are heuristics; eviction correctness comes from try_evict's latches).
+// The two FIFOs are spin-latched deques with a per-frame in-queue flag so
+// a frame has at most one entry per queue; entries are validated against
+// the segment tag when popped, so stale entries (promoted, reheated, or
+// reinstalled frames) are dropped lazily. The sweep adopts any frame whose
+// segment says probation/cooling but whose queue flag is clear, so no
+// frame can be stranded untracked by a pop/install race.
+class TwoQReplacer final : public Replacer {
+ public:
+  struct Options {
+    // Fraction of the pool the cooling stage targets (minimum 1 frame).
+    double cooling_fraction = 0.10;
+  };
+
+  explicit TwoQReplacer(size_t num_frames) : TwoQReplacer(num_frames, {}) {}
+  TwoQReplacer(size_t num_frames, Options options);
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(TwoQReplacer);
+
+  using Replacer::PickVictim;
+
+  void RecordAccess(frame_id_t f) override;
+  void RecordInstall(frame_id_t f) override;
+  frame_id_t PickVictim(TryEvictRef try_evict, int max_rounds) override;
+
+  size_t num_frames() const override { return num_frames_; }
+  size_t ReferencedCount() const override { return ref_bits_.CountSet(); }
+  ReplacerKind kind() const override { return ReplacerKind::kTwoQ; }
+  std::string DebugString() const override;
+
+  // Segment census (linear scans; tests/bench only).
+  size_t ProbationCount() const { return CountSeg(kProbation); }
+  size_t ProtectedCount() const { return CountSeg(kProtected); }
+  size_t CoolingCount() const { return CountSeg(kCooling); }
+
+  uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t reheats() const {
+    return reheats_.load(std::memory_order_relaxed);
+  }
+  uint64_t demotions() const {
+    return demotions_.load(std::memory_order_relaxed);
+  }
+  uint64_t probation_evictions() const {
+    return evict_probation_.load(std::memory_order_relaxed);
+  }
+  uint64_t cooling_evictions() const {
+    return evict_cooling_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum Seg : uint8_t {
+    kUntracked = 0,
+    kProbation = 1,
+    kProtected = 2,
+    kCooling = 3,
+  };
+
+  struct Fifo {
+    SpinLatch latch;
+    std::deque<frame_id_t> q;
+    std::atomic<size_t> size{0};
+  };
+
+  // Pops the head; returns kInvalidFrameId when empty. Clears the frame's
+  // in-queue flag inside the latch.
+  frame_id_t Pop(Fifo* fifo, std::vector<std::atomic<bool>>* flags);
+  // Enqueues f unless its flag says it already has an entry.
+  void Push(Fifo* fifo, std::vector<std::atomic<bool>>* flags, frame_id_t f);
+
+  // One probation-FIFO eviction attempt pass. Returns victim or invalid.
+  frame_id_t EvictFromProbation(TryEvictRef try_evict);
+  // One cooling-head handling step: drop stale entries, reheat ref-set
+  // frames, offer cold frames to try_evict. Returns victim or invalid.
+  frame_id_t EvictFromCooling(TryEvictRef try_evict);
+
+  size_t CountSeg(uint8_t s) const;
+
+  const size_t num_frames_;
+  const size_t cooling_target_;
+  ConcurrentBitmap ref_bits_;
+  std::vector<std::atomic<uint8_t>> seg_;
+  std::vector<std::atomic<bool>> in_prob_q_;
+  std::vector<std::atomic<bool>> in_cool_q_;
+  Fifo probation_;
+  Fifo cooling_;
+  std::atomic<size_t> hand_{0};
+
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> reheats_{0};
+  std::atomic<uint64_t> demotions_{0};
+  std::atomic<uint64_t> evict_probation_{0};
+  std::atomic<uint64_t> evict_cooling_{0};
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_BUFFER_TWOQ_REPLACER_H_

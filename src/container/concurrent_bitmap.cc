@@ -32,6 +32,14 @@ bool ConcurrentBitmap::TestAndClear(size_t i) {
   return prev & mask;
 }
 
+bool ConcurrentBitmap::TestAndSet(size_t i) {
+  SPITFIRE_DCHECK(i < num_bits_);
+  const uint64_t mask = 1ULL << (i % 64);
+  const uint64_t prev =
+      words_[i / 64].fetch_or(mask, std::memory_order_relaxed);
+  return prev & mask;
+}
+
 size_t ConcurrentBitmap::CountSet() const {
   size_t n = 0;
   for (const auto& w : words_) {

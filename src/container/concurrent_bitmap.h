@@ -28,6 +28,10 @@ class ConcurrentBitmap {
   // "give a second chance" step in one atomic op).
   bool TestAndClear(size_t i);
 
+  // Sets bit i and returns its previous value (2Q promotion: the second
+  // sampled access, not the first, moves a frame to the protected segment).
+  bool TestAndSet(size_t i);
+
   // Number of set bits (linear scan; for stats/tests only).
   size_t CountSet() const;
 

@@ -81,6 +81,107 @@ DriverResult WorkloadDriver::Run(int num_threads, double seconds,
   return result;
 }
 
+std::vector<WorkloadDriver::PhaseResult> WorkloadDriver::RunPhased(
+    int num_threads, const std::vector<PhaseSpec>& phases,
+    double slice_seconds) {
+  const size_t num_phases = phases.size();
+  std::vector<PhaseResult> results(num_phases);
+  if (num_phases == 0 || num_threads <= 0) return results;
+  slice_seconds = std::max(1e-3, slice_seconds);
+  const uint64_t slice_ns = static_cast<uint64_t>(slice_seconds * 1e9);
+
+  // Shared throughput-over-time bins, one slab per phase. Workers
+  // accumulate locally and flush on slice/phase change, so the atomics
+  // see one RMW per worker per slice, not per transaction.
+  std::vector<std::vector<std::atomic<uint64_t>>> bins(num_phases);
+  for (size_t p = 0; p < num_phases; ++p) {
+    const size_t n = static_cast<size_t>(
+                         phases[p].seconds / slice_seconds + 0.5) +
+                     1;
+    bins[p] = std::vector<std::atomic<uint64_t>>(std::max<size_t>(1, n));
+  }
+  // Start timestamp of each phase; entry p+1 is written before phase_idx
+  // advances to p+1 (release), so workers entering the phase see it.
+  std::vector<std::atomic<uint64_t>> phase_start_ns(num_phases);
+  phase_start_ns[0].store(NowNanos(), std::memory_order_relaxed);
+  std::atomic<size_t> phase_idx{0};
+
+  struct WorkerStats {
+    std::vector<uint64_t> committed, aborted;
+  };
+  std::vector<WorkerStats> stats(static_cast<size_t>(num_threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(0xFA5E0000ULL + static_cast<uint64_t>(t) * 7919);
+      WorkerStats& my = stats[static_cast<size_t>(t)];
+      my.committed.assign(num_phases, 0);
+      my.aborted.assign(num_phases, 0);
+      size_t cur_phase = SIZE_MAX;
+      size_t cur_slice = 0;
+      uint64_t pending = 0;
+      const auto flush = [&] {
+        if (pending == 0 || cur_phase >= num_phases) return;
+        auto& slab = bins[cur_phase];
+        bins[cur_phase][std::min(cur_slice, slab.size() - 1)].fetch_add(
+            pending, std::memory_order_relaxed);
+        pending = 0;
+      };
+      for (;;) {
+        const size_t p = phase_idx.load(std::memory_order_acquire);
+        if (p >= num_phases) break;
+        const Status st = phases[p].fn(rng);
+        const uint64_t now = NowNanos();
+        const uint64_t start =
+            phase_start_ns[p].load(std::memory_order_relaxed);
+        const size_t slice =
+            now > start ? static_cast<size_t>((now - start) / slice_ns) : 0;
+        if (p != cur_phase || slice != cur_slice) {
+          flush();
+          cur_phase = p;
+          cur_slice = slice;
+        }
+        if (st.ok()) {
+          ++my.committed[p];
+          ++pending;
+        } else {
+          ++my.aborted[p];
+        }
+      }
+      flush();
+    });
+  }
+
+  for (size_t p = 0; p < num_phases; ++p) {
+    Timer phase_timer;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(phases[p].seconds));
+    results[p].seconds = phase_timer.ElapsedSeconds();
+    if (p + 1 < num_phases) {
+      phase_start_ns[p + 1].store(NowNanos(), std::memory_order_relaxed);
+    }
+    phase_idx.store(p + 1, std::memory_order_release);
+  }
+  for (auto& w : workers) w.join();
+
+  for (size_t p = 0; p < num_phases; ++p) {
+    results[p].name = phases[p].name;
+    for (const auto& s : stats) {
+      results[p].committed += s.committed[p];
+      results[p].aborted += s.aborted[p];
+    }
+    results[p].slice_ops_per_sec.reserve(bins[p].size());
+    for (const auto& b : bins[p]) {
+      results[p].slice_ops_per_sec.push_back(
+          static_cast<double>(b.load(std::memory_order_relaxed)) /
+          slice_seconds);
+    }
+  }
+  return results;
+}
+
 DriverResult WorkloadDriver::RunAsyncPageOps(BufferManager* bm,
                                              int num_threads, double seconds,
                                              int ring_depth,

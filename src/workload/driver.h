@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "buffer/buffer_manager.h"
 #include "common/histogram.h"
@@ -49,6 +50,37 @@ class WorkloadDriver {
   // for `warmup_seconds` without recording.
   static DriverResult Run(int num_threads, double seconds, const TxnFn& txn_fn,
                           double warmup_seconds = 0.0);
+
+  // One phase of a phase-change scenario: run `fn` on every worker for
+  // `seconds`, then all workers move to the next phase together.
+  struct PhaseSpec {
+    std::string name;
+    double seconds = 1.0;
+    TxnFn fn;
+  };
+
+  // Per-phase outcome, with throughput-over-time resolution: committed ops
+  // are binned into `slice_seconds` slices so transitions (e.g. the
+  // post-scan recovery of a point-lookup phase) are visible inside a
+  // phase, not just across phases.
+  struct PhaseResult {
+    std::string name;
+    double seconds = 0;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    std::vector<double> slice_ops_per_sec;
+
+    double Throughput() const {
+      return seconds > 0 ? static_cast<double>(committed) / seconds : 0.0;
+    }
+  };
+
+  // Runs the phases back to back on `num_threads` workers (no warm-up;
+  // make the first phase the warm-up if one is needed). Workers observe
+  // the phase switch at their next transaction boundary.
+  static std::vector<PhaseResult> RunPhased(
+      int num_threads, const std::vector<PhaseSpec>& phases,
+      double slice_seconds = 0.1);
 
   // Async-aware page-op driver: each worker keeps up to `ring_depth` fetch
   // tickets in flight through BufferManager::SubmitFetch instead of

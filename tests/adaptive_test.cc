@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 
 #include "adaptive/annealing_tuner.h"
 #include "adaptive/grid_search.h"
+#include "adaptive/online_tuner.h"
+#include "buffer/stats.h"
 
 namespace spitfire {
 namespace {
@@ -110,6 +113,145 @@ TEST(GridSearchTest, PerfPerPriceSelection) {
   const GridPoint* best_t = GridSearch::BestThroughput(grid);
   ASSERT_NE(best_t, nullptr);
   EXPECT_EQ(best_t->config.dram_bytes, big.dram_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineTuner: driven deterministically through Step() with synthetic
+// windows. A Mix describes the workload signature as fractions of the
+// window's fetches; throughput follows the same peaked policy model above,
+// so the annealing search has a real optimum to find.
+// ---------------------------------------------------------------------------
+
+struct Mix {
+  double dram_hits, nvm_hits, ssd_fetches;        // must sum to ~1
+  double promotions, demotions, nvm_installs, write_fetches;
+};
+constexpr Mix kPointMix{0.90, 0.05, 0.05, 0.02, 0.02, 0.03, 0.05};
+constexpr Mix kWriteMix{0.55, 0.15, 0.30, 0.02, 0.25, 0.20, 0.85};
+
+class TunerHarness {
+ public:
+  explicit TunerHarness(const OnlineTunerOptions& opts)
+      : tuner_([] { return BufferStatsSnapshot{}; },
+               [this](const MigrationPolicy& p) { applied_ = p; },
+               MigrationPolicy::Eager(), opts),
+        window_seconds_(opts.window_seconds) {}
+
+  // One tuning window of `mix` traffic under the currently applied policy.
+  // `fetch_scale` < 1 models a partially idle window.
+  void Window(const Mix& mix, double fetch_scale = 1.0) {
+    const double fetches = std::max(
+        1.0, SyntheticThroughput(applied_) * window_seconds_ * fetch_scale);
+    const auto n = [&](double frac) {
+      return static_cast<uint64_t>(fetches * frac);
+    };
+    cum_.dram_hits += n(mix.dram_hits);
+    cum_.nvm_hits += n(mix.nvm_hits);
+    cum_.ssd_fetches += n(mix.ssd_fetches);
+    cum_.promotions += n(mix.promotions);
+    cum_.demotions_to_nvm += n(mix.demotions);
+    cum_.nvm_installs += n(mix.nvm_installs);
+    cum_.write_fetches += n(mix.write_fetches);
+    tuner_.Step(cum_, window_seconds_);
+  }
+
+  void Windows(int count, const Mix& mix, double fetch_scale = 1.0) {
+    for (int i = 0; i < count; ++i) Window(mix, fetch_scale);
+  }
+
+  OnlineTuner& tuner() { return tuner_; }
+  const MigrationPolicy& applied() const { return applied_; }
+
+ private:
+  MigrationPolicy applied_;  // written by tuner_'s ctor; declare first
+  BufferStatsSnapshot cum_;
+  OnlineTuner tuner_;
+  double window_seconds_;
+};
+
+// The default schedule (t0=2.0, alpha=0.8, floor 0.01) needs ~24 measured
+// windows per convergence; allow slack.
+constexpr int kConvergenceBudget = 40;
+
+TEST(OnlineTunerTest, ConvergesWithinBoundedWindows) {
+  TunerHarness h((OnlineTunerOptions()));
+  int w = 0;
+  while (!h.tuner().converged() && w < kConvergenceBudget) {
+    h.Window(kPointMix);
+    ++w;
+  }
+  EXPECT_TRUE(h.tuner().converged()) << "still annealing after " << w;
+  EXPECT_EQ(h.tuner().reconvergences(), 0u);
+  // The held policy is the search's best: no worse than the eager start.
+  EXPECT_GE(SyntheticThroughput(h.applied()),
+            SyntheticThroughput(MigrationPolicy::Eager()));
+}
+
+TEST(OnlineTunerTest, StableMixHoldsWithoutOscillation) {
+  TunerHarness h((OnlineTunerOptions()));
+  h.Windows(kConvergenceBudget, kPointMix);
+  ASSERT_TRUE(h.tuner().converged());
+  const MigrationPolicy held = h.tuner().policy();
+  // 100 more identical windows: the policy must not move at all.
+  for (int i = 0; i < 100; ++i) {
+    h.Window(kPointMix);
+    EXPECT_TRUE(h.tuner().converged());
+    EXPECT_DOUBLE_EQ(h.tuner().policy().dr, held.dr);
+    EXPECT_DOUBLE_EQ(h.tuner().policy().nw, held.nw);
+  }
+  EXPECT_EQ(h.tuner().reconvergences(), 0u);
+}
+
+TEST(OnlineTunerTest, MixShiftTriggersExactlyOneReconvergence) {
+  OnlineTunerOptions opts;
+  TunerHarness h(opts);
+  h.Windows(kConvergenceBudget, kPointMix);
+  ASSERT_TRUE(h.tuner().converged());
+
+  // Shift the workload. Drift must fire only after `drift_windows`
+  // consecutive drifted windows (hysteresis)...
+  h.Windows(opts.drift_windows - 1, kWriteMix);
+  EXPECT_EQ(h.tuner().reconvergences(), 0u);
+  h.Window(kWriteMix);
+  EXPECT_EQ(h.tuner().reconvergences(), 1u);
+  EXPECT_FALSE(h.tuner().converged());
+
+  // ...and the tuner must re-converge on the new mix within the budget,
+  // then hold: no further reconvergences while the mix stays put.
+  h.Windows(kConvergenceBudget, kWriteMix);
+  EXPECT_TRUE(h.tuner().converged());
+  h.Windows(100, kWriteMix);
+  EXPECT_EQ(h.tuner().reconvergences(), 1u) << "tuner oscillated";
+}
+
+TEST(OnlineTunerTest, SingleOddWindowDoesNotThrash) {
+  OnlineTunerOptions opts;
+  ASSERT_GE(opts.drift_windows, 2);
+  TunerHarness h(opts);
+  h.Windows(kConvergenceBudget, kPointMix);
+  ASSERT_TRUE(h.tuner().converged());
+  // Isolated anomalies (shorter than drift_windows) interleaved with
+  // normal traffic must never trigger a re-anneal.
+  for (int i = 0; i < 10; ++i) {
+    h.Window(kWriteMix);
+    h.Windows(5, kPointMix);
+  }
+  EXPECT_EQ(h.tuner().reconvergences(), 0u);
+  EXPECT_TRUE(h.tuner().converged());
+}
+
+TEST(OnlineTunerTest, IdleWindowsAreIgnored) {
+  OnlineTunerOptions opts;
+  TunerHarness h(opts);
+  h.Windows(kConvergenceBudget, kPointMix);
+  ASSERT_TRUE(h.tuner().converged());
+  const uint64_t windows_before = h.tuner().windows();
+  // Near-idle windows of a wildly different mix: below min_window_fetches
+  // they must neither drift nor anneal (scale chosen so fetches < minimum).
+  h.Windows(20, kWriteMix, /*fetch_scale=*/0.04);
+  EXPECT_EQ(h.tuner().reconvergences(), 0u);
+  EXPECT_TRUE(h.tuner().converged());
+  EXPECT_EQ(h.tuner().windows(), windows_before + 20);  // still counted
 }
 
 TEST(GridSearchTest, BudgetFiltersCandidates) {

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "buffer/clock_replacer.h"
+#include "buffer/replacer.h"
+#include "buffer/twoq_replacer.h"
+#include "common/random.h"
+
+namespace spitfire {
+namespace {
+
+// TryEvictRef is a function_ref over callables (not function pointers);
+// these live for the whole test run, so binding them is safe.
+const auto AcceptAll = [](frame_id_t) { return true; };
+const auto RefuseAll = [](frame_id_t) { return false; };
+
+TEST(ReplacerFactoryTest, CreatesRequestedKind) {
+  auto clock = Replacer::Create(ReplacerKind::kClock, 16);
+  ASSERT_NE(clock, nullptr);
+  EXPECT_EQ(clock->kind(), ReplacerKind::kClock);
+  EXPECT_EQ(clock->num_frames(), 16u);
+
+  auto twoq = Replacer::Create(ReplacerKind::kTwoQ, 16);
+  ASSERT_NE(twoq, nullptr);
+  EXPECT_EQ(twoq->kind(), ReplacerKind::kTwoQ);
+  EXPECT_EQ(twoq->num_frames(), 16u);
+
+  EXPECT_STREQ(ReplacerKindName(ReplacerKind::kClock), "clock");
+  EXPECT_STREQ(ReplacerKindName(ReplacerKind::kTwoQ), "2q");
+}
+
+TEST(ReplacerFactoryTest, EmptyPoolNeverYieldsVictim) {
+  for (ReplacerKind k : {ReplacerKind::kClock, ReplacerKind::kTwoQ}) {
+    auto r = Replacer::Create(k, 0);
+    EXPECT_EQ(r->PickVictim(AcceptAll), kInvalidFrameId);
+  }
+}
+
+TEST(ReplacerInterfaceTest, RefusedVictimsReturnInvalid) {
+  // try_evict refusing everything (all frames pinned) must terminate with
+  // kInvalidFrameId, for both policies, through the base interface.
+  for (ReplacerKind k : {ReplacerKind::kClock, ReplacerKind::kTwoQ}) {
+    auto r = Replacer::Create(k, 8);
+    for (frame_id_t f = 0; f < 8; ++f) r->RecordInstall(f);
+    EXPECT_EQ(r->PickVictim(RefuseAll), kInvalidFrameId)
+        << ReplacerKindName(k);
+  }
+}
+
+TEST(ClockReplacerTest, AccessedFrameSurvivesEviction) {
+  ClockReplacer clock(8);
+  for (frame_id_t f = 0; f < 8; ++f) clock.RecordInstall(f);
+  // Frame 3 is re-referenced before every pick; second chance must keep it
+  // resident while the other 7 frames are evicted around it.
+  for (int i = 0; i < 7; ++i) {
+    clock.RecordAccess(3);
+    const frame_id_t v = clock.PickVictim(AcceptAll);
+    ASSERT_NE(v, kInvalidFrameId);
+    EXPECT_NE(v, 3u) << "victim " << v << " on pick " << i;
+  }
+}
+
+TEST(TwoQReplacerTest, ProbationEvictsInFifoOrder) {
+  TwoQReplacer twoq(8);
+  for (frame_id_t f = 0; f < 8; ++f) twoq.RecordInstall(f);
+  // First-touch frames are a FIFO: victims come out in install order.
+  for (frame_id_t expect = 0; expect < 4; ++expect) {
+    EXPECT_EQ(twoq.PickVictim(AcceptAll), expect);
+  }
+  EXPECT_EQ(twoq.probation_evictions(), 4u);
+}
+
+TEST(TwoQReplacerTest, SecondAccessPromotesToProtected) {
+  TwoQReplacer twoq(4);
+  for (frame_id_t f = 0; f < 4; ++f) twoq.RecordInstall(f);
+  EXPECT_EQ(twoq.ProbationCount(), 4u);
+  // One access only sets the reference bit; the second promotes.
+  twoq.RecordAccess(2);
+  EXPECT_EQ(twoq.ProtectedCount(), 0u);
+  twoq.RecordAccess(2);
+  EXPECT_EQ(twoq.ProtectedCount(), 1u);
+  EXPECT_EQ(twoq.promotions(), 1u);
+  // The promoted frame outlives every probation frame.
+  EXPECT_EQ(twoq.PickVictim(AcceptAll), 0u);
+  EXPECT_EQ(twoq.PickVictim(AcceptAll), 1u);
+  EXPECT_EQ(twoq.PickVictim(AcceptAll), 3u);
+}
+
+TEST(TwoQReplacerTest, ScanCannotDisplaceProtectedSegment) {
+  // The scan-resistance property at the policy level: with half the pool
+  // protected, an arbitrarily long stream of first-touch installs only ever
+  // recycles its own probation frames.
+  TwoQReplacer twoq(16);
+  for (frame_id_t f = 0; f < 8; ++f) {
+    twoq.RecordInstall(f);
+    twoq.RecordAccess(f);
+    twoq.RecordAccess(f);  // promote
+  }
+  EXPECT_EQ(twoq.ProtectedCount(), 8u);
+  for (frame_id_t f = 8; f < 16; ++f) twoq.RecordInstall(f);
+
+  for (int i = 0; i < 1000; ++i) {
+    const frame_id_t v = twoq.PickVictim(AcceptAll);
+    ASSERT_NE(v, kInvalidFrameId);
+    EXPECT_GE(v, 8u) << "scan evicted protected frame " << v;
+    twoq.RecordInstall(v);  // the next scan page reuses the frame
+  }
+  EXPECT_EQ(twoq.ProtectedCount(), 8u);
+  EXPECT_EQ(twoq.cooling_evictions(), 0u);
+}
+
+TEST(TwoQReplacerTest, AllProtectedPoolStillYieldsVictimsViaCooling) {
+  // When nothing is in probation the sweep must demote cold protected
+  // frames through the cooling stage and evict from there.
+  TwoQReplacer twoq(8);
+  for (frame_id_t f = 0; f < 8; ++f) {
+    twoq.RecordInstall(f);
+    twoq.RecordAccess(f);
+    twoq.RecordAccess(f);
+  }
+  EXPECT_EQ(twoq.ProtectedCount(), 8u);
+  const frame_id_t v = twoq.PickVictim(AcceptAll);
+  EXPECT_NE(v, kInvalidFrameId);
+  EXPECT_GT(twoq.demotions(), 0u);
+  EXPECT_EQ(twoq.cooling_evictions(), 1u);
+  EXPECT_EQ(twoq.probation_evictions(), 0u);
+}
+
+TEST(TwoQReplacerTest, AccessDuringCoolingGraceReheats) {
+  TwoQReplacer twoq(8);
+  for (frame_id_t f = 0; f < 8; ++f) {
+    twoq.RecordInstall(f);
+    twoq.RecordAccess(f);
+    twoq.RecordAccess(f);
+  }
+  // A refuse-all pick cannot evict, but its sweep demotes the (now cold)
+  // protected frames into cooling.
+  EXPECT_EQ(twoq.PickVictim(RefuseAll), kInvalidFrameId);
+  ASSERT_GT(twoq.CoolingCount(), 0u);
+  // Touching every frame during the grace period reheats the cooled ones
+  // back to protected; none may be lost.
+  for (frame_id_t f = 0; f < 8; ++f) twoq.RecordAccess(f);
+  EXPECT_EQ(twoq.CoolingCount(), 0u);
+  EXPECT_EQ(twoq.ProtectedCount(), 8u);
+  EXPECT_GT(twoq.reheats(), 0u);
+}
+
+TEST(TwoQReplacerTest, ReinstallAfterEvictionRestartsInProbation) {
+  TwoQReplacer twoq(4);
+  twoq.RecordInstall(0);
+  EXPECT_EQ(twoq.PickVictim(AcceptAll), 0u);
+  // The freed frame is reused for a new page: it must start over in
+  // probation (RecordInstall owns the segment reset).
+  twoq.RecordInstall(0);
+  EXPECT_EQ(twoq.ProbationCount(), 1u);
+  EXPECT_EQ(twoq.PickVictim(AcceptAll), 0u);
+}
+
+TEST(TwoQReplacerTest, ReferencedCountTracksRefBits) {
+  TwoQReplacer twoq(8);
+  for (frame_id_t f = 0; f < 8; ++f) twoq.RecordInstall(f);
+  EXPECT_EQ(twoq.ReferencedCount(), 0u);  // installs start cold
+  twoq.RecordAccess(1);
+  twoq.RecordAccess(5);
+  EXPECT_EQ(twoq.ReferencedCount(), 2u);
+}
+
+// Concurrency smoke for both policies through the base interface: threads
+// hammer install/access/evict on overlapping frames. Run under tsan/asan;
+// the invariant checked here is only "terminates, victims in range, and
+// every evicted frame was reinstallable".
+TEST(ReplacerInterfaceTest, ConcurrentInstallAccessEvictSmoke) {
+  constexpr size_t kFrames = 64;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20'000;
+  for (ReplacerKind k : {ReplacerKind::kClock, ReplacerKind::kTwoQ}) {
+    auto r = Replacer::Create(k, kFrames);
+    for (frame_id_t f = 0; f < kFrames; ++f) r->RecordInstall(f);
+    std::atomic<uint64_t> evictions{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Xoshiro256 rng(0xBEEF + static_cast<uint64_t>(t));
+        for (int i = 0; i < kIters; ++i) {
+          const frame_id_t f =
+              static_cast<frame_id_t>(rng.NextUint64(kFrames));
+          switch (rng.NextUint64(4)) {
+            case 0: {
+              // Evict-then-reinstall, as the miss path does.
+              const frame_id_t v = r->PickVictim(
+                  [](frame_id_t vf) { return vf % 3 != 0; });
+              if (v != kInvalidFrameId) {
+                EXPECT_LT(v, kFrames);
+                evictions.fetch_add(1, std::memory_order_relaxed);
+                r->RecordInstall(v);
+              }
+              break;
+            }
+            default:
+              r->RecordAccess(f);
+              break;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_GT(evictions.load(), 0u) << ReplacerKindName(k);
+    ASSERT_FALSE(r->DebugString().empty());
+  }
+}
+
+}  // namespace
+}  // namespace spitfire
