@@ -178,6 +178,9 @@ struct HierarchySpec {
   // direct-mapped DRAM cache of dram_cache_mb.
   bool memory_mode = false;
   double memory_mode_cache_mb = 0;
+  // Paper benches pin one shard so fig*/micro results stay comparable
+  // across PRs; the shard-scaling bench overrides this.
+  size_t num_shards = 1;
 };
 
 inline Hierarchy MakeHierarchy(const HierarchySpec& spec) {
@@ -197,6 +200,7 @@ inline Hierarchy MakeHierarchy(const HierarchySpec& spec) {
   opt.nvm_replacer = spec.nvm_replacer;
   opt.replacer_sample_rate = spec.replacer_sample_rate;
   opt.enable_background_writer = spec.background_writer;
+  opt.num_shards = spec.num_shards;
   opt.ssd = h.ssd.get();
   if (spec.memory_mode) {
     const uint64_t backing = BufferPool::RequiredCapacity(

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <chrono>
 
-#include "buffer/buffer_manager.h"
+#include "buffer/buffer_shard.h"
 
 namespace spitfire {
 
-BackgroundWriter::BackgroundWriter(BufferManager* bm, size_t low_watermark,
+BackgroundWriter::BackgroundWriter(BufferShard* bm, size_t low_watermark,
                                    uint64_t interval_us)
     : bm_(bm), low_watermark_(low_watermark), interval_us_(interval_us) {
   thread_ = std::thread([this] { Run(); });

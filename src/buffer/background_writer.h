@@ -10,9 +10,9 @@
 
 namespace spitfire {
 
-class BufferManager;
+class BufferShard;
 
-// Background writeback / eviction thread (one per BufferManager).
+// Background writeback / eviction thread (one per BufferShard).
 //
 // Foreground frame acquisition (AcquireDramFrame / AcquireNvmFrame) only
 // pays for eviction — including a synchronous SSD write when the victim is
@@ -30,7 +30,7 @@ class BackgroundWriter {
   // `low_watermark` is in frames; the high watermark is 2× low, clamped to
   // the pool size. `interval_us` bounds how stale the watermark check can
   // get when nobody nudges.
-  BackgroundWriter(BufferManager* bm, size_t low_watermark,
+  BackgroundWriter(BufferShard* bm, size_t low_watermark,
                    uint64_t interval_us);
   ~BackgroundWriter();
   SPITFIRE_DISALLOW_COPY_AND_MOVE(BackgroundWriter);
@@ -39,7 +39,7 @@ class BackgroundWriter {
   void Nudge();
 
   // Stops and joins the thread. Safe to call multiple times; called by the
-  // destructor and by ~BufferManager before the pools are torn down.
+  // destructor and by ~BufferShard before the pools are torn down.
   void Stop();
 
   uint64_t pages_written_back() const {
@@ -52,7 +52,7 @@ class BackgroundWriter {
   // the number of frames reclaimed this round.
   size_t ReplenishPool(bool dram);
 
-  BufferManager* const bm_;
+  BufferShard* const bm_;
   const size_t low_watermark_;
   const uint64_t interval_us_;
   std::atomic<uint64_t> pages_written_back_{0};

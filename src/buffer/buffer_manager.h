@@ -2,446 +2,183 @@
 #define SPITFIRE_BUFFER_BUFFER_MANAGER_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
-#include "buffer/background_writer.h"
-#include "buffer/buffer_pool.h"
-#include "buffer/migration_policy.h"
-#include "buffer/page.h"
-#include "buffer/page_descriptor.h"
-#include "buffer/stats.h"
-#include "common/status.h"
-#include "container/admission_queue.h"
-#include "container/concurrent_hash_table.h"
-#include "storage/device.h"
-#include "storage/io_scheduler.h"
-#include "storage/nvm_device.h"
+#include "buffer/buffer_shard.h"
 
 namespace spitfire {
 
-class BufferManager;
-
-// Whether a page is being fetched to be read or modified. The intent picks
-// which migration probability applies: Dr for reads, Dw for writes
-// (Sections 3.1, 3.2).
-enum class AccessIntent { kRead, kWrite };
-
-// Configuration of a (possibly degenerate) three-tier buffer manager.
-// Setting dram_frames or nvm_frames to zero removes that tier, yielding
-// the paper's NVM-SSD and DRAM-SSD hierarchies.
-struct BufferManagerOptions {
-  size_t dram_frames = 0;
-  size_t nvm_frames = 0;
-
-  MigrationPolicy policy = MigrationPolicy::Eager();
-
-  // HyMem-style NVM admission (Section 6.5) instead of the probabilistic
-  // Nw decision.
-  NvmAdmissionMode nvm_admission = NvmAdmissionMode::kProbabilistic;
-  // 0 → half the NVM buffer's page count, the size the paper found to
-  // work well.
-  size_t admission_queue_capacity = 0;
-
-  // HyMem optimizations (Figure 12 ablation knobs).
-  bool enable_fine_grained_loading = false;
-  uint32_t load_granularity = 256;  // bytes; Figure 11 sweeps 64..512
-  bool enable_mini_pages = false;
-  // DRAM frames reserved to host mini pages; 0 → dram_frames / 8.
-  size_t mini_host_frames = 0;
-
-  // CLOCK reference-bit sampling on the hit path: a buffer hit records an
-  // access with probability 1/k (k = replacer_sample_rate) instead of
-  // touching the shared reference bitmap on every fetch. Installs,
-  // promotions, and new pages always record. 1 records every hit.
-  uint32_t replacer_sample_rate = 8;
-
-  // Per-tier replacement policy (Replacer::Create). kClock is the PR 1
-  // behavior; kTwoQ adds scan resistance (probation FIFO + protected
-  // CLOCK + cooling stage). The mini-page region always runs CLOCK — its
-  // slots are sub-page and short-lived.
-  ReplacerKind dram_replacer = ReplacerKind::kClock;
-  ReplacerKind nvm_replacer = ReplacerKind::kClock;
-
-  // Background writeback: a dedicated thread keeps each pool's free list
-  // above a low watermark by proactively evicting (and writing back dirty)
-  // CLOCK victims, so foreground misses rarely pay an inline SSD write.
-  bool enable_background_writer = false;
-  size_t bg_writer_low_watermark = 0;  // frames; 0 → smallest pool / 8
-  uint64_t bg_writer_interval_us = 200;
-
-  // Async SSD I/O: route all SSD-tier traffic through an IoScheduler
-  // (single-flight miss dedup, write coalescing, read-ahead). Disabling
-  // falls back to synchronous per-page device calls under latches.
-  bool enable_io_scheduler = true;
-  IoSchedulerOptions io_scheduler;
-
-  // Devices. `ssd` is required and owned by the caller (it holds the
-  // database itself). `nvm` may be supplied by the caller so that its
-  // contents survive buffer manager teardown (recovery tests); when null
-  // and nvm_frames > 0 an internal NvmDevice is created. `dram_backing`
-  // lets experiments substitute a MemoryModeDevice for plain DRAM.
-  Device* ssd = nullptr;
-  NvmDevice* nvm = nullptr;
-  Device* dram_backing = nullptr;
-};
-
-// RAII pin on one tier's copy of a page. Obtained from
-// BufferManager::FetchPage / NewPage; releases the pin on destruction.
-//
-// Data access goes through ReadAt/WriteAt, which handle all DRAM
-// representations (full frame, cache-line-grained, mini page) and direct
-// NVM access, including on-demand unit loading and device cost accounting.
-// Like any buffer manager, page *contents* are not serialized between
-// guard holders: concurrent accesses to overlapping byte ranges of one
-// page must be coordinated by the caller (the table layer uses MVTO
-// version locks; the B+Tree uses its optimistic version latch).
-// RawData() exposes the full 16 KB frame and is only valid for guards
-// whose page is fully materialized (it loads all units of a cache-line-
-// grained page on first use; unsupported for mini pages).
-class PageGuard {
+// Merged view over the per-shard BufferStats instances. Snapshot() sums
+// the shards field-wise, so every existing `bm.stats().Snapshot()` call
+// site keeps working against the sharded engine; Reset() clears all
+// shards.
+class BufferStatsAggregate {
  public:
-  PageGuard() = default;
-  ~PageGuard() { Release(); }
+  BufferStatsAggregate() = default;
+  explicit BufferStatsAggregate(std::vector<BufferStats*> parts)
+      : parts_(std::move(parts)) {}
 
-  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
-  PageGuard& operator=(PageGuard&& o) noexcept {
-    Release();
-    bm_ = o.bm_;
-    desc_ = o.desc_;
-    tier_ = o.tier_;
-    o.bm_ = nullptr;
-    o.desc_ = nullptr;
-    return *this;
+  BufferStatsSnapshot Snapshot() const {
+    BufferStatsSnapshot sum;
+    for (BufferStats* s : parts_) sum.Accumulate(s->Snapshot());
+    return sum;
   }
-  PageGuard(const PageGuard&) = delete;
-  PageGuard& operator=(const PageGuard&) = delete;
-
-  bool valid() const { return desc_ != nullptr; }
-  page_id_t pid() const { return desc_->pid; }
-  // The tier this guard pinned (kDram or kNvm).
-  Tier tier() const { return tier_; }
-  SharedPageDescriptor* descriptor() const { return desc_; }
-
-  // Copies `size` bytes at page offset `offset` into `dst`.
-  Status ReadAt(size_t offset, size_t size, void* dst);
-  // Writes `size` bytes at page offset `offset` and marks the page dirty.
-  Status WriteAt(size_t offset, size_t size, const void* src);
-
-  // Full-frame pointer (see class comment). `for_write` marks the page
-  // dirty. Returns nullptr for mini-page guards.
-  std::byte* RawData(bool for_write = false);
-
-  void MarkDirty();
-
-  // Releases the pin early.
-  void Release();
-
- private:
-  friend class BufferManager;
-  PageGuard(BufferManager* bm, SharedPageDescriptor* desc, Tier tier)
-      : bm_(bm), desc_(desc), tier_(tier) {}
-
-  BufferManager* bm_ = nullptr;
-  SharedPageDescriptor* desc_ = nullptr;
-  Tier tier_ = Tier::kDram;
-};
-
-// One asynchronous fetch continuation. The caller owns the ticket (stack
-// or slot storage both work) and submits it with BufferManager::SubmitFetch;
-// the miss completion installs the page, pins it, fills in `guard`/`status`
-// and flips `ready` last (release). The completer never touches the ticket
-// after that store, so the owner may poll `ready` and destroy or Reset()
-// the ticket as soon as it reads true (acquire).
-struct FetchTicket {
-  page_id_t pid = kInvalidPageId;
-  AccessIntent intent = AccessIntent::kRead;
-
-  // Outputs; valid once ready == true. On status.ok(), guard holds the pin.
-  Status status;
-  PageGuard guard;
-  std::atomic<bool> ready{false};
-
-  // Internals: re-dispatch budget and the io_waiters list link (both owned
-  // by the buffer manager while the ticket is in flight).
-  int attempts = 0;
-  FetchTicket* next = nullptr;
 
   void Reset() {
-    status = Status::OK();
-    guard.Release();
-    attempts = 0;
-    next = nullptr;
-    ready.store(false, std::memory_order_relaxed);
+    for (BufferStats* s : parts_) s->Reset();
   }
+
+  std::string ToString() const { return Snapshot().ToString(); }
+
+ private:
+  std::vector<BufferStats*> parts_;
 };
 
-// How SubmitFetch disposed of a ticket.
-enum class FetchSubmit : uint8_t {
-  kCompleted,     // ready already true: hit, inline completion, or error
-  kQueuedLeader,  // the ticket's miss leads a newly submitted device read
-  kQueuedJoined,  // the ticket joined a read another fetch already leads
-};
-
-// The Spitfire multi-threaded three-tier buffer manager (Section 5).
+// The Spitfire three-tier buffer manager: N self-contained BufferShards
+// routed by page-id hash (ShardOfPage), LeanStore-style. Each shard owns
+// its slice of the mapping table, its DRAM/NVM pools (frames, free list,
+// replacer), its miss-admission counter, and its background writer, so
+// the only state every core still shares is genuinely global: the SSD
+// I/O scheduler (device queues are a physical resource), the page-id
+// allocator, and — outside this class — the WAL and MVTO timestamps.
 //
-// A unified DRAM-resident mapping table maps page ids to shared page
-// descriptors holding per-tier latches and residency state (Figure 4).
-// FetchPage serves pages from DRAM when possible, from NVM directly (the
-// CPU can operate on NVM in place), or from SSD, and migrates pages
-// between tiers according to the probabilistic policy <Dr, Dw, Nr, Nw>
-// (Section 3). CLOCK replacement reclaims space in both buffers.
+// The facade carves each tier device into per-shard frame-region slices
+// whose on-device layout (data region, NVM persistent frame table) is
+// computed from the TOTAL frame count, so the device image is identical
+// for every num_shards; with num_shards == 1 the whole engine reproduces
+// the pre-sharding behavior bit-for-bit.
 class BufferManager {
  public:
   explicit BufferManager(const BufferManagerOptions& options);
   ~BufferManager();
   SPITFIRE_DISALLOW_COPY_AND_MOVE(BufferManager);
 
+  // --- data plane (routed to the owning shard) ---
+
   // Pins the page on some tier and returns a guard for it. Thread-safe.
   // A thread must not fetch a page it already holds a guard on.
-  // With the I/O scheduler enabled this is a blocking shim over the
-  // submission/completion split below: it submits a ticket, pumps I/O
-  // completions until the ticket fires, and retries transient Busy
-  // completions under a bounded exponential backoff.
-  Result<PageGuard> FetchPage(page_id_t pid, AccessIntent intent);
+  Result<PageGuard> FetchPage(page_id_t pid, AccessIntent intent) {
+    return ShardFor(pid)->FetchPage(pid, intent);
+  }
 
-  // Submission half of the asynchronous miss path. Hits complete the
-  // ticket inline (kCompleted, ready == true on return). A miss either
-  // joins the page's in-flight read (kQueuedJoined) or marks the
-  // descriptor kIoInflight and submits the device read (kQueuedLeader);
-  // either way the ticket fires when the completion installs the page —
-  // possibly inside this call when the simulated device completes
-  // immediately. The caller keeps the ticket alive and unmoved until
-  // `ready` reads true, and drives progress by calling PumpIo (or any
-  // other FetchPage/SubmitFetch activity) between polls.
-  FetchSubmit SubmitFetch(page_id_t pid, AccessIntent intent, FetchTicket* t);
+  // Submission half of the asynchronous miss path (see BufferShard).
+  FetchSubmit SubmitFetch(page_id_t pid, AccessIntent intent,
+                          FetchTicket* t) {
+    return ShardFor(pid)->SubmitFetch(pid, intent, t);
+  }
 
-  // Runs due I/O completions on the calling thread. With may_sleep, waits
-  // briefly (marking this thread async-aware: simulated device waits then
-  // sleep instead of spinning). Returns whether any work was done. No-op
-  // without the I/O scheduler.
-  bool PumpIo(bool may_sleep);
+  // Runs due I/O completions on the calling thread (shared scheduler).
+  bool PumpIo(bool may_sleep) {
+    return io_ != nullptr && io_->PumpCompletions(may_sleep);
+  }
 
-  // Allocates a fresh page id and materializes a zeroed, dirty page in the
-  // top available buffer, bypassing the SSD read.
-  Result<PageGuard> NewPage(uint32_t page_type = 0);
+  // Allocates a fresh page id from the global counter and materializes a
+  // zeroed, dirty page in the owning shard's top available buffer.
+  Result<PageGuard> NewPage(uint32_t page_type = 0) {
+    const page_id_t pid =
+        next_page_id_.fetch_add(1, std::memory_order_relaxed);
+    return ShardFor(pid)->NewPageWithId(pid, page_type);
+  }
 
   // Writes the freshest copy of `pid` down to SSD and marks copies clean.
-  Status FlushPage(page_id_t pid);
+  Status FlushPage(page_id_t pid) { return ShardFor(pid)->FlushPage(pid); }
 
-  // Flushes every dirty page to SSD. When `include_nvm` is false, dirty
-  // NVM-resident pages are left in place (they are persistent — the
-  // paper's recovery-overhead advantage of app-direct mode).
+  // Flushes every dirty page (all shards) to SSD. When `include_nvm` is
+  // false, dirty NVM-resident pages are left in place (they are
+  // persistent — the paper's recovery-overhead advantage).
   Status FlushAll(bool include_nvm = false);
 
   // Blocks until every asynchronously staged SSD write has reached the
-  // device; returns (and clears) the first async write error. No-op when
-  // the I/O scheduler is disabled.
-  Status DrainIo();
+  // device; returns (and clears) the first async write error.
+  Status DrainIo() { return io_ != nullptr ? io_->Drain() : Status::OK(); }
 
-  // Rebuilds the mapping table from the NVM device's persistent frame
-  // table after a restart (Section 5.2, Recovery). The NvmDevice must have
-  // been supplied externally via options.nvm.
+  // Rebuilds every shard's mapping slice from the NVM device's persistent
+  // frame table after a restart (Section 5.2, Recovery). Requires the
+  // same num_shards the device was populated under (each shard validates
+  // that recovered pages route back to it) and an externally supplied
+  // options.nvm device.
   Status RecoverNvmResidentPages();
 
   // --- policy & introspection ---
-  MigrationPolicy policy() const {
-    return {dr_.load(std::memory_order_relaxed),
-            dw_.load(std::memory_order_relaxed),
-            nr_.load(std::memory_order_relaxed),
-            nw_.load(std::memory_order_relaxed)};
-  }
-  // Swaps the live migration policy (used by the adaptive tuner, §4).
-  // Lock-free so the tuner can adjust it mid-run.
+
+  // All shards run the same policy; reads report shard 0's copy.
+  MigrationPolicy policy() const { return shards_[0]->policy(); }
+  // Broadcasts the live migration policy to every shard (used by the
+  // adaptive tuner, §4). Lock-free; shards apply it mid-run.
   void SetPolicy(const MigrationPolicy& p) {
-    dr_.store(p.dr, std::memory_order_relaxed);
-    dw_.store(p.dw, std::memory_order_relaxed);
-    nr_.store(p.nr, std::memory_order_relaxed);
-    nw_.store(p.nw, std::memory_order_relaxed);
+    for (auto& s : shards_) s->SetPolicy(p);
   }
 
-  BufferStats& stats() { return stats_; }
-  BackgroundWriter* background_writer() { return bg_writer_.get(); }
+  // Merged per-shard counters; Snapshot() sums across shards.
+  BufferStatsAggregate& stats() { return stats_; }
+
+  // Shard 0's writer (each shard runs its own); diagnostic accessor.
+  BackgroundWriter* background_writer() {
+    return shards_[0]->background_writer();
+  }
   IoScheduler* io_scheduler() { return io_.get(); }
 
-  // Misses currently between submission and completion, and the admission
-  // cap that bounds them (misses beyond the cap fail fast with Busy).
+  // Engine-wide miss admission: sums of the per-shard in-flight counters
+  // and caps (each shard bounds itself at max(8, shard_frames / 2)).
   uint32_t inflight_misses() const {
-    return inflight_misses_.load(std::memory_order_relaxed);
+    uint32_t n = 0;
+    for (const auto& s : shards_) n += s->inflight_misses();
+    return n;
   }
-  uint32_t miss_admission_cap() const { return miss_admission_cap_; }
+  uint32_t miss_admission_cap() const {
+    uint32_t n = 0;
+    for (const auto& s : shards_) n += s->miss_admission_cap();
+    return n;
+  }
 
-  // Racy debug census of the DRAM pool: how many frames are on the free
-  // list, owned with zero pins (evictable), owned with pins, or owned by
-  // a descriptor that no longer maps back to the frame (transient during
-  // install/evict). Diagnostic only — takes no latches.
-  struct FrameCensus {
-    uint32_t free = 0, evictable = 0, pinned = 0, detached = 0;
-    uint64_t total_pins = 0;
-  };
+  using FrameCensus = BufferShard::FrameCensus;
+  // Racy debug census of all shards' DRAM pools combined.
   FrameCensus DebugDramCensus() const;
 
-  // Fraction of buffered pages resident in both DRAM and NVM (Section 3.3).
+  // Fraction of buffered pages resident in both DRAM and NVM, merged
+  // across shards (Section 3.3).
   double InclusivityRatio() const;
   size_t DramResidentPages() const;
   size_t NvmResidentPages() const;
-  // Whether `pid` currently has a full DRAM frame (racy; tests/bench —
-  // the scan-resistance property test checks hot-set retention with it).
-  bool IsDramResident(page_id_t pid) const;
+  bool IsDramResident(page_id_t pid) const {
+    return ShardFor(pid)->IsDramResident(pid);
+  }
 
   page_id_t next_page_id() const {
     return next_page_id_.load(std::memory_order_relaxed);
   }
   void SetNextPageId(page_id_t pid) { next_page_id_.store(pid); }
 
-  // Reconfigures the sequential read-ahead window (0 disables). Not
-  // thread-safe against concurrent fetches; meant for tests and setup
-  // code that needs deterministic miss behavior.
+  // Reconfigures the sequential read-ahead window on every shard (0
+  // disables). Not thread-safe against concurrent fetches.
   void SetReadAheadPages(size_t n) {
-    options_.io_scheduler.read_ahead_pages = n;
+    for (auto& s : shards_) s->SetReadAheadPages(n);
   }
 
   Device* ssd() { return ssd_; }
   NvmDevice* nvm_device() { return nvm_; }
   Device* dram_device() { return dram_backing_; }
-  BufferPool* dram_pool() { return dram_pool_.get(); }
-  BufferPool* nvm_pool() { return nvm_pool_.get(); }
+  // Shard 0's pools: tier presence is uniform across shards, so these
+  // stay valid for "does the tier exist" checks and replacer
+  // introspection on the default shard.
+  BufferPool* dram_pool() { return shards_[0]->dram_pool(); }
+  BufferPool* nvm_pool() { return shards_[0]->nvm_pool(); }
   const BufferManagerOptions& options() const { return options_; }
 
- private:
-  friend class PageGuard;
-  friend class BackgroundWriter;
-
-  // --- mini page hosting ---
-  struct MiniRegion {
-    size_t per_frame = 0;
-    size_t capacity = 0;
-    std::vector<frame_id_t> host_frames;
-    std::unique_ptr<MpmcQueue<uint32_t>> free_list;
-    std::unique_ptr<Replacer> replacer;
-    std::vector<std::atomic<SharedPageDescriptor*>> owners;
-  };
-
-  SharedPageDescriptor* GetOrCreateDescriptor(page_id_t pid);
-
-  // Latch-free pin helpers: return true with a pin taken if resident (one
-  // CAS on the tier's packed state word; see TierState).
-  bool TryPinDram(SharedPageDescriptor* d);
-  bool TryPinNvm(SharedPageDescriptor* d);
-  void Unpin(SharedPageDescriptor* d, Tier tier);
-
-  // 1-in-k sampling decision for hit-path replacer accounting.
-  bool ShouldSampleAccess();
-
-  // NVM → DRAM migration (path 7). Returns OK when the DRAM copy exists,
-  // Busy when the caller should serve the access from NVM instead.
-  Status PromoteToDram(SharedPageDescriptor* d);
-
-  // One pass over the buffered tiers: returns 1 with a pin taken (*tier
-  // set), 0 on a clean miss (no copy on any buffered tier), and -1 on a
-  // transient race the caller should simply retry (promotion or eviction
-  // in progress).
-  int TryHitOnce(SharedPageDescriptor* d, AccessIntent intent,
-                 const MigrationPolicy& pol, Tier* tier);
-
-  // Legacy fully synchronous fetch (I/O scheduler disabled): the old
-  // pin-or-install retry loop with the device read under the latches.
-  Result<PageGuard> FetchPageSync(SharedPageDescriptor* d,
-                                  AccessIntent intent);
-
-  // Async miss-path internals. SubmitFetchOnDescriptor is SubmitFetch
-  // minus pid validation; LeadMiss kicks read-ahead and submits the
-  // device read for a descriptor this thread just marked kIoInflight;
-  // CompleteMiss is the continuation every miss read resolves through:
-  // it installs the bytes, pins the new copy for every queued waiter and
-  // fires their tickets — or re-dispatches them on transient failure.
-  FetchSubmit SubmitFetchOnDescriptor(SharedPageDescriptor* d,
-                                      AccessIntent intent, FetchTicket* t);
-  void LeadMiss(SharedPageDescriptor* d);
-  void CompleteMiss(SharedPageDescriptor* d, Status st, const std::byte* data,
-                    uint64_t seq);
-  static void FinishTicket(FetchTicket* t, Status st);
-
-  // SSD miss path with the I/O scheduler disabled: installs into NVM
-  // (path 1, probability Nr) or directly into DRAM (path 8), then pins
-  // and returns a guard. The device read runs under the latches.
-  Result<PageGuard> InstallFromSsd(SharedPageDescriptor* d,
-                                   AccessIntent intent);
-
-  // Installs the page image in `src` (already read from SSD) into a frame
-  // and returns a pinned guard. Caller holds both descriptor latches and
-  // has verified the page is not resident on any tier.
-  Result<PageGuard> InstallPinned(SharedPageDescriptor* d, AccessIntent intent,
-                                  const std::byte* src);
-
-  // Sequential-miss detection: after a miss on `pid`, schedule a prefetch
-  // window starting at it if the miss run looks sequential.
-  void MaybeScheduleReadAhead(page_id_t pid);
-  // Claims one prefetch window's read flights and queues its execution;
-  // requires ownership of read_ahead_inflight_, which passes to the
-  // queued execution (released on failure; returns whether a window was
-  // claimed).
-  bool ClaimAndQueueWindow(page_id_t start);
-  // Worker-side read-ahead: run the device reads for a claimed window
-  // and install the pages that arrive cleanly.
-  void PrefetchExecute(std::shared_ptr<void> claim, page_id_t start,
-                       size_t count);
-  // Installs one prefetched page image, preferring a free frame and
-  // falling back to at most one try-lock eviction round; silently drops
-  // the page on any contention or residency change.
-  void InstallPrefetched(page_id_t pid, const std::byte* src, uint64_t seq);
-
-  // Frame acquisition with eviction. Return kInvalidFrameId on failure.
-  frame_id_t AcquireDramFrame();
-  frame_id_t AcquireNvmFrame();
-  bool TryEvictDramFrame(frame_id_t f);
-  bool TryEvictNvmFrame(frame_id_t f);
-
-  // One CLOCK sweep evicting a single frame; used by the background
-  // writer to replenish the free lists. Returns kInvalidFrameId if no
-  // frame was evictable this sweep.
-  frame_id_t EvictOneDramFrame();
-  frame_id_t EvictOneNvmFrame();
-
-  // Mini pages.
-  uint32_t AcquireMiniSlot();
-  bool TryEvictMini(uint32_t mini_id);
-  std::byte* MiniPtr(uint32_t mini_id);
-  // Promotes a mini page to a full frame after overflow. Caller holds the
-  // descriptor's dram latch; mode is kMini on entry, kFull on success.
-  Status PromoteMiniToFull(SharedPageDescriptor* d);
-
-  // Writes the DRAM copy's dirty content back into the page's NVM frame.
-  // Caller holds the dram latch (and the nvm latch for full pages).
-  void WriteBackUnitsToNvm(SharedPageDescriptor* d);
-
-  // Decides whether a dirty page evicted from DRAM is admitted into NVM
-  // (probability Nw, or HyMem's admission queue).
-  bool DecideNvmAdmission(page_id_t pid);
-
-  uint64_t SsdOffset(page_id_t pid) const {
-    return static_cast<uint64_t>(pid) * kPageSize;
+  size_t num_shards() const { return shards_.size(); }
+  BufferShard* shard(size_t i) { return shards_[i].get(); }
+  uint32_t ShardIndexOf(page_id_t pid) const {
+    return ShardOfPage(pid, static_cast<uint32_t>(shards_.size()));
   }
 
-  Status WriteToSsd(page_id_t pid, const std::byte* data);
-
-  // FlushPage body without the I/O drain (FlushAll batches the drain).
-  Status FlushPageImpl(page_id_t pid);
-
-  // Loads the units covering [offset, offset+size) of a cache-line-grained
-  // page from its NVM copy. Caller holds the dram latch.
-  void EnsureUnitsResident(SharedPageDescriptor* d, size_t offset,
-                           size_t size);
-
-  // Data plane used by PageGuard.
-  Status GuardRead(SharedPageDescriptor* d, Tier tier, size_t offset,
-                   size_t size, void* dst);
-  Status GuardWrite(SharedPageDescriptor* d, Tier tier, size_t offset,
-                    size_t size, const void* src);
-  std::byte* GuardRawData(SharedPageDescriptor* d, Tier tier, bool for_write);
+ private:
+  BufferShard* ShardFor(page_id_t pid) const {
+    return shards_[ShardOfPage(pid,
+                               static_cast<uint32_t>(shards_.size()))]
+        .get();
+  }
 
   BufferManagerOptions options_;
-  std::atomic<double> dr_{1.0}, dw_{1.0}, nr_{1.0}, nw_{1.0};
 
   Device* ssd_ = nullptr;
   NvmDevice* nvm_ = nullptr;
@@ -449,48 +186,11 @@ class BufferManager {
   std::unique_ptr<NvmDevice> owned_nvm_;
   std::unique_ptr<Device> owned_dram_;
 
-  std::unique_ptr<BufferPool> dram_pool_;
-  std::unique_ptr<BufferPool> nvm_pool_;
-  std::unique_ptr<AdmissionQueue> admission_queue_;
-  MiniRegion mini_;
-
-  ConcurrentHashTable<page_id_t, SharedPageDescriptor*> mapping_table_;
-  std::mutex desc_mu_;
-  std::vector<std::unique_ptr<SharedPageDescriptor>> descriptors_;
-
-  std::atomic<page_id_t> next_page_id_{0};
-  BufferStats stats_;
-  std::unique_ptr<BackgroundWriter> bg_writer_;
   std::unique_ptr<IoScheduler> io_;
+  std::atomic<page_id_t> next_page_id_{0};
 
-  // Sequential-miss run detection for read-ahead. `ra_next_pid_` is the
-  // page just past the last prefetched window: a miss landing exactly
-  // there means the scan consumed the whole window, so the next one is
-  // chained immediately instead of waiting for the run counter to rebuild
-  // (trailing joiner misses inside the window scramble the counter).
-  std::atomic<page_id_t> last_miss_pid_{kInvalidPageId};
-  std::atomic<uint32_t> seq_miss_run_{0};
-  std::atomic<page_id_t> ra_next_pid_{kInvalidPageId};
-  // Set by the destructor before draining the scheduler: completions
-  // fired during tear-down fail their tickets instead of installing.
-  std::atomic<bool> shutting_down_{false};
-  // Miss admission control: distinct pages in kIoInflight right now and
-  // the cap (half the pool). Async rings can submit far more concurrent
-  // misses than there are frames; past the cap a would-be leader fails
-  // fast with Busy instead of queueing a device read whose install is
-  // doomed to find no free frame (and whose re-dispatch re-reads would
-  // crowd the device queues into livelock).
-  std::atomic<uint32_t> inflight_misses_{0};
-  uint32_t miss_admission_cap_ = 0;
-  // Live range [ra_live_lo_, ra_next_pid_) of the chain's recent windows
-  // and the consumed flag an access inside it sets: a HIT there proves a
-  // scan front is following the chain even when prefetch runs far enough
-  // ahead that the front never misses (and so never joins a flight).
-  // Without it a perfectly-overlapped chain would look abandoned and die
-  // every other window.
-  std::atomic<page_id_t> ra_live_lo_{kInvalidPageId};
-  std::atomic<bool> ra_consumed_{false};
-  std::atomic<bool> read_ahead_inflight_{false};
+  std::vector<std::unique_ptr<BufferShard>> shards_;
+  BufferStatsAggregate stats_;
 };
 
 }  // namespace spitfire

@@ -24,6 +24,9 @@ BufferPool::BufferPool(const BufferPoolConfig& config)
     : tier_(config.tier),
       device_(config.device),
       num_frames_(config.num_frames),
+      total_frames_(config.total_frames ? config.total_frames
+                                        : config.num_frames),
+      frame_base_(config.frame_base),
       persistent_frame_table_(config.persistent_frame_table),
       free_list_(config.num_frames ? config.num_frames : 1),
       replacer_(Replacer::Create(config.replacer, config.num_frames)),
@@ -32,13 +35,15 @@ BufferPool::BufferPool(const BufferPoolConfig& config)
   if (replacer_->kind() == ReplacerKind::kClock) {
     clock_ = static_cast<ClockReplacer*>(replacer_.get());
   }
-  const size_t num_frames = num_frames_;
   const bool persistent_frame_table = persistent_frame_table_;
+  SPITFIRE_CHECK(frame_base_ + num_frames_ <= total_frames_);
   SPITFIRE_CHECK(device_ != nullptr);
+  // The device must hold the whole shared frame region, not just this
+  // pool's slice: layout is computed from total_frames_.
   SPITFIRE_CHECK(device_->capacity() >=
-                 RequiredCapacity(num_frames, persistent_frame_table));
+                 RequiredCapacity(total_frames_, persistent_frame_table));
   if (persistent_frame_table_) {
-    frames_base_ = (num_frames * sizeof(page_id_t) + kPageSize - 1) /
+    frames_base_ = (total_frames_ * sizeof(page_id_t) + kPageSize - 1) /
                    kPageSize * kPageSize;
   }
   for (size_t f = 0; f < num_frames_; ++f) {

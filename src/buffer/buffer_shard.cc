@@ -1,0 +1,1979 @@
+#include "buffer/buffer_shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/timer.h"
+#include "hymem/mini_page.h"
+#include "storage/dram_device.h"
+
+namespace spitfire {
+
+namespace {
+constexpr int kFetchMaxAttempts = 8192;
+// How long a promotion waits to retire the NVM copy (drain optimistic
+// pins, Section 5.2) before giving up and serving the access from NVM.
+constexpr int kPinDrainSpins = 4096;
+
+// Async miss path budgets. A submission spins kSubmitHitAttempts on
+// transient pin races before reporting Busy; a queued ticket survives
+// kTicketMaxAttempts completion-time re-dispatches (this also bounds the
+// recursion depth when the simulated device completes reads inline); the
+// blocking FetchPage shim resubmits a Busy ticket kFetchBusyRounds times
+// under exponential backoff between kBackoffMinNanos and kBackoffMaxNanos.
+constexpr int kSubmitHitAttempts = 256;
+constexpr int kTicketMaxAttempts = 48;
+constexpr int kFetchBusyRounds = 64;
+constexpr uint64_t kBackoffMinNanos = 1'000;
+constexpr uint64_t kBackoffMaxNanos = 512'000;
+// Below this a backoff spins (sleeping costs more than it yields);
+// above it the thread sleeps so evictors and completions get the core.
+constexpr uint64_t kBackoffSpinCapNanos = 8'192;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PageGuard
+// ---------------------------------------------------------------------------
+
+Status PageGuard::ReadAt(size_t offset, size_t size, void* dst) {
+  SPITFIRE_DCHECK(valid());
+  return bm_->GuardRead(desc_, tier_, offset, size, dst);
+}
+
+Status PageGuard::WriteAt(size_t offset, size_t size, const void* src) {
+  SPITFIRE_DCHECK(valid());
+  return bm_->GuardWrite(desc_, tier_, offset, size, src);
+}
+
+std::byte* PageGuard::RawData(bool for_write) {
+  SPITFIRE_DCHECK(valid());
+  return bm_->GuardRawData(desc_, tier_, for_write);
+}
+
+void PageGuard::MarkDirty() {
+  SPITFIRE_DCHECK(valid());
+  if (tier_ == Tier::kDram) {
+    desc_->dram.dirty.store(true, std::memory_order_release);
+  } else {
+    desc_->nvm.dirty.store(true, std::memory_order_release);
+  }
+}
+
+void PageGuard::Release() {
+  if (desc_ != nullptr) {
+    bm_->Unpin(desc_, tier_);
+    desc_ = nullptr;
+    bm_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+BufferShard::BufferShard(const BufferManagerOptions& options,
+                         const BufferShardContext& ctx)
+    : options_(options),
+      shard_index_(ctx.shard_index),
+      num_shards_(ctx.num_shards),
+      ssd_(ctx.ssd),
+      nvm_(ctx.nvm),
+      dram_backing_(ctx.dram_backing),
+      next_page_id_(ctx.next_page_id),
+      io_(ctx.io) {
+  SPITFIRE_CHECK(ssd_ != nullptr);
+  SPITFIRE_CHECK(next_page_id_ != nullptr);
+  SPITFIRE_CHECK(options_.replacer_sample_rate >= 1);
+  SetPolicy(options_.policy);
+
+  if (options_.nvm_frames > 0) {
+    SPITFIRE_CHECK(nvm_ != nullptr);
+    nvm_pool_ = std::make_unique<BufferPool>(
+        BufferPoolConfig{Tier::kNvm, nvm_, options_.nvm_frames,
+                         /*persistent_frame_table=*/true,
+                         options_.nvm_replacer,
+                         ctx.nvm_total_frames, ctx.nvm_frame_base});
+    if (options_.nvm_admission == NvmAdmissionMode::kAdmissionQueue) {
+      size_t cap = options_.admission_queue_capacity;
+      if (cap == 0) cap = std::max<size_t>(1, options_.nvm_frames / 2);
+      admission_queue_ = std::make_unique<AdmissionQueue>(cap);
+    }
+  }
+
+  if (options_.dram_frames > 0) {
+    SPITFIRE_CHECK(dram_backing_ != nullptr);
+    dram_pool_ = std::make_unique<BufferPool>(
+        BufferPoolConfig{Tier::kDram, dram_backing_, options_.dram_frames,
+                         /*persistent_frame_table=*/false,
+                         options_.dram_replacer,
+                         ctx.dram_total_frames, ctx.dram_frame_base});
+
+    if (options_.enable_mini_pages && nvm_pool_ != nullptr) {
+      size_t host = options_.mini_host_frames;
+      if (host == 0) host = std::max<size_t>(1, options_.dram_frames / 8);
+      host = std::min(host, options_.dram_frames);
+      mini_.per_frame = MiniPageView::PerFrame(options_.load_granularity);
+      for (size_t i = 0; i < host; ++i) {
+        frame_id_t f;
+        if (!dram_pool_->TryAllocateFrame(&f)) break;
+        mini_.host_frames.push_back(f);
+      }
+      mini_.capacity = mini_.host_frames.size() * mini_.per_frame;
+      if (mini_.capacity > 0) {
+        mini_.free_list = std::make_unique<MpmcQueue<uint32_t>>(mini_.capacity);
+        mini_.replacer =
+            Replacer::Create(ReplacerKind::kClock, mini_.capacity);
+        mini_.owners = std::vector<std::atomic<SharedPageDescriptor*>>(
+            mini_.capacity);
+        for (uint32_t m = 0; m < mini_.capacity; ++m) {
+          mini_.owners[m].store(nullptr, std::memory_order_relaxed);
+          SPITFIRE_CHECK(mini_.free_list->TryPush(m));
+        }
+      }
+    }
+  }
+  SPITFIRE_CHECK(dram_pool_ != nullptr || nvm_pool_ != nullptr);
+  SPITFIRE_CHECK(!options_.enable_io_scheduler || io_ != nullptr);
+
+  // Per-shard admission control: each shard bounds its own in-flight
+  // misses by half its own frame budget, so one shard's miss storm cannot
+  // starve the others' install capacity.
+  miss_admission_cap_ = std::max<uint32_t>(
+      8, static_cast<uint32_t>(options_.dram_frames + options_.nvm_frames) / 2);
+
+  if (options_.enable_background_writer) {
+    size_t wm = options_.bg_writer_low_watermark;
+    if (wm == 0) {
+      size_t smallest = SIZE_MAX;
+      if (dram_pool_ != nullptr) smallest = dram_pool_->num_frames();
+      if (nvm_pool_ != nullptr) {
+        smallest = std::min(smallest, nvm_pool_->num_frames());
+      }
+      wm = std::max<size_t>(1, smallest / 8);
+    }
+    bg_writer_ = std::make_unique<BackgroundWriter>(
+        this, wm, options_.bg_writer_interval_us);
+  }
+}
+
+void BufferShard::PrepareShutdown() {
+  // Stop the writer before the pools it sweeps are torn down. The flag
+  // makes completions fired during the subsequent I/O-scheduler drain fail
+  // their tickets with Busy instead of installing pages and handing out
+  // guards that would outlive the descriptors they pin. The scheduler
+  // itself is shared across shards and shut down by the owning
+  // BufferManager after every shard has run this.
+  shutting_down_.store(true, std::memory_order_release);
+  if (bg_writer_ != nullptr) bg_writer_->Stop();
+}
+
+BufferShard::~BufferShard() { PrepareShutdown(); }
+
+SharedPageDescriptor* BufferShard::GetOrCreateDescriptor(page_id_t pid) {
+  return mapping_table_.GetOrCreate(pid, [this, pid]() {
+    auto d = std::make_unique<SharedPageDescriptor>(pid);
+    SharedPageDescriptor* raw = d.get();
+    std::lock_guard<std::mutex> g(desc_mu_);
+    descriptors_.push_back(std::move(d));
+    return raw;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Pinning (the latch-free hit path)
+// ---------------------------------------------------------------------------
+
+bool BufferShard::ShouldSampleAccess() {
+  const uint32_t k = options_.replacer_sample_rate;
+  if (k <= 1) return true;
+  thread_local uint32_t tick = 0;
+  return (++tick % k) == 0;
+}
+
+bool BufferShard::TryPinDram(SharedPageDescriptor* d) {
+  const DramMode m = d->dram.TryPin();
+  if (m == DramMode::kNone) return false;
+  // Sampled CLOCK accounting: the reference bitmap is shared, so touching
+  // it on every hit restores the very contention the latch-free pin
+  // removed. Misses are recorded exactly at install time.
+  if (ShouldSampleAccess()) {
+    stats_.Add(BufferCounter::kReplacerSampled);
+    if (m == DramMode::kMini) {
+      // `mini_id` may be stale if a concurrent overflow promoted the page
+      // to a full frame; a stray reference bit on a freed slot is benign.
+      mini_.replacer->RecordAccess(d->mini_id.load(std::memory_order_relaxed));
+    } else {
+      dram_pool_->ReplacerRecordAccess(
+          d->dram.frame.load(std::memory_order_relaxed));
+    }
+  }
+  // No counter on the suppressed branch: an extra per-hit atomic here costs
+  // ~10% of pure hit throughput. Snapshot() derives suppressed counts as
+  // hits - sampled.
+  return true;
+}
+
+bool BufferShard::TryPinNvm(SharedPageDescriptor* d) {
+  if (d->nvm.TryPin() == DramMode::kNone) return false;
+  if (ShouldSampleAccess()) {
+    stats_.Add(BufferCounter::kReplacerSampled);
+    nvm_pool_->ReplacerRecordAccess(
+        d->nvm.frame.load(std::memory_order_relaxed));
+  }
+  return true;
+}
+
+void BufferShard::Unpin(SharedPageDescriptor* d, Tier tier) {
+  if (tier == Tier::kDram) {
+    d->dram.Unpin();
+  } else {
+    d->nvm.Unpin();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------------
+
+int BufferShard::TryHitOnce(SharedPageDescriptor* d, AccessIntent intent,
+                              const MigrationPolicy& pol, Tier* tier) {
+  // 1. DRAM hit: one CAS on the packed state word, no latch.
+  if (TryPinDram(d)) {
+    stats_.Add(BufferCounter::kDramHits);
+    *tier = Tier::kDram;
+    return 1;
+  }
+
+  // 2. NVM hit: possibly migrate up (Dr / Dw), else serve in place.
+  if (d->NvmResident()) {
+    const bool promote =
+        dram_pool_ != nullptr &&
+        (intent == AccessIntent::kRead ? pol.MigrateNvmToDramOnRead()
+                                       : pol.UseDramOnWrite());
+    if (promote) {
+      const Status st = PromoteToDram(d);
+      if (st.ok()) return -1;  // retry: should pin DRAM now
+      // Busy: fall through and serve from NVM.
+    }
+    if (TryPinNvm(d)) {
+      if (d->DramResident()) {
+        // A promotion slipped in between the DRAM miss above and this
+        // pin. Once a DRAM copy exists it is authoritative — every
+        // other thread pins it first and writes land there — so serving
+        // (or writing) the NVM copy now would act on stale bytes.
+        // Promotion cannot exclude us either: it only drains NVM pins
+        // that exist while it runs. Drop the pin and retry; the pin CAS
+        // (acquire) pairs with the promoter's release publishes, so
+        // this residency re-read is reliable.
+        Unpin(d, Tier::kNvm);
+        return -1;
+      }
+      stats_.Add(BufferCounter::kNvmHits);
+      *tier = Tier::kNvm;
+      return 1;
+    }
+    return -1;  // raced with an NVM eviction
+  }
+  return 0;
+}
+
+Result<PageGuard> BufferShard::FetchPage(page_id_t pid,
+                                           AccessIntent intent) {
+  if (pid >= next_page_id_->load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("fetch of unallocated page");
+  }
+  SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+  if (io_ == nullptr) return FetchPageSync(d, intent);
+
+  // Blocking shim over the submission/completion split: submit a ticket,
+  // drive completions until it fires, retry transient failures with a
+  // bounded exponential backoff (the old code retried with a bare pause,
+  // which under pool exhaustion just hammered the evictors it was
+  // waiting on).
+  FetchTicket t;
+  uint64_t backoff_ns = kBackoffMinNanos;
+  for (int round = 0; round < kFetchBusyRounds; ++round) {
+    const FetchSubmit s = SubmitFetch(pid, intent, &t);
+    if (s == FetchSubmit::kQueuedLeader) {
+      // Blocking fidelity: the leader pays its miss latency on this core,
+      // pumping completions (its own included) while it waits.
+      while (!t.ready.load(std::memory_order_acquire)) {
+        if (!io_->PumpCompletions(/*may_sleep=*/false)) {
+          __builtin_ia32_pause();
+        }
+      }
+    } else if (s == FetchSubmit::kQueuedJoined) {
+      // A joiner's latency is covered by the leader's spin (or by the
+      // async ring); don't burn the core next to it. Sleep on the
+      // scheduler's completion broadcast — epoch-checked, so a completion
+      // firing between the ready check and the wait returns immediately —
+      // and steal queued prefetch work on each wake, exactly as the old
+      // flight join did through the shard condvar.
+      while (!t.ready.load(std::memory_order_acquire)) {
+        const uint64_t epoch = io_->completion_epoch();
+        if (t.ready.load(std::memory_order_acquire)) break;
+        if (io_->TryRunPendingTask()) continue;
+        if (t.ready.load(std::memory_order_acquire)) break;
+        io_->WaitForCompletion(epoch, 100'000);
+      }
+    }
+    if (t.status.ok()) return std::move(t.guard);
+    if (!t.status.IsBusy()) return t.status;
+    if (backoff_ns <= kBackoffSpinCapNanos) {
+      SpinWaitNanos(backoff_ns);
+    } else {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
+    }
+    backoff_ns = std::min(backoff_ns * 2, kBackoffMaxNanos);
+    t.Reset();
+  }
+  return Status::Busy("FetchPage exceeded retry budget");
+}
+
+Result<PageGuard> BufferShard::FetchPageSync(SharedPageDescriptor* d,
+                                               AccessIntent intent) {
+  const MigrationPolicy pol = policy();
+  for (int attempt = 0; attempt < kFetchMaxAttempts; ++attempt) {
+    Tier tier;
+    const int h = TryHitOnce(d, intent, pol, &tier);
+    if (h > 0) return PageGuard(this, d, tier);
+    if (h == 0) {
+      // Miss: fetch from SSD under the latches.
+      Result<PageGuard> r = InstallFromSsd(d, intent);
+      if (r.ok()) return r;
+      if (!r.status().IsBusy()) return r;
+    }
+    __builtin_ia32_pause();
+  }
+  return Status::Busy("FetchPage exceeded retry budget");
+}
+
+BufferShard::FrameCensus BufferShard::DebugDramCensus() const {
+  FrameCensus c;
+  if (dram_pool_ == nullptr) return c;
+  for (frame_id_t f = 0; f < dram_pool_->num_frames(); ++f) {
+    SharedPageDescriptor* d = dram_pool_->Owner(f);
+    if (d == nullptr) {
+      ++c.free;
+      continue;
+    }
+    if (d->dram.frame.load(std::memory_order_relaxed) != f ||
+        !d->dram.Resident()) {
+      ++c.detached;
+      continue;
+    }
+    const uint32_t pins = d->dram.Pins();
+    c.total_pins += pins;
+    if (pins > 0) {
+      ++c.pinned;
+    } else {
+      ++c.evictable;
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous miss path: submission half
+// ---------------------------------------------------------------------------
+
+void BufferShard::FinishTicket(FetchTicket* t, Status st) {
+  t->status = std::move(st);
+  t->ready.store(true, std::memory_order_release);
+}
+
+bool BufferShard::PumpIo(bool may_sleep) {
+  return io_ != nullptr && io_->PumpCompletions(may_sleep);
+}
+
+FetchSubmit BufferShard::SubmitFetch(page_id_t pid, AccessIntent intent,
+                                       FetchTicket* t) {
+  t->pid = pid;
+  t->intent = intent;
+  // Write-intent share of the fetch stream; the online tuner reads this
+  // (with the hit/migration counters) as its workload-mix signature.
+  if (intent == AccessIntent::kWrite) {
+    stats_.Add(BufferCounter::kWriteFetches);
+  }
+  if (pid >= next_page_id_->load(std::memory_order_relaxed)) {
+    FinishTicket(t, Status::InvalidArgument("fetch of unallocated page"));
+    return FetchSubmit::kCompleted;
+  }
+  SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+  if (io_ == nullptr) {
+    // No async engine: serve through the legacy synchronous path.
+    Result<PageGuard> r = FetchPageSync(d, intent);
+    if (r.ok()) {
+      t->guard = r.MoveValue();
+      FinishTicket(t, Status::OK());
+    } else {
+      FinishTicket(t, r.status());
+    }
+    return FetchSubmit::kCompleted;
+  }
+
+  // Read-ahead keepalive: two relaxed loads on the hot path; matches only
+  // inside the live range of the active prefetch chain.
+  if (pid >= ra_live_lo_.load(std::memory_order_relaxed) &&
+      pid < ra_next_pid_.load(std::memory_order_relaxed)) {
+    ra_consumed_.store(true, std::memory_order_relaxed);
+  }
+  return SubmitFetchOnDescriptor(d, intent, t);
+}
+
+FetchSubmit BufferShard::SubmitFetchOnDescriptor(SharedPageDescriptor* d,
+                                                   AccessIntent intent,
+                                                   FetchTicket* t) {
+  const MigrationPolicy pol = policy();
+  for (int attempt = 0; attempt < kSubmitHitAttempts; ++attempt) {
+    Tier tier;
+    const int h = TryHitOnce(d, intent, pol, &tier);
+    if (h > 0) {
+      // Capture before firing: the owner may destroy the ticket the
+      // moment ready reads true. A re-dispatched ticket (attempts > 0)
+      // may have a sleeping owner, so wake the completion waiters.
+      const bool redispatched = t->attempts > 0;
+      t->guard = PageGuard(this, d, tier);
+      FinishTicket(t, Status::OK());
+      if (redispatched) io_->SignalCompletions();
+      return FetchSubmit::kCompleted;
+    }
+    if (h < 0) {
+      __builtin_ia32_pause();
+      continue;
+    }
+
+    // Clean miss: join the in-flight fetch or become its leader. io_latch
+    // is taken alone here — never a tier latch inside it — so it can nest
+    // inside the tier latches on the completion side.
+    d->io_latch.Lock();
+    if (d->io_state == IoState::kIoInflight) {
+      t->next = d->io_waiters;
+      d->io_waiters = t;
+      d->io_latch.Unlock();
+      // Misses that piggyback on an in-flight read are dedup wins exactly
+      // like scheduler-level flight joiners; count them with the same
+      // stat so "N threads, one device read" stays observable.
+      io_->stats().reads_deduped.fetch_add(1, std::memory_order_relaxed);
+      stats_.Add(BufferCounter::kMissJoins);
+      return FetchSubmit::kQueuedJoined;
+    }
+    if (d->DramResident() || d->NvmResident()) {
+      // Residency appeared between the pin probe and the latch; loop and
+      // pin it.
+      d->io_latch.Unlock();
+      continue;
+    }
+    // Admission control: refuse to lead a new miss once half the pool's
+    // worth of pages is already in flight — the install would find no
+    // frame and the re-dispatch re-reads would crowd the device queues.
+    // Fail fast with Busy so the submitter backs off or works elsewhere.
+    if (inflight_misses_.fetch_add(1, std::memory_order_acq_rel) >=
+        miss_admission_cap_) {
+      inflight_misses_.fetch_sub(1, std::memory_order_acq_rel);
+      d->io_latch.Unlock();
+      const bool redispatched = t->attempts > 0;
+      FinishTicket(t, Status::Busy("miss admission: buffer saturated"));
+      if (redispatched) io_->SignalCompletions();
+      return FetchSubmit::kCompleted;
+    }
+    d->io_state = IoState::kIoInflight;
+    t->next = nullptr;
+    d->io_waiters = t;
+    d->io_latch.Unlock();
+    stats_.Add(BufferCounter::kMissSubmits);
+    LeadMiss(d);
+    return FetchSubmit::kQueuedLeader;
+  }
+  {
+    const bool redispatched = t->attempts > 0;
+    FinishTicket(t, Status::Busy("fetch submission starved by races"));
+    if (redispatched) io_->SignalCompletions();
+  }
+  return FetchSubmit::kCompleted;
+}
+
+void BufferShard::LeadMiss(SharedPageDescriptor* d) {
+  // Kick read-ahead before submitting: the window claim registers this
+  // page's read flight, so the submission below joins the coalesced
+  // window read instead of leading a separate single-page device op.
+  MaybeScheduleReadAhead(d->pid);
+  if (d->DramResident() || d->NvmResident()) {
+    // The window ran inline and installed the page. Resolve the in-flight
+    // state without touching the device; waiters re-dispatch and hit.
+    CompleteMiss(d, Status::Busy("page appeared during read-ahead"),
+                 /*data=*/nullptr, /*seq=*/0);
+    return;
+  }
+  io_->SubmitRead(
+      SsdOffset(d->pid),
+      [this, d](const Status& st, const std::byte* data, uint64_t seq) {
+        CompleteMiss(d, st, data, seq);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous miss path: completion half
+// ---------------------------------------------------------------------------
+
+void BufferShard::CompleteMiss(SharedPageDescriptor* d, Status st,
+                                 const std::byte* data, uint64_t seq) {
+  // One completion per leader: releases the admission slot taken when the
+  // descriptor entered kIoInflight (re-dispatched waiters that lead a new
+  // miss take a fresh slot).
+  inflight_misses_.fetch_sub(1, std::memory_order_acq_rel);
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    // Tear-down drain: the scheduler fires leftover flights early. Fail
+    // every waiter without installing — tickets stay guard-free, so they
+    // can safely outlive the buffer manager.
+    d->io_latch.Lock();
+    FetchTicket* w = d->io_waiters;
+    d->io_waiters = nullptr;
+    d->io_state = IoState::kIdle;
+    d->io_latch.Unlock();
+    while (w != nullptr) {
+      FetchTicket* next = w->next;
+      w->next = nullptr;
+      FinishTicket(w, Status::Busy("buffer manager shutting down"));
+      w = next;
+    }
+    return;
+  }
+  FetchTicket* waiters = nullptr;
+  Tier tier = Tier::kDram;
+  bool installed = false;
+  PageGuard first;
+  {
+    SpinLatchGuard gd(d->dram_latch);
+    SpinLatchGuard gn(d->nvm_latch);
+    if (st.ok()) {
+      if (d->DramResident() || d->NvmResident()) {
+        st = Status::Busy("page appeared while installing");
+      } else if (io_->WriteSeq(SsdOffset(d->pid)) != seq) {
+        // A write-back landed while the read was in flight; the
+        // re-dispatch below is served from the scheduler's staged image.
+        st = Status::Busy("page written during miss read");
+      } else {
+        Result<PageGuard> r = InstallPinned(d, AccessIntent::kRead, data);
+        if (r.ok()) {
+          first = r.MoveValue();
+          tier = first.tier();
+          installed = true;
+        } else {
+          st = r.status();
+        }
+      }
+    }
+
+    // Detach the waiter list and clear the in-flight mark. io_latch nests
+    // inside the tier latches only here (submitters take it alone), so
+    // install → detach → pin is one atomic step with respect to evictors:
+    // nothing can retire the fresh copy before every waiter holds a pin.
+    d->io_latch.Lock();
+    waiters = d->io_waiters;
+    d->io_waiters = nullptr;
+    d->io_state = IoState::kIdle;
+    d->io_latch.Unlock();
+
+    if (installed) {
+      bool first_pin_used = false;
+      for (FetchTicket* t = waiters; t != nullptr; t = t->next) {
+        if (!first_pin_used) {
+          t->guard = std::move(first);  // the install's own pin
+          first_pin_used = true;
+        } else {
+          // Cannot fail: the copy was published above and both tier
+          // latches are held, so no evictor can retire it.
+          const DramMode m =
+              tier == Tier::kDram ? d->dram.TryPin() : d->nvm.TryPin();
+          SPITFIRE_DCHECK(m != DramMode::kNone);
+          (void)m;
+          t->guard = PageGuard(this, d, tier);
+          // Each completed waiter is one fetch served from SSD —
+          // TotalFetches counts exactly one counter per success.
+          stats_.Add(BufferCounter::kSsdFetches);
+        }
+        t->status = Status::OK();
+      }
+      // With no waiters (all were re-dispatched away earlier) `first`
+      // drops its pin on scope exit and the page simply stays resident.
+    }
+  }  // tier latches released
+
+  if (installed) {
+    // Fire outside the latches. Read `next` before the release store:
+    // the owner may destroy (or Reset and relink) the ticket the moment
+    // it observes ready == true.
+    bool woke_joiner = false;
+    for (FetchTicket* t = waiters; t != nullptr;) {
+      FetchTicket* next = t->next;
+      t->next = nullptr;
+      t->ready.store(true, std::memory_order_release);
+      woke_joiner = true;
+      t = next;
+    }
+    // When this completion ran inside a scheduler callback the scheduler
+    // broadcasts right after it; signal here too so tickets completed on
+    // the direct path (LeadMiss's resident short-circuit, re-dispatch)
+    // also wake their sleeping owners promptly.
+    if (woke_joiner) io_->SignalCompletions();
+    return;
+  }
+
+  // Failure. Hard errors complete every waiter; Busy re-dispatches them
+  // (the page may have appeared, be staged in the scheduler, or need a
+  // fresh read) under a per-ticket attempt budget that also bounds the
+  // recursion when the simulated device completes re-reads inline.
+  // Resubmission runs outside all latches for the same reason.
+  bool finished_any = false;
+  for (FetchTicket* t = waiters; t != nullptr;) {
+    FetchTicket* next = t->next;
+    t->next = nullptr;
+    if (!st.IsBusy()) {
+      FinishTicket(t, st);
+      finished_any = true;
+    } else if (++t->attempts >= kTicketMaxAttempts) {
+      FinishTicket(t, Status::Busy("fetch re-dispatch budget exhausted"));
+      finished_any = true;
+    } else {
+      (void)SubmitFetchOnDescriptor(d, t->intent, t);
+    }
+    t = next;
+  }
+  if (finished_any) io_->SignalCompletions();
+}
+
+Result<PageGuard> BufferShard::NewPageWithId(page_id_t pid,
+                                             uint32_t page_type) {
+  SPITFIRE_DCHECK(ShardOfPage(pid, num_shards_) == shard_index_);
+  if (SsdOffset(pid) + kPageSize > ssd_->capacity()) {
+    return Status::OutOfMemory("SSD device full");
+  }
+  SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+  SpinLatchGuard gd(d->dram_latch);
+  SpinLatchGuard gn(d->nvm_latch);
+  if (dram_pool_ != nullptr) {
+    const frame_id_t f = AcquireDramFrame();
+    if (f != kInvalidFrameId) {
+      PageView(dram_pool_->FramePtr(f)).Format(pid, page_type);
+      dram_pool_->SetOwner(f, d, pid);
+      d->dram.frame.store(f, std::memory_order_relaxed);
+      d->dram.dirty.store(true, std::memory_order_relaxed);
+      d->dram.Publish(DramMode::kFull, /*initial_pins=*/1);
+      dram_pool_->ReplacerRecordInstall(f);
+      return PageGuard(this, d, Tier::kDram);
+    }
+  }
+  if (nvm_pool_ != nullptr) {
+    const frame_id_t f = AcquireNvmFrame();
+    if (f != kInvalidFrameId) {
+      PageView(nvm_pool_->FramePtr(f)).Format(pid, page_type);
+      nvm_->OnDirectWrite(nvm_pool_->FrameOffset(f), kPageSize,
+                          /*sequential=*/true);
+      nvm_pool_->SetOwner(f, d, pid);
+      d->nvm.frame.store(f, std::memory_order_relaxed);
+      d->nvm.dirty.store(true, std::memory_order_relaxed);
+      d->nvm.Publish(DramMode::kFull, /*initial_pins=*/1);
+      nvm_pool_->ReplacerRecordInstall(f);
+      return PageGuard(this, d, Tier::kNvm);
+    }
+  }
+  return Status::OutOfMemory("no frame available for new page");
+}
+
+namespace {
+// Per-thread scratch page for miss reads: the device read happens before
+// any descriptor latch is taken, so the destination cannot be the frame.
+std::byte* MissScratch() {
+  thread_local std::unique_ptr<std::byte[]> buf;
+  if (buf == nullptr) buf = std::make_unique<std::byte[]>(kPageSize);
+  return buf.get();
+}
+}  // namespace
+
+Result<PageGuard> BufferShard::InstallFromSsd(SharedPageDescriptor* d,
+                                                AccessIntent intent) {
+  // Only reached with the I/O scheduler disabled (FetchPageSync); misses
+  // otherwise go through SubmitFetch → LeadMiss → CompleteMiss.
+  SPITFIRE_DCHECK(io_ == nullptr);
+  // Legacy synchronous path: device read under the descriptor latches.
+  SpinLatchGuard gd(d->dram_latch);
+  SpinLatchGuard gn(d->nvm_latch);
+  if (d->DramResident() || d->NvmResident()) {
+    return Status::Busy("page appeared while installing");
+  }
+  std::byte* scratch = MissScratch();
+  SPITFIRE_RETURN_NOT_OK(ssd_->Read(SsdOffset(d->pid), scratch, kPageSize));
+  return InstallPinned(d, intent, scratch);
+}
+
+Result<PageGuard> BufferShard::InstallPinned(SharedPageDescriptor* d,
+                                               AccessIntent intent,
+                                               const std::byte* src) {
+  (void)intent;  // the landing tier depends only on Nr today
+  const MigrationPolicy pol = policy();
+  const bool have_dram = dram_pool_ != nullptr;
+  const bool have_nvm = nvm_pool_ != nullptr;
+
+  // Where does the page land? Bypassing NVM on the read path happens with
+  // probability 1 - Nr (Section 3.3); without a DRAM tier everything goes
+  // to NVM and vice versa.
+  bool to_nvm;
+  if (!have_dram) {
+    to_nvm = true;
+  } else if (!have_nvm) {
+    to_nvm = false;
+  } else {
+    to_nvm = pol.InstallSsdToNvmOnRead();
+  }
+
+  if (to_nvm) {
+    const frame_id_t f = AcquireNvmFrame();
+    if (f == kInvalidFrameId) {
+      if (!have_dram) return Status::Busy("NVM pool exhausted; retry");
+      to_nvm = false;  // fall back to DRAM
+    } else {
+      std::memcpy(nvm_pool_->FramePtr(f), src, kPageSize);
+      nvm_->OnDirectWrite(nvm_pool_->FrameOffset(f), kPageSize,
+                          /*sequential=*/true);
+      nvm_pool_->SetOwner(f, d, d->pid);
+      d->nvm.frame.store(f, std::memory_order_relaxed);
+      d->nvm.dirty.store(false, std::memory_order_relaxed);
+      d->nvm.Publish(DramMode::kFull, /*initial_pins=*/1);
+      nvm_pool_->ReplacerRecordInstall(f);
+      stats_.Add(BufferCounter::kSsdFetches);
+      stats_.Add(BufferCounter::kNvmInstalls);
+      return PageGuard(this, d, Tier::kNvm);
+    }
+  }
+
+  frame_id_t f = AcquireDramFrame();
+  if (f == kInvalidFrameId) {
+    // Transient exhaustion (every frame pinned or latched). If NVM has
+    // room, land the page there instead; otherwise let the caller retry.
+    if (have_nvm) {
+      const frame_id_t nf = AcquireNvmFrame();
+      if (nf != kInvalidFrameId) {
+        std::memcpy(nvm_pool_->FramePtr(nf), src, kPageSize);
+        nvm_->OnDirectWrite(nvm_pool_->FrameOffset(nf), kPageSize,
+                            /*sequential=*/true);
+        nvm_pool_->SetOwner(nf, d, d->pid);
+        d->nvm.frame.store(nf, std::memory_order_relaxed);
+        d->nvm.dirty.store(false, std::memory_order_relaxed);
+        d->nvm.Publish(DramMode::kFull, /*initial_pins=*/1);
+        nvm_pool_->ReplacerRecordInstall(nf);
+        stats_.Add(BufferCounter::kSsdFetches);
+        stats_.Add(BufferCounter::kNvmInstalls);
+        return PageGuard(this, d, Tier::kNvm);
+      }
+    }
+    return Status::Busy("DRAM pool exhausted; retry");
+  }
+  std::memcpy(dram_pool_->FramePtr(f), src, kPageSize);
+  dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f), kPageSize,
+                               /*sequential=*/true);
+  dram_pool_->SetOwner(f, d, d->pid);
+  d->dram.frame.store(f, std::memory_order_relaxed);
+  d->dram.dirty.store(false, std::memory_order_relaxed);
+  d->dram.Publish(DramMode::kFull, /*initial_pins=*/1);
+  dram_pool_->ReplacerRecordInstall(f);
+  stats_.Add(BufferCounter::kSsdFetches);
+  return PageGuard(this, d, Tier::kDram);
+}
+
+// ---------------------------------------------------------------------------
+// Read-ahead
+// ---------------------------------------------------------------------------
+
+void BufferShard::MaybeScheduleReadAhead(page_id_t pid) {
+  if (io_ == nullptr || options_.io_scheduler.read_ahead_pages == 0) return;
+  const page_id_t prev = last_miss_pid_.exchange(pid);
+  bool trigger = false;
+  if (pid == ra_next_pid_.load(std::memory_order_relaxed)) {
+    // The scan consumed the previous window and ran off its end: chain the
+    // next window without rebuilding a two-miss run.
+    trigger = true;
+  } else if (prev != kInvalidPageId && pid == prev + 1) {
+    trigger = seq_miss_run_.fetch_add(1) + 1 >= 2;
+  } else {
+    seq_miss_run_.store(1, std::memory_order_relaxed);
+  }
+  if (!trigger) return;
+  if (read_ahead_inflight_.exchange(true)) return;  // a window is in flight
+  // The window INCLUDES the missing page: the triggering miss then joins
+  // the window's read flight (or finds the page already installed), so
+  // the whole window is one coalesced device op with no separate
+  // front-page read. Steal the queued execution right away: this thread
+  // is about to wait on the window's boundary page anyway, and on the
+  // synchronous simulated device an inline read beats racing the worker
+  // for the core.
+  if (ClaimAndQueueWindow(pid)) io_->TryRunPendingTask();
+}
+
+bool BufferShard::ClaimAndQueueWindow(page_id_t start) {
+  // Precondition: this thread owns read_ahead_inflight_; ownership passes
+  // to the queued execution on success and is released here on failure.
+  const page_id_t horizon = next_page_id_->load(std::memory_order_relaxed);
+  // Skip pages that are already resident (e.g. whole windows surviving
+  // from the scan's previous pass over the database). Claiming them is
+  // not just wasted transfer: the front HITS straight through a resident
+  // window, so no miss ever joins its flights, nobody steals its queued
+  // execution, and the chain stalls holding the one-window gate while
+  // the front runs ahead on single-page reads. At a miss-triggered call
+  // the first page just missed, so this loop exits immediately; it only
+  // walks (bounded) when the stall it prevents would otherwise begin.
+  size_t trim_budget = 4 * options_.io_scheduler.read_ahead_pages;
+  while (start < horizon && OwnsPage(start)) {
+    SharedPageDescriptor* d = GetOrCreateDescriptor(start);
+    if (!d->DramResident() && !d->NvmResident()) break;
+    ++start;
+    if (--trim_budget == 0) break;
+  }
+  size_t n = start < horizon && trim_budget > 0 && OwnsPage(start)
+                 ? std::min<size_t>(options_.io_scheduler.read_ahead_pages,
+                                    horizon - start)
+                 : 0;
+  // Clamp the window to this shard's contiguous run of pages: routing is
+  // block-granular (kShardBlockBits), so a window crossing the block edge
+  // would install foreign pages into this shard's slice and duplicate a
+  // copy the owning shard knows nothing about. The front's next miss past
+  // the edge triggers the owning shard's own run detector.
+  size_t owned_run = 0;
+  while (owned_run < n && OwnsPage(start + owned_run)) ++owned_run;
+  n = owned_run;
+  if (n == 0) {
+    read_ahead_inflight_.store(false);
+    return false;
+  }
+  // A miss exactly at the window's end chains the next window without
+  // rebuilding a two-miss run (see MaybeScheduleReadAhead); any access
+  // inside [previous window, claim frontier) marks the chain as consumed
+  // (see FetchPage). The lower bound trails by one window because the
+  // front may still be consuming the window behind the one claimed here
+  // when the next life-or-death decision is made.
+  if (start >= options_.io_scheduler.read_ahead_pages) {
+    ra_live_lo_.store(start - options_.io_scheduler.read_ahead_pages,
+                      std::memory_order_relaxed);
+  } else {
+    ra_live_lo_.store(0, std::memory_order_relaxed);
+  }
+  ra_next_pid_.store(start + n, std::memory_order_relaxed);
+
+  // Claim the window's read flights NOW — from this point every miss on
+  // a window page joins a flight instead of leading its own single-page
+  // device read — with no residency pre-scan: a claimed page that turns
+  // out to be resident costs only its share of the coalesced transfer
+  // and is dropped by InstallPrefetched's residency and write-sequence
+  // checks. Only the device work is deferred.
+  std::shared_ptr<void> claim = io_->ClaimPrefetch(SsdOffset(start), n);
+  if (claim == nullptr) {
+    read_ahead_inflight_.store(false);
+    return false;
+  }
+  const bool queued = io_->Submit([this, claim, start, n] {
+    PrefetchExecute(claim, start, n);
+  });
+  if (!queued) {
+    // Shutting down: the claim must still complete or joiners hang.
+    PrefetchExecute(claim, start, n);
+  }
+  return true;
+}
+
+void BufferShard::PrefetchExecute(std::shared_ptr<void> claim,
+                                    page_id_t start, size_t count) {
+  std::vector<std::byte> buf(count * kPageSize);
+  std::vector<uint64_t> seqs(count, 0);
+  std::vector<char> covered(count, 0);
+  // Reinterpret: ExecutePrefetch wants bool*; vector<bool> is packed, so
+  // use a char vector and cast.
+  // Install each page from the executor's ready callback — after the
+  // device read, but before the page's flight completes — so at every
+  // instant a window page is either resident or has a joinable flight;
+  // there is no gap for a concurrent miss to duplicate the read.
+  (void)io_->ExecutePrefetch(
+      claim, buf.data(), seqs.data(), reinterpret_cast<bool*>(covered.data()),
+      [&](size_t i) {
+        InstallPrefetched(start + i, buf.data() + i * kPageSize, seqs[i]);
+      },
+      /*joined=*/nullptr,
+      // Chain decision — deliberately BEFORE the executor completes the
+      // window's flights. Threads that found their page freshly installed
+      // are already running ahead, and on one core their device busy-waits
+      // can starve the completion pass for milliseconds; deciding here
+      // keeps the next window queued before the front reaches it.
+      //
+      // Joiners (or a hit inside the live range) mean a scan front is
+      // consuming this window: claim the NEXT window in this quiet
+      // moment — the front is at the pages just installed, so the claim
+      // cannot race a miss storm — and leave its execution queued; the
+      // first thread to miss on the new window's boundary page joins the
+      // pre-existing flight and steals the queued read (see
+      // IoScheduler::ReadPage). The chain must also verify the front is
+      // actually AT this window (last miss within one window of it):
+      // if execution was delayed, the front has run past on single reads
+      // and chaining would start a stale chase — claims forever behind
+      // the front, each wasting a full window read whose installs evict
+      // the frames the front just filled. No signal = nobody follows:
+      // release the gate and let the run detector start a fresh chain.
+      [&](size_t early) {
+        const bool cons =
+            ra_consumed_.exchange(false, std::memory_order_relaxed);
+        const page_id_t lm = last_miss_pid_.load(std::memory_order_relaxed);
+        const page_id_t next = start + count;
+        const size_t ra = options_.io_scheduler.read_ahead_pages;
+        const bool near =
+            lm != kInvalidPageId && lm + ra >= start && lm < next + ra;
+        if ((early > 0 || cons) && near) {
+          (void)ClaimAndQueueWindow(next);
+        } else {
+          read_ahead_inflight_.store(false);
+        }
+      });
+}
+
+void BufferShard::InstallPrefetched(page_id_t pid, const std::byte* src,
+                                      uint64_t seq) {
+  SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+  // Never contend with foreground work: TryLock only on the target, and at
+  // most one (try-lock-based) eviction round per pool when no frame is
+  // free — without it read-ahead would go dead the moment the pool warms
+  // up, which is exactly when a scan needs it.
+  if (!d->dram_latch.TryLock()) return;
+  if (!d->nvm_latch.TryLock()) {
+    d->dram_latch.Unlock();
+    return;
+  }
+  [&] {
+    if (d->DramResident() || d->NvmResident()) return;
+    if (io_->WriteSeq(SsdOffset(pid)) != seq) return;
+
+    const MigrationPolicy pol = policy();
+    const bool have_dram = dram_pool_ != nullptr;
+    const bool have_nvm = nvm_pool_ != nullptr;
+    const bool to_nvm = have_nvm && (!have_dram || pol.InstallSsdToNvmOnRead());
+    if (to_nvm) {
+      frame_id_t f;
+      if (!nvm_pool_->TryAllocateFrame(&f)) {
+        (void)EvictOneNvmFrame();
+        if (!nvm_pool_->TryAllocateFrame(&f)) return;
+      }
+      std::memcpy(nvm_pool_->FramePtr(f), src, kPageSize);
+      nvm_->OnDirectWrite(nvm_pool_->FrameOffset(f), kPageSize,
+                          /*sequential=*/true);
+      nvm_pool_->SetOwner(f, d, pid);
+      d->nvm.frame.store(f, std::memory_order_relaxed);
+      d->nvm.dirty.store(false, std::memory_order_relaxed);
+      d->nvm.Publish(DramMode::kFull, /*initial_pins=*/0);
+      nvm_pool_->ReplacerRecordInstall(f);
+    } else {
+      if (dram_pool_ == nullptr) return;
+      frame_id_t f;
+      if (!dram_pool_->TryAllocateFrame(&f)) {
+        (void)EvictOneDramFrame();
+        if (!dram_pool_->TryAllocateFrame(&f)) return;
+      }
+      std::memcpy(dram_pool_->FramePtr(f), src, kPageSize);
+      dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f), kPageSize,
+                                   /*sequential=*/true);
+      dram_pool_->SetOwner(f, d, pid);
+      d->dram.frame.store(f, std::memory_order_relaxed);
+      d->dram.dirty.store(false, std::memory_order_relaxed);
+      d->dram.Publish(DramMode::kFull, /*initial_pins=*/0);
+      dram_pool_->ReplacerRecordInstall(f);
+    }
+    stats_.Add(BufferCounter::kReadAheadInstalls);
+  }();
+  d->nvm_latch.Unlock();
+  d->dram_latch.Unlock();
+}
+
+// ---------------------------------------------------------------------------
+// Promotion (NVM → DRAM, data flow path 7)
+// ---------------------------------------------------------------------------
+
+Status BufferShard::PromoteToDram(SharedPageDescriptor* d) {
+  SPITFIRE_DCHECK(dram_pool_ != nullptr);
+  SpinLatchGuard gd(d->dram_latch);
+  if (d->DramResident()) return Status::OK();
+  SpinLatchGuard gn(d->nvm_latch);
+  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+  if (!d->NvmResident() || nf == kInvalidFrameId) {
+    return Status::Busy("NVM copy gone");
+  }
+
+  // Take the NVM copy private: retiring the state word drains in-flight
+  // optimistic pins and blocks new ones, so the DRAM copy includes every
+  // modification made in place on NVM (Section 5.2). Fetchers that miss
+  // during the copy block on the latches we hold, then retry. Every exit
+  // below must re-publish the NVM copy.
+  int spins = 0;
+  while (!d->nvm.TryRetire()) {
+    if (++spins > kPinDrainSpins) {
+      return Status::Busy("NVM readers did not drain");
+    }
+    __builtin_ia32_pause();
+  }
+
+  const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+
+  // HyMem-style admissions: mini page first, then cache-line-grained.
+  if (options_.enable_mini_pages && mini_.capacity > 0) {
+    const uint32_t m = AcquireMiniSlot();
+    if (m != UINT32_MAX) {
+      MiniPageView mp(MiniPtr(m));
+      mp.Format(d->pid, options_.load_granularity);
+      d->mini_id.store(m, std::memory_order_relaxed);
+      mini_.owners[m].store(d, std::memory_order_release);
+      d->dram.dirty.store(false, std::memory_order_relaxed);
+      d->dram.Publish(DramMode::kMini, 0);
+      d->nvm.Publish(DramMode::kFull, 0);
+      mini_.replacer->RecordInstall(m);
+      stats_.Add(BufferCounter::kMiniPageAdmits);
+      stats_.Add(BufferCounter::kPromotions);
+      return Status::OK();
+    }
+  }
+
+  const frame_id_t f = AcquireDramFrame();
+  if (f == kInvalidFrameId) {
+    d->nvm.Publish(DramMode::kFull, 0);
+    return Status::Busy("no DRAM frame");
+  }
+
+  if (options_.enable_fine_grained_loading) {
+    // No bytes move yet: units are loaded on demand from the NVM copy.
+    d->cl.Reset(options_.load_granularity);
+    dram_pool_->SetOwner(f, d, d->pid);
+    d->dram.frame.store(f, std::memory_order_relaxed);
+    d->dram.dirty.store(false, std::memory_order_relaxed);
+    d->dram.Publish(DramMode::kCacheLineGrained, 0);
+  } else {
+    const Status st = nvm_->Read(nvm_off, dram_pool_->FramePtr(f), kPageSize);
+    if (!st.ok()) {
+      dram_pool_->FreeFrame(f);
+      d->nvm.Publish(DramMode::kFull, 0);
+      return st;
+    }
+    dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f), kPageSize,
+                                 /*sequential=*/true);
+    dram_pool_->SetOwner(f, d, d->pid);
+    d->dram.frame.store(f, std::memory_order_relaxed);
+    d->dram.dirty.store(false, std::memory_order_relaxed);
+    d->dram.Publish(DramMode::kFull, 0);
+  }
+  d->nvm.Publish(DramMode::kFull, 0);
+  dram_pool_->ReplacerRecordInstall(f);
+  stats_.Add(BufferCounter::kPromotions);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Frame acquisition & eviction
+// ---------------------------------------------------------------------------
+
+frame_id_t BufferShard::AcquireDramFrame() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    frame_id_t f;
+    if (dram_pool_->TryAllocateFrame(&f)) return f;
+    if (attempt == 0 && bg_writer_ != nullptr) bg_writer_->Nudge();
+    dram_pool_->ReplacerPickVictim(
+        [this](frame_id_t v) { return TryEvictDramFrame(v); });
+  }
+  return kInvalidFrameId;
+}
+
+frame_id_t BufferShard::AcquireNvmFrame() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    frame_id_t f;
+    if (nvm_pool_->TryAllocateFrame(&f)) return f;
+    if (attempt == 0 && bg_writer_ != nullptr) bg_writer_->Nudge();
+    nvm_pool_->ReplacerPickVictim(
+        [this](frame_id_t v) { return TryEvictNvmFrame(v); });
+  }
+  return kInvalidFrameId;
+}
+
+frame_id_t BufferShard::EvictOneDramFrame() {
+  return dram_pool_->ReplacerPickVictim(
+      [this](frame_id_t v) { return TryEvictDramFrame(v); },
+      /*max_rounds=*/1);
+}
+
+frame_id_t BufferShard::EvictOneNvmFrame() {
+  return nvm_pool_->ReplacerPickVictim(
+      [this](frame_id_t v) { return TryEvictNvmFrame(v); },
+      /*max_rounds=*/1);
+}
+
+bool BufferShard::DecideNvmAdmission(page_id_t pid) {
+  if (admission_queue_ != nullptr) return admission_queue_->ShouldAdmit(pid);
+  return policy().AdmitToNvmOnDramEviction();
+}
+
+void BufferShard::WriteBackUnitsToNvm(SharedPageDescriptor* d) {
+  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+  SPITFIRE_DCHECK(nf != kInvalidFrameId);
+  const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+  const frame_id_t df = d->dram.frame.load(std::memory_order_relaxed);
+  std::byte* dram_ptr = dram_pool_->FramePtr(df);
+  const uint32_t usize = d->cl.unit_size;
+  const size_t units = d->cl.UnitsPerPage();
+  bool any = false;
+  for (size_t u = 0; u < units; ++u) {
+    if (!d->cl.dirty.Test(u)) continue;
+    (void)nvm_->Write(nvm_off + u * usize, dram_ptr + u * usize, usize);
+    any = true;
+  }
+  if (any) d->nvm.dirty.store(true, std::memory_order_relaxed);
+}
+
+// Eviction protocol: retire the state word FIRST (fails if any pin exists
+// or races in), which makes the evictor the exclusive owner of the frame
+// contents; only then write back / free. A failure after the retire must
+// re-publish the copy before unlocking.
+//
+// Retire ORDER matters. When the DRAM copy is dirty, any NVM copy is stale
+// until the write-back completes. If the DRAM word were retired first, a
+// reader whose optimistic DRAM pin lands in the retire window falls
+// through to TryPinNvm and reads pre-write-back bytes — a lost update from
+// the reader's point of view. So dirty paths retire the NVM word BEFORE
+// the DRAM word; with both retired (and both latches held, which blocks
+// InstallFromSsd), readers can only spin in FetchPage until the write-back
+// finishes and the copies are republished.
+bool BufferShard::TryEvictDramFrame(frame_id_t f) {
+  SharedPageDescriptor* d = dram_pool_->Owner(f);
+  if (d == nullptr) return false;
+  if (!d->dram_latch.TryLock()) return false;
+
+  const DramMode mode = d->dram.Mode();
+  const bool owns = (mode == DramMode::kFull ||
+                     mode == DramMode::kCacheLineGrained) &&
+                    d->dram.frame.load(std::memory_order_relaxed) == f &&
+                    dram_pool_->Owner(f) == d;
+  if (!owns) {
+    d->dram_latch.Unlock();
+    return false;
+  }
+
+  // Dirty hint, read before the retires to pick the retire order. The hint
+  // can miss a writer that set dirty but has not yet unpinned; the
+  // authoritative re-read after the DRAM retire catches that case.
+  const bool dirty_hint = d->dram.dirty.load(std::memory_order_relaxed) ||
+                          (mode == DramMode::kCacheLineGrained &&
+                           d->cl.dirty.Any());
+
+  bool nvm_locked = false;
+  bool nvm_retired = false;
+  const bool want_nvm =
+      nvm_pool_ != nullptr && (dirty_hint || admission_queue_ != nullptr);
+  if (want_nvm) {
+    if (!d->nvm_latch.TryLock()) {
+      d->dram_latch.Unlock();
+      return false;
+    }
+    nvm_locked = true;
+    if (dirty_hint && d->nvm.Resident()) {
+      if (!d->nvm.TryRetire()) {
+        d->nvm_latch.Unlock();
+        d->dram_latch.Unlock();
+        return false;
+      }
+      nvm_retired = true;
+    }
+  }
+  const auto abort_evict = [&](bool republish_dram) {
+    if (republish_dram) d->dram.Publish(mode, 0);
+    if (nvm_retired) d->nvm.Publish(DramMode::kFull, 0);
+    if (nvm_locked) d->nvm_latch.Unlock();
+    d->dram_latch.Unlock();
+  };
+
+  if (!d->dram.TryRetire()) {  // pinned or raced
+    abort_evict(false);
+    return false;
+  }
+
+  // Authoritative dirty read: the successful retire synchronized with every
+  // unpin, so any writer's dirty store is visible now.
+  const bool dirty = d->dram.dirty.load(std::memory_order_relaxed) ||
+                     (mode == DramMode::kCacheLineGrained &&
+                      d->cl.dirty.Any());
+  if (dirty && !dirty_hint) {
+    // Raced with a writer after the hint was read; the NVM word was not
+    // retired first, so the write-back cannot proceed safely this round.
+    abort_evict(true);
+    return false;
+  }
+
+  if (!dirty) {
+    // HyMem's admission queue considers EVERY page evicted from DRAM, not
+    // just dirty ones (Section 1): a clean page admitted on its second
+    // consideration is copied into NVM so future reads skip the SSD. The
+    // probabilistic (Spitfire) mode discards clean pages (Section 3.3).
+    if (admission_queue_ != nullptr && nvm_locked && !nvm_retired &&
+        mode == DramMode::kFull && !d->NvmResident() &&
+        admission_queue_->ShouldAdmit(d->pid)) {
+      const frame_id_t nf = AcquireNvmFrame();
+      if (nf != kInvalidFrameId) {
+        (void)nvm_->Write(nvm_pool_->FrameOffset(nf),
+                          dram_pool_->FramePtr(f), kPageSize);
+        nvm_pool_->SetOwner(nf, d, d->pid);
+        d->nvm.frame.store(nf, std::memory_order_relaxed);
+        d->nvm.dirty.store(false, std::memory_order_relaxed);
+        d->nvm.Publish(DramMode::kFull, 0);
+        nvm_pool_->ReplacerRecordInstall(nf);
+        stats_.Add(BufferCounter::kDemotionsToNvm);
+      }
+    }
+    if (nvm_retired) d->nvm.Publish(DramMode::kFull, 0);
+    d->dram.frame.store(kInvalidFrameId, std::memory_order_relaxed);
+    dram_pool_->FreeFrame(f);
+    if (nvm_locked) d->nvm_latch.Unlock();
+    d->dram_latch.Unlock();
+    stats_.Add(BufferCounter::kDramEvictions);
+    return true;
+  }
+
+  if (mode == DramMode::kCacheLineGrained) {
+    // Dirty units flow back into the NVM copy (always present for CLG and
+    // already retired above, since CLG dirt is latch-protected and thus
+    // always visible in the hint).
+    SPITFIRE_DCHECK(nvm_retired);
+    WriteBackUnitsToNvm(d);
+    d->nvm.Publish(DramMode::kFull, 0);
+    d->dram.frame.store(kInvalidFrameId, std::memory_order_relaxed);
+    d->dram.dirty.store(false, std::memory_order_relaxed);
+    dram_pool_->FreeFrame(f);
+    d->nvm_latch.Unlock();
+    d->dram_latch.Unlock();
+    stats_.Add(BufferCounter::kDramEvictions);
+    stats_.Add(BufferCounter::kDemotionsToNvm);
+    return true;
+  }
+
+  // Full dirty page: update the NVM copy in place, admit into NVM
+  // (probability Nw / HyMem admission queue), or bypass NVM down to SSD
+  // (Section 3.4).
+  std::byte* dram_ptr = dram_pool_->FramePtr(f);
+  bool wrote = false;
+  if (nvm_retired) {
+    const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+    SPITFIRE_DCHECK(nf != kInvalidFrameId);
+    (void)nvm_->Write(nvm_pool_->FrameOffset(nf), dram_ptr, kPageSize);
+    d->nvm.dirty.store(true, std::memory_order_relaxed);
+    d->nvm.Publish(DramMode::kFull, 0);
+    nvm_retired = false;
+    stats_.Add(BufferCounter::kDemotionsToNvm);
+    wrote = true;
+  } else if (nvm_pool_ != nullptr && DecideNvmAdmission(d->pid)) {
+    const frame_id_t newf = AcquireNvmFrame();
+    if (newf != kInvalidFrameId) {
+      (void)nvm_->Write(nvm_pool_->FrameOffset(newf), dram_ptr, kPageSize);
+      nvm_pool_->SetOwner(newf, d, d->pid);
+      d->nvm.frame.store(newf, std::memory_order_relaxed);
+      d->nvm.dirty.store(true, std::memory_order_relaxed);
+      d->nvm.Publish(DramMode::kFull, 0);
+      nvm_pool_->ReplacerRecordInstall(newf);
+      stats_.Add(BufferCounter::kDemotionsToNvm);
+      wrote = true;
+    }
+  }
+  if (!wrote) {
+    if (!d->ssd_latch.TryLock()) {
+      abort_evict(true);
+      return false;
+    }
+    const Status st = WriteToSsd(d->pid, dram_ptr);
+    d->ssd_latch.Unlock();
+    if (!st.ok()) {
+      abort_evict(true);
+      return false;
+    }
+    stats_.Add(BufferCounter::kDemotionsToSsd);
+  }
+  d->dram.frame.store(kInvalidFrameId, std::memory_order_relaxed);
+  d->dram.dirty.store(false, std::memory_order_relaxed);
+  dram_pool_->FreeFrame(f);
+  if (nvm_locked) d->nvm_latch.Unlock();
+  d->dram_latch.Unlock();
+  stats_.Add(BufferCounter::kDramEvictions);
+  return true;
+}
+
+bool BufferShard::TryEvictNvmFrame(frame_id_t f) {
+  SharedPageDescriptor* d = nvm_pool_->Owner(f);
+  if (d == nullptr) return false;
+  if (!d->nvm_latch.TryLock()) return false;
+  if (d->nvm.frame.load(std::memory_order_relaxed) != f ||
+      nvm_pool_->Owner(f) != d) {
+    d->nvm_latch.Unlock();
+    return false;
+  }
+  // A cache-line-grained or mini DRAM copy loads its units from this NVM
+  // frame; it pins the NVM copy implicitly. (The DRAM mode cannot become
+  // kCacheLineGrained/kMini while we hold the nvm latch — promotion takes
+  // it.)
+  const DramMode dmode = d->dram.Mode();
+  if (dmode == DramMode::kCacheLineGrained || dmode == DramMode::kMini) {
+    d->nvm_latch.Unlock();
+    return false;
+  }
+  if (!d->nvm.TryRetire()) {  // pinned or raced
+    d->nvm_latch.Unlock();
+    return false;
+  }
+  if (d->nvm.dirty.load(std::memory_order_relaxed)) {
+    if (!d->ssd_latch.TryLock()) {
+      d->nvm.Publish(DramMode::kFull, 0);
+      d->nvm_latch.Unlock();
+      return false;
+    }
+    std::byte* ptr = nvm_pool_->FramePtr(f);
+    nvm_->OnDirectRead(nvm_pool_->FrameOffset(f), kPageSize,
+                       /*sequential=*/true);
+    const Status st = WriteToSsd(d->pid, ptr);
+    d->ssd_latch.Unlock();
+    if (!st.ok()) {
+      d->nvm.Publish(DramMode::kFull, 0);
+      d->nvm_latch.Unlock();
+      return false;
+    }
+    d->nvm.dirty.store(false, std::memory_order_relaxed);
+  }
+  d->nvm.frame.store(kInvalidFrameId, std::memory_order_relaxed);
+  nvm_pool_->FreeFrame(f);
+  d->nvm_latch.Unlock();
+  stats_.Add(BufferCounter::kNvmEvictions);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Mini pages
+// ---------------------------------------------------------------------------
+
+std::byte* BufferShard::MiniPtr(uint32_t mini_id) {
+  const size_t host = mini_id / mini_.per_frame;
+  const size_t slot = mini_id % mini_.per_frame;
+  return dram_pool_->FramePtr(mini_.host_frames[host]) +
+         slot * MiniPageView::BytesRequired(options_.load_granularity);
+}
+
+uint32_t BufferShard::AcquireMiniSlot() {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    uint32_t m;
+    if (mini_.free_list->TryPop(&m)) return m;
+    mini_.replacer->PickVictim(
+        [this](frame_id_t v) { return TryEvictMini(v); });
+  }
+  return UINT32_MAX;
+}
+
+bool BufferShard::TryEvictMini(uint32_t mini_id) {
+  SharedPageDescriptor* d =
+      mini_.owners[mini_id].load(std::memory_order_acquire);
+  if (d == nullptr) return false;
+  if (!d->dram_latch.TryLock()) return false;
+  if (d->dram.Mode() != DramMode::kMini ||
+      d->mini_id.load(std::memory_order_relaxed) != mini_id) {
+    d->dram_latch.Unlock();
+    return false;
+  }
+  // Mini-page dirt is written under the dram latch, so this read is
+  // authoritative. Dirty units make the NVM copy stale: retire the NVM
+  // word BEFORE the DRAM word (see TryEvictDramFrame) so no reader can
+  // fall through to the stale NVM bytes mid-write-back.
+  MiniPageView mp(MiniPtr(mini_id));
+  const bool dirty = mp.AnyDirty();
+  if (dirty) {
+    if (!d->nvm_latch.TryLock()) {
+      d->dram_latch.Unlock();
+      return false;
+    }
+    if (!d->nvm.TryRetire()) {
+      d->nvm_latch.Unlock();
+      d->dram_latch.Unlock();
+      return false;
+    }
+  }
+  if (!d->dram.TryRetire()) {  // pinned or raced
+    if (dirty) {
+      d->nvm.Publish(DramMode::kFull, 0);
+      d->nvm_latch.Unlock();
+    }
+    d->dram_latch.Unlock();
+    return false;
+  }
+  if (dirty) {
+    const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+    SPITFIRE_DCHECK(nf != kInvalidFrameId);
+    const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+    const uint32_t usize = mp.meta()->unit_size;
+    for (size_t s = 0; s < mp.count(); ++s) {
+      if (!mp.IsDirty(s)) continue;
+      const uint16_t unit = mp.meta()->slots[s];
+      (void)nvm_->Write(nvm_off + static_cast<uint64_t>(unit) * usize,
+                        mp.UnitPtr(s), usize);
+    }
+    d->nvm.dirty.store(true, std::memory_order_relaxed);
+    d->nvm.Publish(DramMode::kFull, 0);
+    d->nvm_latch.Unlock();
+  }
+  mini_.owners[mini_id].store(nullptr, std::memory_order_release);
+  while (!mini_.free_list->TryPush(mini_id)) __builtin_ia32_pause();
+  d->dram_latch.Unlock();
+  stats_.Add(BufferCounter::kDramEvictions);
+  return true;
+}
+
+Status BufferShard::PromoteMiniToFull(SharedPageDescriptor* d) {
+  // dram latch held; mode == kMini; the caller (and possibly other guard
+  // holders) keep pins on the DRAM copy throughout — SwitchMode preserves
+  // them.
+  const uint32_t mini_id = d->mini_id.load(std::memory_order_relaxed);
+  MiniPageView mp(MiniPtr(mini_id));
+  const frame_id_t f = AcquireDramFrame();
+  if (f == kInvalidFrameId) return Status::OutOfMemory("no frame for overflow");
+
+  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+  SPITFIRE_DCHECK(nf != kInvalidFrameId);
+  std::byte* dst = dram_pool_->FramePtr(f);
+  const Status read_st = nvm_->Read(nvm_pool_->FrameOffset(nf), dst, kPageSize);
+  if (!read_st.ok()) {
+    dram_pool_->FreeFrame(f);
+    return read_st;
+  }
+  // Overlay units dirtied while in the mini page: they are newer than the
+  // NVM copy.
+  const uint32_t usize = mp.meta()->unit_size;
+  bool any_dirty = false;
+  for (size_t s = 0; s < mp.count(); ++s) {
+    if (!mp.IsDirty(s)) continue;
+    const uint16_t unit = mp.meta()->slots[s];
+    std::memcpy(dst + static_cast<size_t>(unit) * usize, mp.UnitPtr(s), usize);
+    any_dirty = true;
+  }
+  dram_pool_->SetOwner(f, d, d->pid);
+  d->dram.frame.store(f, std::memory_order_relaxed);
+  if (any_dirty) d->dram.dirty.store(true, std::memory_order_relaxed);
+  d->dram.SwitchMode(DramMode::kFull);
+  dram_pool_->ReplacerRecordInstall(f);
+  mini_.owners[mini_id].store(nullptr, std::memory_order_release);
+  while (!mini_.free_list->TryPush(mini_id)) __builtin_ia32_pause();
+  stats_.Add(BufferCounter::kMiniPagePromotions);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Guard data plane
+// ---------------------------------------------------------------------------
+
+void BufferShard::EnsureUnitsResident(SharedPageDescriptor* d, size_t offset,
+                                        size_t size) {
+  const uint32_t usize = d->cl.unit_size;
+  const size_t first = offset / usize;
+  const size_t last = (offset + (size ? size : 1) - 1) / usize;
+  const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+  SPITFIRE_DCHECK(nf != kInvalidFrameId);
+  const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+  std::byte* dram_ptr =
+      dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
+  for (size_t u = first; u <= last; ++u) {
+    if (d->cl.resident.Test(u)) continue;
+    (void)nvm_->ReadFineGrained(nvm_off + u * usize, dram_ptr + u * usize,
+                                usize);
+    d->cl.resident.Set(u);
+    stats_.Add(BufferCounter::kFineGrainedLoads);
+  }
+}
+
+Status BufferShard::GuardRead(SharedPageDescriptor* d, Tier tier,
+                                size_t offset, size_t size, void* dst) {
+  if (offset + size > kPageSize) {
+    return Status::InvalidArgument("page access out of range");
+  }
+  if (tier == Tier::kNvm) {
+    const frame_id_t f = d->nvm.frame.load(std::memory_order_acquire);
+    SPITFIRE_DCHECK(f != kInvalidFrameId);
+    std::memcpy(dst, nvm_pool_->FramePtr(f) + offset, size);
+    nvm_->OnDirectRead(nvm_pool_->FrameOffset(f) + offset, size);
+    return Status::OK();
+  }
+
+  // Fast path for fully materialized DRAM pages.
+  if (d->dram.Mode() == DramMode::kFull) {
+    const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+    std::memcpy(dst, dram_pool_->FramePtr(f) + offset, size);
+    dram_backing_->OnDirectRead(dram_pool_->FrameOffset(f) + offset, size);
+    return Status::OK();
+  }
+
+  SpinLatchGuard g(d->dram_latch);
+  const DramMode mode = d->dram.Mode();
+  switch (mode) {
+    case DramMode::kFull: {
+      const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+      std::memcpy(dst, dram_pool_->FramePtr(f) + offset, size);
+      dram_backing_->OnDirectRead(dram_pool_->FrameOffset(f) + offset, size);
+      return Status::OK();
+    }
+    case DramMode::kCacheLineGrained: {
+      EnsureUnitsResident(d, offset, size);
+      const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+      std::memcpy(dst, dram_pool_->FramePtr(f) + offset, size);
+      dram_backing_->OnDirectRead(dram_pool_->FrameOffset(f) + offset, size);
+      return Status::OK();
+    }
+    case DramMode::kMini: {
+      MiniPageView mp(MiniPtr(d->mini_id.load(std::memory_order_relaxed)));
+      const uint32_t usize = mp.meta()->unit_size;
+      const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+      const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+      size_t pos = offset;
+      const size_t end = offset + size;
+      auto* out = static_cast<std::byte*>(dst);
+      while (pos < end) {
+        const uint16_t unit = static_cast<uint16_t>(pos / usize);
+        int slot = mp.FindSlot(unit);
+        if (slot < 0) {
+          slot = mp.Insert(unit);
+          if (slot < 0) {
+            // Overflow: transparently promote to a full page and finish
+            // the read there.
+            SPITFIRE_RETURN_NOT_OK(PromoteMiniToFull(d));
+            const frame_id_t f =
+                d->dram.frame.load(std::memory_order_relaxed);
+            std::memcpy(out, dram_pool_->FramePtr(f) + pos, end - pos);
+            dram_backing_->OnDirectRead(dram_pool_->FrameOffset(f) + pos,
+                                        end - pos);
+            return Status::OK();
+          }
+          (void)nvm_->ReadFineGrained(
+              nvm_off + static_cast<uint64_t>(unit) * usize, mp.UnitPtr(slot),
+              usize);
+          stats_.Add(BufferCounter::kFineGrainedLoads);
+        }
+        const size_t unit_begin = static_cast<size_t>(unit) * usize;
+        const size_t in_off = pos - unit_begin;
+        const size_t n = std::min(end - pos, usize - in_off);
+        std::memcpy(out, mp.UnitPtr(slot) + in_off, n);
+        out += n;
+        pos += n;
+      }
+      return Status::OK();
+    }
+    case DramMode::kNone:
+      break;
+  }
+  SPITFIRE_CHECK(false && "GuardRead on non-resident page");
+  return Status::Corruption("unreachable");
+}
+
+Status BufferShard::GuardWrite(SharedPageDescriptor* d, Tier tier,
+                                 size_t offset, size_t size, const void* src) {
+  if (offset + size > kPageSize) {
+    return Status::InvalidArgument("page access out of range");
+  }
+  if (tier == Tier::kNvm) {
+    const frame_id_t f = d->nvm.frame.load(std::memory_order_acquire);
+    SPITFIRE_DCHECK(f != kInvalidFrameId);
+    std::memcpy(nvm_pool_->FramePtr(f) + offset, src, size);
+    nvm_->OnDirectWrite(nvm_pool_->FrameOffset(f) + offset, size);
+    d->nvm.dirty.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+
+  if (d->dram.Mode() == DramMode::kFull) {
+    const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+    std::memcpy(dram_pool_->FramePtr(f) + offset, src, size);
+    dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f) + offset, size);
+    d->dram.dirty.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+
+  SpinLatchGuard g(d->dram_latch);
+  const DramMode mode = d->dram.Mode();
+  switch (mode) {
+    case DramMode::kFull: {
+      const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+      std::memcpy(dram_pool_->FramePtr(f) + offset, src, size);
+      dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f) + offset, size);
+      d->dram.dirty.store(true, std::memory_order_release);
+      return Status::OK();
+    }
+    case DramMode::kCacheLineGrained: {
+      // Writes that do not cover whole units require the surrounding bytes
+      // to be resident first.
+      EnsureUnitsResident(d, offset, size);
+      const frame_id_t f = d->dram.frame.load(std::memory_order_relaxed);
+      std::memcpy(dram_pool_->FramePtr(f) + offset, src, size);
+      dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f) + offset, size);
+      const uint32_t usize = d->cl.unit_size;
+      for (size_t u = offset / usize; u <= (offset + size - 1) / usize; ++u) {
+        d->cl.dirty.Set(u);
+      }
+      d->dram.dirty.store(true, std::memory_order_release);
+      return Status::OK();
+    }
+    case DramMode::kMini: {
+      MiniPageView mp(MiniPtr(d->mini_id.load(std::memory_order_relaxed)));
+      const uint32_t usize = mp.meta()->unit_size;
+      const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+      const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+      size_t pos = offset;
+      const size_t end = offset + size;
+      const auto* in = static_cast<const std::byte*>(src);
+      while (pos < end) {
+        const uint16_t unit = static_cast<uint16_t>(pos / usize);
+        int slot = mp.FindSlot(unit);
+        if (slot < 0) {
+          slot = mp.Insert(unit);
+          if (slot < 0) {
+            SPITFIRE_RETURN_NOT_OK(PromoteMiniToFull(d));
+            const frame_id_t f =
+                d->dram.frame.load(std::memory_order_relaxed);
+            std::memcpy(dram_pool_->FramePtr(f) + pos, in, end - pos);
+            dram_backing_->OnDirectWrite(dram_pool_->FrameOffset(f) + pos,
+                                         end - pos);
+            d->dram.dirty.store(true, std::memory_order_release);
+            return Status::OK();
+          }
+          (void)nvm_->ReadFineGrained(
+              nvm_off + static_cast<uint64_t>(unit) * usize, mp.UnitPtr(slot),
+              usize);
+          stats_.Add(BufferCounter::kFineGrainedLoads);
+        }
+        const size_t unit_begin = static_cast<size_t>(unit) * usize;
+        const size_t in_off = pos - unit_begin;
+        const size_t n = std::min(end - pos, usize - in_off);
+        std::memcpy(mp.UnitPtr(slot) + in_off, in, n);
+        mp.MarkDirty(static_cast<size_t>(slot));
+        in += n;
+        pos += n;
+      }
+      d->dram.dirty.store(true, std::memory_order_release);
+      return Status::OK();
+    }
+    case DramMode::kNone:
+      break;
+  }
+  SPITFIRE_CHECK(false && "GuardWrite on non-resident page");
+  return Status::Corruption("unreachable");
+}
+
+std::byte* BufferShard::GuardRawData(SharedPageDescriptor* d, Tier tier,
+                                       bool for_write) {
+  if (tier == Tier::kNvm) {
+    const frame_id_t f = d->nvm.frame.load(std::memory_order_acquire);
+    SPITFIRE_DCHECK(f != kInvalidFrameId);
+    if (for_write) d->nvm.dirty.store(true, std::memory_order_release);
+    nvm_->OnDirectRead(nvm_pool_->FrameOffset(f), 256);
+    return nvm_pool_->FramePtr(f);
+  }
+  if (d->dram.Mode() == DramMode::kFull) {
+    if (for_write) d->dram.dirty.store(true, std::memory_order_release);
+    return dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
+  }
+  // Materialize cache-line-grained / mini representations into a full
+  // frame so callers can treat the page as one contiguous 16 KB buffer.
+  SpinLatchGuard g(d->dram_latch);
+  DramMode mode = d->dram.Mode();
+  if (mode == DramMode::kMini) {
+    if (!PromoteMiniToFull(d).ok()) return nullptr;
+    mode = DramMode::kFull;
+  } else if (mode == DramMode::kCacheLineGrained) {
+    EnsureUnitsResident(d, 0, kPageSize);
+    if (d->cl.dirty.Any()) d->dram.dirty.store(true, std::memory_order_relaxed);
+    d->dram.SwitchMode(DramMode::kFull);
+    mode = DramMode::kFull;
+  }
+  if (mode != DramMode::kFull) return nullptr;
+  if (for_write) d->dram.dirty.store(true, std::memory_order_release);
+  return dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
+}
+
+// ---------------------------------------------------------------------------
+// Flushing, recovery, introspection
+// ---------------------------------------------------------------------------
+
+Status BufferShard::WriteToSsd(page_id_t pid, const std::byte* data) {
+  // Asynchronous staged write: the scheduler copies the image, so the
+  // frame may be reused (evicted, overwritten) the moment this returns.
+  if (io_ != nullptr) return io_->WritePage(SsdOffset(pid), data);
+  return ssd_->Write(SsdOffset(pid), data, kPageSize);
+}
+
+Status BufferShard::DrainIo() {
+  return io_ != nullptr ? io_->Drain() : Status::OK();
+}
+
+Status BufferShard::FlushPage(page_id_t pid) {
+  const Status st = FlushPageImpl(pid);
+  const Status drained = DrainIo();
+  SPITFIRE_RETURN_NOT_OK(st);
+  return drained;
+}
+
+Status BufferShard::FlushPageImpl(page_id_t pid) {
+  SharedPageDescriptor* d = nullptr;
+  if (!mapping_table_.Find(pid, &d)) return Status::OK();  // never buffered
+  SpinLatchGuard gd(d->dram_latch);
+  SpinLatchGuard gn(d->nvm_latch);
+  SpinLatchGuard gs(d->ssd_latch);
+
+  // Guard holders may be mutating page contents; flushing a pinned page
+  // could persist a torn image. Each copy is retired for the duration of
+  // its copy-out, so optimistic pins cannot land mid-flush; copies that
+  // cannot be retired (pinned) are skipped — the WAL keeps them
+  // recoverable and a later flush round catches them.
+  const DramMode dmode = d->dram.Mode();
+  if (dmode != DramMode::kNone) {
+    // Dirty DRAM state makes any NVM copy stale, so the NVM word must be
+    // retired BEFORE the DRAM word: a reader that loses its optimistic
+    // DRAM pin mid-flush would otherwise fall through to TryPinNvm and
+    // read pre-flush bytes (see TryEvictDramFrame). The dirty reads here
+    // are latch-authoritative for CLG/mini (their dirt is written under
+    // the dram latch); for kFull a just-unpinned writer's store may be
+    // missed, which only postpones that page to a later round.
+    bool mini_dirty = false;
+    if (dmode == DramMode::kMini) {
+      MiniPageView mp(MiniPtr(d->mini_id.load(std::memory_order_relaxed)));
+      mini_dirty = mp.AnyDirty();
+    }
+    const bool clg_dirty =
+        dmode == DramMode::kCacheLineGrained && d->cl.dirty.Any();
+    const bool full_dirty = dmode == DramMode::kFull &&
+                            d->dram.dirty.load(std::memory_order_relaxed);
+    const bool nvm_resident = d->NvmResident();
+    const bool need_nvm =
+        nvm_resident && (mini_dirty || clg_dirty || full_dirty);
+    if (need_nvm && !d->nvm.TryRetire()) {
+      return Status::OK();  // NVM copy actively referenced; later round
+    }
+    if (!d->dram.TryRetire()) {  // actively referenced
+      if (need_nvm) d->nvm.Publish(DramMode::kFull, 0);
+      return Status::OK();
+    }
+    Status st = Status::OK();
+    if (clg_dirty) {
+      WriteBackUnitsToNvm(d);
+      d->cl.dirty.Reset();
+      d->dram.dirty.store(false, std::memory_order_relaxed);
+    } else if (mini_dirty) {
+      MiniPageView mp(MiniPtr(d->mini_id.load(std::memory_order_relaxed)));
+      const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+      const uint64_t nvm_off = nvm_pool_->FrameOffset(nf);
+      const uint32_t usize = mp.meta()->unit_size;
+      for (size_t s = 0; s < mp.count(); ++s) {
+        if (!mp.IsDirty(s)) continue;
+        const uint16_t unit = mp.meta()->slots[s];
+        (void)nvm_->Write(nvm_off + static_cast<uint64_t>(unit) * usize,
+                          mp.UnitPtr(s), usize);
+      }
+      mp.meta()->dirty_mask = 0;
+      d->nvm.dirty.store(true, std::memory_order_relaxed);
+      d->dram.dirty.store(false, std::memory_order_relaxed);
+    } else if (full_dirty) {
+      // After the SSD write the NVM copy (if any) is overwritten with the
+      // freshest data so later direct NVM reads never observe stale bytes.
+      std::byte* ptr =
+          dram_pool_->FramePtr(d->dram.frame.load(std::memory_order_relaxed));
+      st = WriteToSsd(pid, ptr);
+      if (st.ok()) {
+        if (nvm_resident) {
+          const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+          (void)nvm_->Write(nvm_pool_->FrameOffset(nf), ptr, kPageSize);
+          d->nvm.dirty.store(false, std::memory_order_relaxed);
+        }
+        d->dram.dirty.store(false, std::memory_order_relaxed);
+      }
+    }
+    if (need_nvm) d->nvm.Publish(DramMode::kFull, 0);
+    d->dram.Publish(dmode, 0);
+    SPITFIRE_RETURN_NOT_OK(st);
+  }
+
+  if (d->NvmResident() && d->nvm.dirty.load(std::memory_order_relaxed)) {
+    if (!d->nvm.TryRetire()) return Status::OK();  // actively referenced
+    const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
+    std::byte* ptr = nvm_pool_->FramePtr(nf);
+    nvm_->OnDirectRead(nvm_pool_->FrameOffset(nf), kPageSize,
+                       /*sequential=*/true);
+    const Status st = WriteToSsd(pid, ptr);
+    if (st.ok()) d->nvm.dirty.store(false, std::memory_order_relaxed);
+    d->nvm.Publish(DramMode::kFull, 0);
+    SPITFIRE_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+Status BufferShard::FlushAll(bool include_nvm) {
+  Status result = Status::OK();
+  if (include_nvm) {
+    // Collect first: FlushPage re-enters the mapping table, so it must not
+    // run under ForEach's shard latch.
+    std::vector<page_id_t> pids;
+    mapping_table_.ForEach(
+        [&](const page_id_t& pid, SharedPageDescriptor*&) {
+          pids.push_back(pid);
+        });
+    for (page_id_t pid : pids) {
+      const Status st = FlushPage(pid);
+      if (!st.ok()) result = st;
+    }
+    return result;
+  }
+  mapping_table_.ForEach([&](const page_id_t& pid, SharedPageDescriptor*& d) {
+    {
+      // Background checkpointing (Section 5.2): only dirty DRAM pages are
+      // pushed down; NVM-resident modifications are already persistent.
+      SpinLatchGuard gd(d->dram_latch);
+      const DramMode mode = d->dram.Mode();
+      if (mode == DramMode::kFull &&
+          d->dram.dirty.load(std::memory_order_relaxed)) {
+        SpinLatchGuard gn(d->nvm_latch);
+        SpinLatchGuard gs(d->ssd_latch);
+        // NVM-before-DRAM retire order: the dirty DRAM copy makes the NVM
+        // copy stale, see FlushPage / TryEvictDramFrame.
+        const bool nvm_resident = d->NvmResident();
+        if (nvm_resident && !d->nvm.TryRetire()) return;
+        if (!d->dram.TryRetire()) {  // actively referenced
+          if (nvm_resident) d->nvm.Publish(DramMode::kFull, 0);
+          return;
+        }
+        std::byte* ptr = dram_pool_->FramePtr(
+            d->dram.frame.load(std::memory_order_relaxed));
+        const Status st = WriteToSsd(pid, ptr);
+        if (st.ok()) {
+          if (nvm_resident) {
+            const frame_id_t nf =
+                d->nvm.frame.load(std::memory_order_relaxed);
+            (void)nvm_->Write(nvm_pool_->FrameOffset(nf), ptr, kPageSize);
+            d->nvm.dirty.store(false, std::memory_order_relaxed);
+          }
+          d->dram.dirty.store(false, std::memory_order_relaxed);
+        } else {
+          result = st;
+        }
+        if (nvm_resident) d->nvm.Publish(DramMode::kFull, 0);
+        d->dram.Publish(mode, 0);
+      } else if (mode == DramMode::kCacheLineGrained && d->cl.dirty.Any()) {
+        SpinLatchGuard gn(d->nvm_latch);
+        // NVM-before-DRAM retire order, as above.
+        if (!d->nvm.TryRetire()) return;
+        if (!d->dram.TryRetire()) {  // actively referenced
+          d->nvm.Publish(DramMode::kFull, 0);
+          return;
+        }
+        WriteBackUnitsToNvm(d);
+        d->cl.dirty.Reset();
+        d->dram.dirty.store(false, std::memory_order_relaxed);
+        d->nvm.Publish(DramMode::kFull, 0);
+        d->dram.Publish(mode, 0);
+      }
+    }
+  });
+  // One drain for the whole sweep: the staged writes coalesce while the
+  // sweep runs, and any async error surfaces here.
+  const Status drained = DrainIo();
+  if (result.ok()) result = drained;
+  return result;
+}
+
+Status BufferShard::RecoverNvmResidentPages() {
+  if (nvm_pool_ == nullptr) {
+    return Status::InvalidArgument("no NVM pool to recover");
+  }
+  // Drain the free list; re-add frames that the persistent frame table
+  // marks as free, claim the rest.
+  std::vector<frame_id_t> all;
+  frame_id_t f;
+  while (nvm_pool_->TryAllocateFrame(&f)) all.push_back(f);
+  size_t recovered = 0;
+  for (frame_id_t frame : all) {
+    const page_id_t pid = nvm_pool_->PersistedOwner(frame);
+    bool valid = pid != kInvalidPageId;
+    if (valid) {
+      PageView view(nvm_pool_->FramePtr(frame));
+      valid = view.header()->IsValid() && view.header()->page_id == pid;
+    }
+    if (!valid) {
+      nvm_pool_->FreeFrame(frame);
+      continue;
+    }
+    if (!OwnsPage(pid)) {
+      // The persistent frame table was written under a different shard
+      // count: this frame's page routes to another shard's slice. Bail
+      // without freeing the frame (FreeFrame would zero the persisted
+      // entry and destroy the only copy); the caller must re-open the
+      // device with the num_shards it was populated under.
+      return Status::InvalidArgument(
+          "persisted NVM page routes to a different shard; recover with "
+          "the original num_shards");
+    }
+    SharedPageDescriptor* d = GetOrCreateDescriptor(pid);
+    d->nvm.frame.store(frame, std::memory_order_relaxed);
+    // NVM copies may be newer than their SSD counterparts; treat them as
+    // dirty so they flow down before being dropped.
+    d->nvm.dirty.store(true, std::memory_order_relaxed);
+    d->nvm.Publish(DramMode::kFull, 0);
+    nvm_pool_->SetOwner(frame, d, pid);
+    page_id_t expect = next_page_id_->load(std::memory_order_relaxed);
+    while (pid + 1 > expect &&
+           !next_page_id_->compare_exchange_weak(expect, pid + 1)) {
+    }
+    ++recovered;
+  }
+  (void)recovered;
+  return Status::OK();
+}
+
+void BufferShard::InclusivityCounts(size_t* both, size_t* either) const {
+  auto* self = const_cast<BufferShard*>(this);
+  self->mapping_table_.ForEach(
+      [&](const page_id_t&, SharedPageDescriptor*& d) {
+        const bool in_dram = d->DramResident();
+        const bool in_nvm = d->NvmResident();
+        if (in_dram && in_nvm) ++*both;
+        if (in_dram || in_nvm) ++*either;
+      });
+}
+
+double BufferShard::InclusivityRatio() const {
+  size_t both = 0;
+  size_t either = 0;
+  InclusivityCounts(&both, &either);
+  return either == 0 ? 0.0
+                     : static_cast<double>(both) / static_cast<double>(either);
+}
+
+size_t BufferShard::DramResidentPages() const {
+  size_t n = 0;
+  auto* self = const_cast<BufferShard*>(this);
+  self->mapping_table_.ForEach(
+      [&](const page_id_t&, SharedPageDescriptor*& d) {
+        if (d->DramResident()) ++n;
+      });
+  return n;
+}
+
+bool BufferShard::IsDramResident(page_id_t pid) const {
+  SharedPageDescriptor* d = nullptr;
+  auto* self = const_cast<BufferShard*>(this);
+  if (!self->mapping_table_.Find(pid, &d)) return false;
+  return d->DramResident();
+}
+
+size_t BufferShard::NvmResidentPages() const {
+  size_t n = 0;
+  auto* self = const_cast<BufferShard*>(this);
+  self->mapping_table_.ForEach(
+      [&](const page_id_t&, SharedPageDescriptor*& d) {
+        if (d->NvmResident()) ++n;
+      });
+  return n;
+}
+
+}  // namespace spitfire

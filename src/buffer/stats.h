@@ -59,6 +59,29 @@ struct BufferStatsSnapshot {
   // Every successful FetchPage increments exactly one of these three.
   uint64_t TotalFetches() const { return dram_hits + nvm_hits + ssd_fetches; }
 
+  // Field-wise sum; the sharded buffer manager merges its per-shard
+  // snapshots through this.
+  void Accumulate(const BufferStatsSnapshot& o) {
+    dram_hits += o.dram_hits;
+    nvm_hits += o.nvm_hits;
+    ssd_fetches += o.ssd_fetches;
+    promotions += o.promotions;
+    demotions_to_nvm += o.demotions_to_nvm;
+    demotions_to_ssd += o.demotions_to_ssd;
+    nvm_installs += o.nvm_installs;
+    nvm_evictions += o.nvm_evictions;
+    dram_evictions += o.dram_evictions;
+    fine_grained_loads += o.fine_grained_loads;
+    mini_page_admits += o.mini_page_admits;
+    mini_page_promotions += o.mini_page_promotions;
+    read_ahead_installs += o.read_ahead_installs;
+    miss_submits += o.miss_submits;
+    miss_joins += o.miss_joins;
+    replacer_sampled += o.replacer_sampled;
+    replacer_suppressed += o.replacer_suppressed;
+    write_fetches += o.write_fetches;
+  }
+
   std::string ToString() const {
     char buf[512];
     std::snprintf(

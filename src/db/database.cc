@@ -56,6 +56,7 @@ Status Database::InitCommon(bool fresh) {
   BufferManagerOptions bopts;
   bopts.dram_frames = opts_.dram_frames;
   bopts.nvm_frames = opts_.nvm_frames;
+  bopts.num_shards = opts_.num_shards;
   bopts.policy = opts_.policy;
   bopts.nvm_admission = opts_.nvm_admission;
   bopts.admission_queue_capacity = opts_.admission_queue_capacity;

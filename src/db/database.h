@@ -21,6 +21,8 @@ struct DatabaseOptions {
   // Buffer hierarchy (0 frames removes the tier).
   size_t dram_frames = 256;
   size_t nvm_frames = 0;
+  // Buffer-manager shards (BufferManagerOptions::num_shards); 0 = auto.
+  size_t num_shards = 0;
   MigrationPolicy policy = MigrationPolicy::Eager();
   NvmAdmissionMode nvm_admission = NvmAdmissionMode::kProbabilistic;
   size_t admission_queue_capacity = 0;

@@ -1,39 +1,82 @@
 #include "txn/mvto_manager.h"
 
+#include <algorithm>
+
 namespace spitfire {
 
-std::unique_ptr<Transaction> TransactionManager::Begin() {
-  const timestamp_t ts = next_ts_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    active_.insert(ts);
+TransactionManager::TransactionManager()
+    : slots_(new std::atomic<timestamp_t>[kMaxActiveTxns]) {
+  for (uint32_t i = 0; i < kMaxActiveTxns; ++i) {
+    slots_[i].store(0, std::memory_order_relaxed);
   }
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  // Claim a slot BEFORE drawing the real timestamp, seeding it with a
+  // lower bound (every timestamp the dispenser can still hand out is
+  // >= its current value). A concurrent MinActiveTs scan therefore sees
+  // either this reservation (<= our eventual ts) or — if it misses the
+  // slot — a dispenser value it read AFTER our fetch_add, which its
+  // min() clamps against. Both keep the watermark <= our timestamp; the
+  // reservation may make it temporarily too low, which only delays GC.
+  // The CAS/fetch_add/scan all use seq_cst so "reservation before
+  // fetch_add" and "dispenser read before slot scan" order globally.
+  thread_local uint32_t hint = 0;
+  uint32_t slot = kMaxActiveTxns;
+  for (;;) {
+    for (uint32_t probe = 0; probe < kMaxActiveTxns; ++probe) {
+      const uint32_t i = (hint + probe) % kMaxActiveTxns;
+      timestamp_t expected = 0;
+      const timestamp_t reservation = next_ts_.load();
+      if (slots_[i].compare_exchange_strong(expected, reservation)) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot != kMaxActiveTxns) break;
+    // All kMaxActiveTxns slots busy: wait for a Finish. Unrealistic in
+    // practice (it means 4096 concurrently open transactions).
+    __builtin_ia32_pause();
+  }
+  hint = slot + 1;
+
+  const timestamp_t ts = next_ts_.fetch_add(1);
+  slots_[slot].store(ts);
+  active_count_.fetch_add(1, std::memory_order_relaxed);
+
   // Transaction ids and timestamps share the dispenser (MVTO assigns a
   // single timestamp per transaction).
-  return std::make_unique<Transaction>(/*id=*/ts, /*ts=*/ts);
+  auto txn = std::make_unique<Transaction>(/*id=*/ts, /*ts=*/ts);
+  txn->active_slot = slot;
+  return txn;
 }
 
 void TransactionManager::Finish(Transaction* txn) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = active_.find(txn->ts());
-  if (it != active_.end()) active_.erase(it);
+  const uint32_t slot = txn->active_slot;
+  if (slot >= kMaxActiveTxns) return;  // never registered / already finished
+  txn->active_slot = UINT32_MAX;
+  slots_[slot].store(0);
+  active_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 timestamp_t TransactionManager::MinActiveTs() const {
-  std::lock_guard<std::mutex> g(mu_);
-  if (active_.empty()) return next_ts_.load(std::memory_order_relaxed);
-  return *active_.begin();
+  // Read the dispenser FIRST: any Begin whose timestamp is below this
+  // bound performed its slot reservation before our slot reads (seq_cst
+  // total order), so the scan observes it. Begins that race past the
+  // bound can only raise the minimum, never lower it below `bound`.
+  const timestamp_t bound = next_ts_.load();
+  timestamp_t min = bound;
+  for (uint32_t i = 0; i < kMaxActiveTxns; ++i) {
+    const timestamp_t ts = slots_[i].load();
+    if (ts != 0) min = std::min(min, ts);
+  }
+  return min;
 }
 
 void TransactionManager::AdvanceTo(timestamp_t ts) {
   timestamp_t cur = next_ts_.load(std::memory_order_relaxed);
   while (ts > cur && !next_ts_.compare_exchange_weak(cur, ts)) {
   }
-}
-
-uint64_t TransactionManager::active_count() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return active_.size();
 }
 
 }  // namespace spitfire

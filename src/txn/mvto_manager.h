@@ -3,8 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <set>
 
 #include "common/status.h"
 #include "txn/transaction.h"
@@ -15,9 +13,21 @@ namespace spitfire {
 // protocol (Wu et al. [39]). Visibility/conflict rules are applied by the
 // versioned table heap (db/table.h); this class owns timestamps and the
 // garbage-collection watermark.
+//
+// The registry is a fixed-size slot array of atomic timestamps (0 =
+// free): Begin claims a slot with one CAS and Finish releases it with one
+// store, so transaction start/finish is lock-free and stops being a
+// global serial point under the sharded buffer manager. MinActiveTs()
+// scans the array without locking; see Begin() for why the scan can never
+// overtake a transaction that is mid-Begin.
 class TransactionManager {
  public:
-  TransactionManager() = default;
+  // Upper bound on concurrently active transactions. 4096 slots of 8
+  // bytes is one page of memory; Begin spins (it cannot fail) in the
+  // pathological case that all slots are claimed.
+  static constexpr uint32_t kMaxActiveTxns = 4096;
+
+  TransactionManager();
   SPITFIRE_DISALLOW_COPY_AND_MOVE(TransactionManager);
 
   // Starts a transaction with a fresh timestamp.
@@ -29,7 +39,9 @@ class TransactionManager {
 
   // GC watermark: versions invisible to every timestamp >= MinActiveTs()
   // can be unlinked, and unlinked slots can be recycled once the txns that
-  // might still traverse them have finished.
+  // might still traverse them have finished. Lock-free; the result is a
+  // conservative lower bound (it may trail the true minimum when Finish
+  // races the scan, which only delays GC, never breaks it).
   timestamp_t MinActiveTs() const;
 
   timestamp_t LastAssignedTs() const {
@@ -40,12 +52,18 @@ class TransactionManager {
   // recovered ones.
   void AdvanceTo(timestamp_t ts);
 
-  uint64_t active_count() const;
+  uint64_t active_count() const {
+    return active_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<timestamp_t> next_ts_{1};
-  mutable std::mutex mu_;
-  std::multiset<timestamp_t> active_;
+
+  // One cacheline per slot would burn 256 KB; timestamps are claimed
+  // rarely (once per txn) relative to MinActiveTs scans, and the scan
+  // wants density, so plain packed atomics win here.
+  std::unique_ptr<std::atomic<timestamp_t>[]> slots_;
+  std::atomic<uint64_t> active_count_{0};
 };
 
 }  // namespace spitfire

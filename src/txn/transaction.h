@@ -45,6 +45,10 @@ class Transaction {
 
   lsn_t last_lsn = kInvalidLsn;
   std::vector<WriteOp> write_set;
+  // Index of this transaction's slot in the TransactionManager's active
+  // registry (set by Begin, cleared by Finish). Not meaningful to anyone
+  // else.
+  uint32_t active_slot = UINT32_MAX;
 
  private:
   const txn_id_t id_;

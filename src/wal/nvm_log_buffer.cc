@@ -61,9 +61,13 @@ Result<lsn_t> NvmLogBuffer::Drain(std::vector<std::byte>* out) {
 }
 
 uint64_t NvmLogBuffer::StagedBytes() const {
+  SpinLatchGuard g(latch_);
   return header()->used;
 }
 
-lsn_t NvmLogBuffer::base_lsn() const { return header()->base_lsn; }
+lsn_t NvmLogBuffer::base_lsn() const {
+  SpinLatchGuard g(latch_);
+  return header()->base_lsn;
+}
 
 }  // namespace spitfire

@@ -72,7 +72,9 @@ class NvmLogBuffer {
   Device* device_;
   uint64_t offset_;
   uint64_t size_;
-  SpinLatch latch_;
+  // Guards the header and payload; mutable so the read-only accessors
+  // (StagedBytes, base_lsn) can take it against concurrent appends.
+  mutable SpinLatch latch_;
 };
 
 }  // namespace spitfire
