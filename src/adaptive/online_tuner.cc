@@ -105,16 +105,29 @@ void OnlineTuner::Step(const BufferStatsSnapshot& snapshot,
     delta.nvm_evictions -= prev_.nvm_evictions;
     delta.dram_evictions -= prev_.dram_evictions;
     delta.write_fetches -= prev_.write_fetches;
+    delta.replacer_sampled -= prev_.replacer_sampled;
+    delta.read_ahead_installs -= prev_.read_ahead_installs;
   }
   prev_ = snapshot;
   have_prev_ = true;
 
   windows_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t fetches = delta.TotalFetches();
-  if (fetches < options_.min_window_fetches) return;  // idle window
+  // Activity gate: fetches alone undercount phases whose windows are
+  // latency-bound rather than fetch-bound (e.g. a pure scan doing one
+  // SSD-latency fetch plus large reads per op — few fetches per window,
+  // yet the workload is anything but idle). Count everything the replacer
+  // saw: fetches, sampled hit accesses, and read-ahead installs. Truly
+  // idle windows still contribute nothing and are skipped.
+  const uint64_t activity =
+      fetches + delta.replacer_sampled + delta.read_ahead_installs;
+  if (activity < options_.min_window_fetches) return;  // idle window
 
+  // Rank candidates by the same replacer-visible activity rate the gate
+  // uses: in latency-bound windows the raw fetch rate is near-zero noise,
+  // while sampled hits still move with the policy under test.
   const double throughput =
-      static_cast<double>(fetches) / std::max(1e-9, window_seconds);
+      static_cast<double>(activity) / std::max(1e-9, window_seconds);
   const Signature sig = Signature::FromDelta(delta);
 
   if (!tuner_->converged()) {

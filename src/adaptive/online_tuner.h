@@ -39,8 +39,13 @@ class BufferManager;
 //    `drift_threshold` (hysteresis — a single odd window never thrashes
 //    the policy), and the annealing restart is seeded from the best
 //    policy so far (warm restart).
-//  - Windows with fewer than `min_window_fetches` fetches are ignored
-//    entirely: an idle system neither anneals nor drifts.
+//  - Windows with less than `min_window_fetches` replacer-visible
+//    activity — fetches plus sampled hit accesses plus read-ahead
+//    installs — are ignored entirely: an idle system neither anneals nor
+//    drifts. (Gating on fetches alone made the tuner idle through pure
+//    scan phases, whose windows are latency-bound: one fetch per
+//    multi-hundred-µs op leaves the fetch delta under any useful
+//    threshold even at full load.)
 //
 // The sampling and policy-application points are injected as callbacks so
 // tests can drive Step() deterministically with synthetic snapshots; the
@@ -62,6 +67,9 @@ struct OnlineTunerOptions {
   double drift_threshold = 0.35;  // L1 distance over the signature vector
   int drift_windows = 3;          // consecutive drifted windows required
   double baseline_ema = 0.2;      // baseline <- (1-ema)*baseline + ema*sig
+  // Minimum replacer-visible activity (fetches + sampled accesses +
+  // read-ahead installs) for a window to count. Name kept for
+  // compatibility with existing configs.
   uint64_t min_window_fetches = 256;
 };
 

@@ -119,7 +119,9 @@ class BufferManager {
   IoScheduler* io_scheduler() { return io_.get(); }
 
   // Engine-wide miss admission: sums of the per-shard in-flight counters
-  // and caps (each shard bounds itself at max(8, shard_frames / 2)).
+  // and caps. Each shard bounds itself at the lesser of half its frame
+  // budget and its slice of the SSD's queue slots with 2x oversubscription
+  // — min(max(8, shard_frames/2), max(8, 2*device_depth/num_shards)).
   uint32_t inflight_misses() const {
     uint32_t n = 0;
     for (const auto& s : shards_) n += s->inflight_misses();
@@ -192,6 +194,96 @@ class BufferManager {
   std::vector<std::unique_ptr<BufferShard>> shards_;
   BufferStatsAggregate stats_;
 };
+
+// One transaction's (or any other resumable computation's) handle onto the
+// asynchronous miss path. A FetchContext owns a single FetchTicket and
+// enforces the continuation discipline the access paths rely on:
+//
+//  - Fetch() submits through SubmitFetch. Hits and inline completions
+//    return the pinned guard directly. A queued miss parks the ticket on
+//    the page's descriptor and returns WouldBlock — the caller must unwind
+//    (without further Fetch() calls on this context) back to its scheduler
+//    and re-run the whole step after ready() turns true. Re-running from
+//    the top is the resume protocol: OLC B+Tree traversals and MVTO chain
+//    walks restart cheaply, and by then the parked page is resident.
+//  - An admission-rejected miss (instant Busy) also parks, with the ticket
+//    already ready: the scheduler sees ready() immediately and the retry is
+//    paced by scheduler passes instead of a spin loop.
+//  - Harvest() consumes the completion: it drops the completion's pin (the
+//    resumed step re-fetches the page, which is now a hit) and returns the
+//    completion status.
+//
+// The context must stay alive and unmoved while pending() — the completer
+// writes into the embedded ticket.
+class FetchContext {
+ public:
+  FetchContext() = default;
+  ~FetchContext() { SPITFIRE_DCHECK(!pending_); }
+  SPITFIRE_DISALLOW_COPY_AND_MOVE(FetchContext);
+
+  Result<PageGuard> Fetch(BufferManager* bm, page_id_t pid,
+                          AccessIntent intent) {
+    SPITFIRE_CHECK(!pending_);
+    ticket_.Reset();
+    (void)bm->SubmitFetch(pid, intent, &ticket_);
+    if (ticket_.ready.load(std::memory_order_acquire)) {
+      if (ticket_.status.ok()) return std::move(ticket_.guard);
+      if (!ticket_.status.IsBusy()) return ticket_.status;
+      // Saturation (miss admission) completes inline with Busy: park as an
+      // already-ready continuation so the retry is scheduler-paced.
+    }
+    pending_ = true;
+    return Status::WouldBlock("fetch parked");
+  }
+
+  bool pending() const { return pending_; }
+  // Whether the parked fetch has fired (always true when not pending).
+  bool ready() const {
+    return !pending_ || ticket_.ready.load(std::memory_order_acquire);
+  }
+  // True while parked on a completion that was rejected outright (instant
+  // Busy): no device work is in flight, so harvesting it is not progress.
+  bool parked_busy() const {
+    return pending_ && ticket_.ready.load(std::memory_order_acquire) &&
+           ticket_.status.IsBusy();
+  }
+
+  // Consumes a fired completion; requires ready(). Releases the
+  // completion's pin and returns its status (informational — the resumed
+  // step retries regardless).
+  Status Harvest() {
+    SPITFIRE_CHECK(pending_ &&
+                   ticket_.ready.load(std::memory_order_acquire));
+    pending_ = false;
+    const Status st = ticket_.status;
+    ticket_.guard.Release();
+    return st;
+  }
+
+  // Abort/teardown path: block (pumping completions) until the in-flight
+  // ticket fires, then drop it. After this the context is reusable and no
+  // pin is held. Safe to call when not pending.
+  void CancelSync(BufferManager* bm) {
+    if (!pending_) return;
+    while (!ticket_.ready.load(std::memory_order_acquire)) {
+      (void)bm->PumpIo(/*may_sleep=*/true);
+    }
+    (void)Harvest();
+  }
+
+ private:
+  FetchTicket ticket_;
+  bool pending_ = false;
+};
+
+// Fetch helper for access paths that accept an optional continuation:
+// with a context, misses park and surface WouldBlock; without one, the
+// blocking FetchPage shim is used (the K=1 degenerate case).
+inline Result<PageGuard> FetchPageVia(BufferManager* bm, FetchContext* ctx,
+                                      page_id_t pid, AccessIntent intent) {
+  if (ctx == nullptr) return bm->FetchPage(pid, intent);
+  return ctx->Fetch(bm, pid, intent);
+}
 
 }  // namespace spitfire
 

@@ -138,10 +138,22 @@ BufferShard::BufferShard(const BufferManagerOptions& options,
   SPITFIRE_CHECK(!options_.enable_io_scheduler || io_ != nullptr);
 
   // Per-shard admission control: each shard bounds its own in-flight
-  // misses by half its own frame budget, so one shard's miss storm cannot
-  // starve the others' install capacity.
-  miss_admission_cap_ = std::max<uint32_t>(
-      8, static_cast<uint32_t>(options_.dram_frames + options_.nvm_frames) / 2);
+  // misses so one shard's miss storm cannot starve the others' install
+  // capacity. Two ceilings apply: half the shard's own frame budget
+  // (misses beyond that would thrash the pools on install), and this
+  // shard's slice of the device's total queue slots with 2x
+  // oversubscription (misses beyond the device depth only sit in the
+  // scheduler's software queues adding latency, not throughput; the 2x
+  // headroom keeps the hardware queues refillable the moment slots free).
+  {
+    const uint32_t frame_cap = std::max<uint32_t>(
+        8,
+        static_cast<uint32_t>(options_.dram_frames + options_.nvm_frames) / 2);
+    const uint32_t device_slots = ssd_->profile().queues.TotalDepth();
+    const uint32_t qd_cap = std::max<uint32_t>(
+        8, 2 * device_slots / std::max<uint32_t>(1, num_shards_));
+    miss_admission_cap_ = std::min(frame_cap, qd_cap);
+  }
 
   if (options_.enable_background_writer) {
     size_t wm = options_.bg_writer_low_watermark;

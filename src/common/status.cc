@@ -14,6 +14,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kBusy: return "Busy";
     case StatusCode::kCorruption: return "Corruption";
     case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kWouldBlock: return "WouldBlock";
   }
   return "Unknown";
 }

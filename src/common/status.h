@@ -21,6 +21,7 @@ enum class StatusCode {
   kBusy,          // resource latched / retry later
   kCorruption,    // recovery or checksum failure
   kNotSupported,
+  kWouldBlock,    // async fetch queued; unwind and resume when it fires
 };
 
 // Arrow/RocksDB-style status object. Functions that can fail return Status
@@ -55,12 +56,16 @@ class Status {
   static Status NotSupported(std::string msg = "") {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
+  static Status WouldBlock(std::string msg = "") {
+    return Status(StatusCode::kWouldBlock, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsWouldBlock() const { return code_ == StatusCode::kWouldBlock; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -29,11 +29,14 @@ Table::Table(const Options& opts, BufferManager* bm, TransactionManager* tm,
 // Slot management
 // ---------------------------------------------------------------------------
 
-Result<Table::SlotRef> Table::PinSlot(rid_t rid, AccessIntent intent) {
+Result<Table::SlotRef> Table::PinSlot(rid_t rid, AccessIntent intent,
+                                      FetchContext* ctx) {
   // Retry transient Busy (miss-storm submission races, frame churn) a few
   // times with backoff before surfacing it — callers propagate the status
   // up to the transaction layer, which aborts, so each retry here is one
-  // fewer aborted transaction. Hard errors propagate immediately.
+  // fewer aborted transaction. Hard errors propagate immediately, and a
+  // parked miss (WouldBlock, ctx path) must reach the scheduler untouched —
+  // spinning on it here would defeat the interleaving.
   constexpr int kPinRetries = 8;
   Status last = Status::OK();
   for (int attempt = 0; attempt < kPinRetries; ++attempt) {
@@ -41,7 +44,7 @@ Result<Table::SlotRef> Table::PinSlot(rid_t rid, AccessIntent intent) {
       SpinWaitNanos(std::min<uint64_t>(uint64_t{1'000} << attempt,
                                        uint64_t{32'000}));
     }
-    auto g_r = bm_->FetchPage(RidPage(rid), intent);
+    auto g_r = FetchPageVia(bm_, ctx, RidPage(rid), intent);
     if (!g_r.ok()) {
       last = g_r.status();
       if (!last.IsBusy()) return last;
@@ -117,9 +120,17 @@ Status Table::LogWrite(Transaction* txn, LogRecordType type, uint64_t key,
 // ---------------------------------------------------------------------------
 
 Status Table::Insert(Transaction* txn, uint64_t key, const void* tuple) {
+  FetchContext* ctx = txn->fetch_ctx;
   SPITFIRE_ASSIGN_OR_RETURN(const rid_t rid, AllocateSlot());
   {
-    SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(rid, AccessIntent::kWrite));
+    // On any pin failure — including a parked miss — return the slot to
+    // the free list; the resumed Insert allocates afresh.
+    auto ref_r = PinSlot(rid, AccessIntent::kWrite, ctx);
+    if (!ref_r.ok()) {
+      DeferFree(rid);
+      return ref_r.status();
+    }
+    SlotRef ref = ref_r.MoveValue();
     VersionHeader h{};
     h.writer = txn->id();
     h.begin_ts = kMaxTimestamp;  // uncommitted
@@ -131,10 +142,12 @@ Status Table::Insert(Transaction* txn, uint64_t key, const void* tuple) {
     std::memcpy(ref.payload, tuple, opts_.tuple_size);
     ref.guard.MarkDirty();
   }
-  const Status st = index_->Insert(key, rid);
+  const Status st = index_->Insert(key, rid, ctx);
   if (!st.ok()) {
+    // The slot was written but never published: safe to re-run after a
+    // parked index traversal resumes (the re-run gets a fresh slot).
     DeferFree(rid);
-    if (st.IsBusy()) return st;
+    if (st.IsBusy() || st.IsWouldBlock()) return st;
     // The key exists in the index — but it may be a committed tombstone,
     // in which case the insert proceeds as a successor version.
     return WriteInternal(txn, key, tuple, /*allow_tombstone_head=*/true);
@@ -148,13 +161,17 @@ Status Table::Insert(Transaction* txn, uint64_t key, const void* tuple) {
 }
 
 Status Table::Read(Transaction* txn, uint64_t key, void* out) {
+  // Fully WouldBlock-safe: the only side effect is the read_ts bump, which
+  // is an idempotent monotonic max — a resumed re-run repeats it harmlessly.
+  FetchContext* ctx = txn->fetch_ctx;
   uint64_t head = 0;
-  Status st = index_->Lookup(key, &head);
+  Status st = index_->Lookup(key, &head, ctx);
   if (!st.ok()) return st;
 
   rid_t rid = head;
   while (rid != kInvalidRid) {
-    SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(rid, AccessIntent::kRead));
+    SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref,
+                              PinSlot(rid, AccessIntent::kRead, ctx));
     const uint64_t writer = AtomicField(ref.hdr->writer).load(
         std::memory_order_acquire);
     const uint64_t begin = AtomicField(ref.hdr->begin_ts).load(
@@ -216,10 +233,16 @@ Status Table::Delete(Transaction* txn, uint64_t key) {
 Status Table::WriteInternal(Transaction* txn, uint64_t key, const void* tuple,
                             bool allow_tombstone_head) {
   const bool tombstone = tuple == nullptr && !allow_tombstone_head;
+  // The context covers only the stretch BEFORE the head's writer CAS: up to
+  // there the operation has no effects, so a parked miss can unwind and the
+  // re-run is a clean restart. Past the CAS everything blocks — unwinding
+  // with the write lock held would leave it stuck until abort.
+  FetchContext* ctx = txn->fetch_ctx;
   uint64_t head = 0;
-  SPITFIRE_RETURN_NOT_OK(index_->Lookup(key, &head));
+  SPITFIRE_RETURN_NOT_OK(index_->Lookup(key, &head, ctx));
 
-  SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(head, AccessIntent::kWrite));
+  SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref,
+                            PinSlot(head, AccessIntent::kWrite, ctx));
   const uint64_t writer =
       AtomicField(ref.hdr->writer).load(std::memory_order_acquire);
   const uint64_t begin =
@@ -332,11 +355,18 @@ Status Table::Scan(Transaction* txn, uint64_t lo, uint64_t hi,
   // Collect matching keys first (the index scan must not re-enter the
   // buffer manager deeply while we hold its callback), then read each
   // version with full MVTO visibility.
+  // With a fetch context, a parked miss (in the index scan or in any Read
+  // below) surfaces WouldBlock and the resumed re-run starts over — fn may
+  // re-observe entries it already consumed, so interleaved callers must
+  // aggregate idempotently (recompute, don't accumulate across attempts).
   std::vector<uint64_t> keys;
-  SPITFIRE_RETURN_NOT_OK(index_->Scan(lo, hi, [&](uint64_t k, uint64_t) {
-    keys.push_back(k);
-    return true;
-  }));
+  SPITFIRE_RETURN_NOT_OK(index_->Scan(
+      lo, hi,
+      [&](uint64_t k, uint64_t) {
+        keys.push_back(k);
+        return true;
+      },
+      txn->fetch_ctx));
   std::vector<std::byte> buf(opts_.tuple_size);
   for (uint64_t k : keys) {
     const Status st = Read(txn, k, buf.data());

@@ -68,6 +68,14 @@ class Table {
   BTree* index() { return index_; }
 
   // --- transactional operations ---
+  //
+  // When txn->fetch_ctx is set, buffer misses on the read-side stretches of
+  // these operations (index traversal, version-chain pins, and the write
+  // path up to taking the head's write lock) park on the context and the
+  // operation returns WouldBlock with no effects a re-run would duplicate:
+  // the caller re-invokes the same operation once the context fires.
+  // Side-effecting stretches (post-lock write install, commit/abort
+  // processing) always block.
   Status Insert(Transaction* txn, uint64_t key, const void* tuple);
   Status Read(Transaction* txn, uint64_t key, void* out);
   Status Update(Transaction* txn, uint64_t key, const void* tuple);
@@ -116,8 +124,10 @@ class Table {
     return kPageHeaderSize + static_cast<uint64_t>(slot) * slot_size();
   }
 
-  // Pins the page holding `rid` and returns typed pointers into it.
-  Result<SlotRef> PinSlot(rid_t rid, AccessIntent intent);
+  // Pins the page holding `rid` and returns typed pointers into it. With a
+  // context, a miss parks on it and returns WouldBlock instead of blocking.
+  Result<SlotRef> PinSlot(rid_t rid, AccessIntent intent,
+                          FetchContext* ctx = nullptr);
 
   Result<rid_t> AllocateSlot();
   void DeferFree(rid_t rid);

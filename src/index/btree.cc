@@ -201,12 +201,18 @@ uint32_t BTree::height() const {
 // Lookup (optimistic)
 // ---------------------------------------------------------------------------
 
-Status BTree::Lookup(uint64_t key, uint64_t* value) const {
+Status BTree::Lookup(uint64_t key, uint64_t* value,
+                     FetchContext* ctx) const {
   for (int restart = 0; restart < 1000000; ++restart) {
     if ((restart & 63) == 63) std::this_thread::yield();
     page_id_t pid = LoadRoot();
-    auto g_r = bm_->FetchPage(pid, AccessIntent::kRead);
-    if (!g_r.ok()) continue;
+    auto g_r = FetchPageVia(bm_, ctx, pid, AccessIntent::kRead);
+    if (!g_r.ok()) {
+      // A parked miss must escape the restart loop: the caller unwinds to
+      // its scheduler and re-enters Lookup once the fetch fires.
+      if (g_r.status().IsWouldBlock()) return g_r.status();
+      continue;
+    }
     PageGuard guard = g_r.MoveValue();
     uint64_t version = guard.descriptor()->version_latch.ReadLockOrRestart();
     if (version == OptimisticLatch::kRetry) continue;
@@ -238,8 +244,9 @@ Status BTree::Lookup(uint64_t key, uint64_t* value) const {
         failed = true;
         break;
       }
-      auto c_r = bm_->FetchPage(child, AccessIntent::kRead);
+      auto c_r = FetchPageVia(bm_, ctx, child, AccessIntent::kRead);
       if (!c_r.ok()) {
+        if (c_r.status().IsWouldBlock()) return c_r.status();
         failed = true;
         break;
       }
@@ -263,19 +270,21 @@ Status BTree::Lookup(uint64_t key, uint64_t* value) const {
 // Insert
 // ---------------------------------------------------------------------------
 
-Status BTree::Insert(uint64_t key, uint64_t value) {
-  return InsertImpl(key, value, /*upsert=*/false);
+Status BTree::Insert(uint64_t key, uint64_t value, FetchContext* ctx) {
+  return InsertImpl(key, value, /*upsert=*/false, ctx);
 }
 
-Status BTree::Upsert(uint64_t key, uint64_t value) {
-  return InsertImpl(key, value, /*upsert=*/true);
+Status BTree::Upsert(uint64_t key, uint64_t value, FetchContext* ctx) {
+  return InsertImpl(key, value, /*upsert=*/true, ctx);
 }
 
-Status BTree::InsertImpl(uint64_t key, uint64_t value, bool upsert) {
+Status BTree::InsertImpl(uint64_t key, uint64_t value, bool upsert,
+                         FetchContext* ctx) {
   for (int restart = 0; restart < 1000000; ++restart) {
     if ((restart & 63) == 63) std::this_thread::yield();
     bool need_split = false;
-    Status st = OptimisticInsert(key, value, upsert, &need_split);
+    Status st = OptimisticInsert(key, value, upsert, &need_split, ctx);
+    if (st.IsWouldBlock()) return st;
     if (st.ok() || !st.IsBusy()) {
       if (!need_split) return st;
     }
@@ -288,11 +297,14 @@ Status BTree::InsertImpl(uint64_t key, uint64_t value, bool upsert) {
 }
 
 Status BTree::OptimisticInsert(uint64_t key, uint64_t value, bool upsert,
-                               bool* need_split) {
+                               bool* need_split, FetchContext* ctx) {
   *need_split = false;
   page_id_t pid = LoadRoot();
-  auto g_r = bm_->FetchPage(pid, AccessIntent::kWrite);
-  if (!g_r.ok()) return Status::Busy("fetch");
+  auto g_r = FetchPageVia(bm_, ctx, pid, AccessIntent::kWrite);
+  if (!g_r.ok()) {
+    if (g_r.status().IsWouldBlock()) return g_r.status();
+    return Status::Busy("fetch");
+  }
   PageGuard guard = g_r.MoveValue();
   uint64_t version = guard.descriptor()->version_latch.ReadLockOrRestart();
   if (version == OptimisticLatch::kRetry) return Status::Busy("locked");
@@ -338,8 +350,11 @@ Status BTree::OptimisticInsert(uint64_t key, uint64_t value, bool upsert,
     if (!guard.descriptor()->version_latch.Validate(version)) {
       return Status::Busy("parent changed");
     }
-    auto c_r = bm_->FetchPage(child, AccessIntent::kWrite);
-    if (!c_r.ok()) return Status::Busy("fetch child");
+    auto c_r = FetchPageVia(bm_, ctx, child, AccessIntent::kWrite);
+    if (!c_r.ok()) {
+      if (c_r.status().IsWouldBlock()) return c_r.status();
+      return Status::Busy("fetch child");
+    }
     PageGuard cguard = c_r.MoveValue();
     const uint64_t cversion =
         cguard.descriptor()->version_latch.ReadLockOrRestart();
@@ -597,12 +612,15 @@ Status BTree::PessimisticInsert(uint64_t key, uint64_t value, bool upsert) {
 // Remove
 // ---------------------------------------------------------------------------
 
-Status BTree::Remove(uint64_t key) {
+Status BTree::Remove(uint64_t key, FetchContext* ctx) {
   for (int restart = 0; restart < 1000000; ++restart) {
     if ((restart & 63) == 63) std::this_thread::yield();
     page_id_t pid = LoadRoot();
-    auto g_r = bm_->FetchPage(pid, AccessIntent::kWrite);
-    if (!g_r.ok()) continue;
+    auto g_r = FetchPageVia(bm_, ctx, pid, AccessIntent::kWrite);
+    if (!g_r.ok()) {
+      if (g_r.status().IsWouldBlock()) return g_r.status();
+      continue;
+    }
     PageGuard guard = g_r.MoveValue();
     uint64_t version = guard.descriptor()->version_latch.ReadLockOrRestart();
     if (version == OptimisticLatch::kRetry) continue;
@@ -641,8 +659,9 @@ Status BTree::Remove(uint64_t key) {
         failed = true;
         break;
       }
-      auto c_r = bm_->FetchPage(child, AccessIntent::kWrite);
+      auto c_r = FetchPageVia(bm_, ctx, child, AccessIntent::kWrite);
       if (!c_r.ok()) {
+        if (c_r.status().IsWouldBlock()) return c_r.status();
         failed = true;
         break;
       }
@@ -667,15 +686,19 @@ Status BTree::Remove(uint64_t key) {
 // ---------------------------------------------------------------------------
 
 Status BTree::Scan(uint64_t lo, uint64_t hi,
-                   const std::function<bool(uint64_t, uint64_t)>& fn) const {
+                   const std::function<bool(uint64_t, uint64_t)>& fn,
+                   FetchContext* ctx) const {
   page_id_t leaf_pid = kInvalidPageId;
   // Descend to the leaf containing lo.
   for (int restart = 0; restart < 1000000 && leaf_pid == kInvalidPageId;
        ++restart) {
     if ((restart & 63) == 63) std::this_thread::yield();
     page_id_t pid = LoadRoot();
-    auto g_r = bm_->FetchPage(pid, AccessIntent::kRead);
-    if (!g_r.ok()) continue;
+    auto g_r = FetchPageVia(bm_, ctx, pid, AccessIntent::kRead);
+    if (!g_r.ok()) {
+      if (g_r.status().IsWouldBlock()) return g_r.status();
+      continue;
+    }
     PageGuard guard = g_r.MoveValue();
     uint64_t version = guard.descriptor()->version_latch.ReadLockOrRestart();
     if (version == OptimisticLatch::kRetry) continue;
@@ -701,8 +724,9 @@ Status BTree::Scan(uint64_t lo, uint64_t hi,
         failed = true;
         break;
       }
-      auto c_r = bm_->FetchPage(child, AccessIntent::kRead);
+      auto c_r = FetchPageVia(bm_, ctx, child, AccessIntent::kRead);
       if (!c_r.ok()) {
+        if (c_r.status().IsWouldBlock()) return c_r.status();
         failed = true;
         break;
       }
@@ -730,8 +754,13 @@ Status BTree::Scan(uint64_t lo, uint64_t hi,
     bool ok_leaf = false;
     for (int restart = 0; restart < 1000000; ++restart) {
       if ((restart & 63) == 63) std::this_thread::yield();
-      auto g_r = bm_->FetchPage(leaf_pid, AccessIntent::kRead);
-      if (!g_r.ok()) continue;
+      auto g_r = FetchPageVia(bm_, ctx, leaf_pid, AccessIntent::kRead);
+      if (!g_r.ok()) {
+        // Parking mid-chain is fine: the resumed Scan re-descends and
+        // re-visits earlier entries; callers collect idempotently.
+        if (g_r.status().IsWouldBlock()) return g_r.status();
+        continue;
+      }
       PageGuard guard = g_r.MoveValue();
       const uint64_t version =
           guard.descriptor()->version_latch.ReadLockOrRestart();

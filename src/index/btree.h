@@ -46,17 +46,32 @@ class BTree {
 
   page_id_t meta_pid() const { return meta_pid_; }
 
+  // All public operations take an optional FetchContext. With one, a
+  // buffer miss anywhere in the traversal parks on the context and the
+  // operation returns WouldBlock BEFORE any tree mutation — the caller
+  // re-runs the whole call once the context fires, and the restart
+  // re-traverses from the root (OLC restarts are cheap; the parked page is
+  // by then resident). Without a context every fetch blocks (legacy path).
+  // Exceptions that always block: meta-page accesses (root pointer — hot,
+  // pinned-through in steady state) and the pessimistic split path (it
+  // holds write latches across fetches, so parking would deadlock).
+
   // Inserts (key, value). Returns InvalidArgument if the key exists.
-  Status Insert(uint64_t key, uint64_t value);
+  Status Insert(uint64_t key, uint64_t value, FetchContext* ctx = nullptr);
   // Inserts or overwrites.
-  Status Upsert(uint64_t key, uint64_t value);
+  Status Upsert(uint64_t key, uint64_t value, FetchContext* ctx = nullptr);
   // Point lookup.
-  Status Lookup(uint64_t key, uint64_t* value) const;
+  Status Lookup(uint64_t key, uint64_t* value,
+                FetchContext* ctx = nullptr) const;
   // Removes the key. Returns NotFound if absent.
-  Status Remove(uint64_t key);
+  Status Remove(uint64_t key, FetchContext* ctx = nullptr);
   // Visits entries in [lo, hi] in key order until fn returns false.
+  // WouldBlock may surface after fn was invoked for earlier entries; a
+  // resumed caller re-observes them (callers that need exactly-once per
+  // entry must collect idempotently, as Table::Scan does).
   Status Scan(uint64_t lo, uint64_t hi,
-              const std::function<bool(uint64_t, uint64_t)>& fn) const;
+              const std::function<bool(uint64_t, uint64_t)>& fn,
+              FetchContext* ctx = nullptr) const;
 
   // Number of entries (full scan; for tests).
   Result<uint64_t> Count() const;
@@ -68,9 +83,10 @@ class BTree {
   explicit BTree(BufferManager* bm, page_id_t meta_pid)
       : bm_(bm), meta_pid_(meta_pid) {}
 
-  Status InsertImpl(uint64_t key, uint64_t value, bool upsert);
+  Status InsertImpl(uint64_t key, uint64_t value, bool upsert,
+                    FetchContext* ctx);
   Status OptimisticInsert(uint64_t key, uint64_t value, bool upsert,
-                          bool* need_split);
+                          bool* need_split, FetchContext* ctx);
   Status PessimisticInsert(uint64_t key, uint64_t value, bool upsert);
 
   page_id_t LoadRoot() const;

@@ -9,6 +9,8 @@
 
 namespace spitfire {
 
+class FetchContext;
+
 enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
 
 // Record id: (page_id << 16) | slot. Tables have < 2^48 pages and < 2^16
@@ -45,6 +47,13 @@ class Transaction {
 
   lsn_t last_lsn = kInvalidLsn;
   std::vector<WriteOp> write_set;
+  // Optional asynchronous-fetch continuation (non-owning). When set by an
+  // interleaved executor, table/index operations running under this
+  // transaction park buffer misses on it and surface WouldBlock instead of
+  // blocking the worker thread; null (the default) keeps every access
+  // blocking. Only consulted at WouldBlock-safe points — side-effecting
+  // stretches of the write path always block regardless.
+  FetchContext* fetch_ctx = nullptr;
   // Index of this transaction's slot in the TransactionManager's active
   // registry (set by Begin, cleared by Finish). Not meaningful to anyone
   // else.

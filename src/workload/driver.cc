@@ -25,7 +25,8 @@ std::string DriverResult::ToString() const {
 }
 
 DriverResult WorkloadDriver::Run(int num_threads, double seconds,
-                                 const TxnFn& txn_fn, double warmup_seconds) {
+                                 const TxnFn& txn_fn, double warmup_seconds,
+                                 double slice_seconds) {
   struct WorkerStats {
     uint64_t committed = 0;
     uint64_t aborted = 0;
@@ -33,6 +34,15 @@ DriverResult WorkloadDriver::Run(int num_threads, double seconds,
   };
   std::vector<WorkerStats> stats(static_cast<size_t>(num_threads));
   std::atomic<int> phase{0};  // 0 = warmup, 1 = measure, 2 = stop
+  // Optional throughput-over-time bins (committed per slice of the
+  // measurement window); workers flush locally-batched counts on slice
+  // change, as in RunPhased.
+  const bool sliced = slice_seconds > 0;
+  const uint64_t slice_ns =
+      sliced ? static_cast<uint64_t>(slice_seconds * 1e9) : 1;
+  std::vector<std::atomic<uint64_t>> bins(
+      sliced ? static_cast<size_t>(seconds / slice_seconds + 0.5) + 1 : 0);
+  std::atomic<uint64_t> measure_start_ns{0};
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(num_threads));
 
@@ -43,12 +53,33 @@ DriverResult WorkloadDriver::Run(int num_threads, double seconds,
       while (phase.load(std::memory_order_acquire) == 0) {
         (void)txn_fn(rng);
       }
+      size_t cur_slice = 0;
+      uint64_t pending = 0;
+      const auto flush = [&] {
+        if (pending == 0 || bins.empty()) return;
+        bins[std::min(cur_slice, bins.size() - 1)].fetch_add(
+            pending, std::memory_order_relaxed);
+        pending = 0;
+      };
       while (phase.load(std::memory_order_acquire) == 1) {
         Timer txn_timer;
         const Status st = txn_fn(rng);
         my.latency.Add(txn_timer.ElapsedNanos());
         if (st.ok()) {
           ++my.committed;
+          if (sliced) {
+            const uint64_t start =
+                measure_start_ns.load(std::memory_order_relaxed);
+            const uint64_t now = NowNanos();
+            const size_t slice =
+                now > start ? static_cast<size_t>((now - start) / slice_ns)
+                            : 0;
+            if (slice != cur_slice) {
+              flush();
+              cur_slice = slice;
+            }
+            ++pending;
+          }
         } else if (st.IsAborted() || st.IsBusy()) {
           ++my.aborted;
         } else {
@@ -57,6 +88,7 @@ DriverResult WorkloadDriver::Run(int num_threads, double seconds,
           ++my.aborted;
         }
       }
+      flush();
     });
   }
 
@@ -65,6 +97,7 @@ DriverResult WorkloadDriver::Run(int num_threads, double seconds,
         std::chrono::duration<double>(warmup_seconds));
   }
   Timer run_timer;
+  measure_start_ns.store(NowNanos(), std::memory_order_relaxed);
   phase.store(1, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   phase.store(2, std::memory_order_release);
@@ -77,6 +110,12 @@ DriverResult WorkloadDriver::Run(int num_threads, double seconds,
     result.committed += s.committed;
     result.aborted += s.aborted;
     result.latency_ns.Merge(s.latency);
+  }
+  result.slice_ops_per_sec.reserve(bins.size());
+  for (const auto& b : bins) {
+    result.slice_ops_per_sec.push_back(
+        static_cast<double>(b.load(std::memory_order_relaxed)) /
+        slice_seconds);
   }
   return result;
 }
@@ -326,6 +365,158 @@ DriverResult WorkloadDriver::RunAsyncPageOps(BufferManager* bm,
     result.committed += s.committed;
     result.aborted += s.aborted;
     result.latency_ns.Merge(s.latency);
+  }
+  return result;
+}
+
+DriverResult WorkloadDriver::RunInterleaved(BufferManager* bm,
+                                            int num_threads, double seconds,
+                                            int ring_depth,
+                                            const TxnMachineFactory& factory,
+                                            double warmup_seconds,
+                                            double slice_seconds) {
+  // Slots hold the FetchContext the buffer manager's completer writes
+  // into, so they must have stable addresses for the whole run.
+  struct Slot {
+    FetchContext ctx;
+    std::unique_ptr<TxnMachine> machine;
+    uint64_t start_ns = 0;
+  };
+  struct WorkerStats {
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    Histogram latency;
+  };
+
+  const int depth = std::max(1, ring_depth);
+  const bool sliced = slice_seconds > 0;
+  const uint64_t slice_ns =
+      sliced ? static_cast<uint64_t>(slice_seconds * 1e9) : 1;
+  std::vector<std::atomic<uint64_t>> bins(
+      sliced ? static_cast<size_t>(seconds / slice_seconds + 0.5) + 1 : 0);
+  std::atomic<uint64_t> measure_start_ns{0};
+  std::vector<WorkerStats> stats(static_cast<size_t>(num_threads));
+  std::atomic<int> phase{0};  // 0 = warmup, 1 = measure, 2 = stop
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+
+  for (int t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(0x17E40000ULL + static_cast<uint64_t>(t) * 7919);
+      WorkerStats& my = stats[static_cast<size_t>(t)];
+      std::vector<std::unique_ptr<Slot>> ring;
+      ring.reserve(static_cast<size_t>(depth));
+      for (int i = 0; i < depth; ++i) {
+        ring.push_back(std::make_unique<Slot>());
+        ring.back()->machine = factory();
+      }
+      // Mark this worker async-aware up front so simulated device waits
+      // on this thread sleep instead of spinning (see RunAsyncPageOps).
+      (void)bm->PumpIo(/*may_sleep=*/true);
+
+      size_t cur_slice = 0;
+      uint64_t pending = 0;
+      const auto flush = [&] {
+        if (pending == 0 || bins.empty()) return;
+        bins[std::min(cur_slice, bins.size() - 1)].fetch_add(
+            pending, std::memory_order_relaxed);
+        pending = 0;
+      };
+
+      for (;;) {
+        const int ph = phase.load(std::memory_order_acquire);
+        bool progressed = false;  // any real forward motion this pass
+        bool any_active = false;  // some machine still parked or in flight
+        int resumed = 0;          // parked machines resumed this pass
+        int finished = 0;         // transactions completed this pass
+
+        for (auto& sp : ring) {
+          Slot& s = *sp;
+          if (s.ctx.pending()) {
+            if (!s.ctx.ready()) {
+              any_active = true;
+              continue;  // still waiting on the device
+            }
+            // Harvesting a real completion is progress; harvesting an
+            // instantly-rejected (Busy) park is not — counting it would
+            // spin the pass loop against a saturated admission gate and
+            // starve the completion pump (the RunAsyncPageOps livelock).
+            const bool was_busy = s.ctx.parked_busy();
+            (void)s.ctx.Harvest();
+            if (!was_busy) {
+              progressed = true;
+              ++resumed;
+            }
+          } else if (!s.machine->in_flight()) {
+            if (ph >= 2) continue;  // draining: no new transactions
+            s.start_ns = NowNanos();
+          }
+          const Status st = s.machine->Step(rng, &s.ctx);
+          if (st.IsWouldBlock()) {
+            any_active = true;
+            continue;
+          }
+          progressed = true;
+          ++finished;
+          if (ph == 1) {
+            my.latency.Add(NowNanos() - s.start_ns);
+            if (st.ok()) {
+              ++my.committed;
+              if (sliced) {
+                const uint64_t start =
+                    measure_start_ns.load(std::memory_order_relaxed);
+                const uint64_t now = NowNanos();
+                const size_t slice =
+                    now > start
+                        ? static_cast<size_t>((now - start) / slice_ns)
+                        : 0;
+                if (slice != cur_slice) {
+                  flush();
+                  cur_slice = slice;
+                }
+                ++pending;
+              }
+            } else {
+              ++my.aborted;
+            }
+          }
+        }
+
+        if (ph >= 2 && !any_active) break;  // drained
+        if (resumed == 0 && finished == 0) {
+          // Nothing moved: reap completions ourselves (submit-and-reap);
+          // sleep only if the pass also made no other progress, since the
+          // next state change can then only be a completion firing.
+          (void)bm->PumpIo(/*may_sleep=*/!progressed);
+        }
+      }
+      flush();
+    });
+  }
+
+  if (warmup_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(warmup_seconds));
+  }
+  Timer run_timer;
+  measure_start_ns.store(NowNanos(), std::memory_order_relaxed);
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  phase.store(2, std::memory_order_release);
+  const double elapsed = run_timer.ElapsedSeconds();
+  for (auto& w : workers) w.join();
+
+  DriverResult result;
+  result.seconds = elapsed;
+  for (const auto& s : stats) {
+    result.committed += s.committed;
+    result.aborted += s.aborted;
+    result.latency_ns.Merge(s.latency);
+  }
+  result.slice_ops_per_sec.reserve(bins.size());
+  for (const auto& b : bins) {
+    result.slice_ops_per_sec.push_back(
+        static_cast<double>(b.load(std::memory_order_relaxed)) /
+        slice_seconds);
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "workload/txn_machine.h"
 
 namespace spitfire {
 
@@ -19,6 +20,9 @@ struct DriverResult {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   Histogram latency_ns;
+  // Committed txns per second per slice of the measurement window, when
+  // the run was invoked with slice_seconds > 0 (throughput over time).
+  std::vector<double> slice_ops_per_sec;
 
   // Committed transactions per second.
   double Throughput() const {
@@ -47,9 +51,12 @@ class WorkloadDriver {
   using PageOpFn = std::function<PageOp(Xoshiro256&)>;
 
   // Runs `txn_fn` on `num_threads` workers for `seconds`, after running it
-  // for `warmup_seconds` without recording.
+  // for `warmup_seconds` without recording. With slice_seconds > 0 the
+  // measurement window is additionally binned into throughput-over-time
+  // slices (DriverResult::slice_ops_per_sec).
   static DriverResult Run(int num_threads, double seconds, const TxnFn& txn_fn,
-                          double warmup_seconds = 0.0);
+                          double warmup_seconds = 0.0,
+                          double slice_seconds = 0.0);
 
   // One phase of a phase-change scenario: run `fn` on every worker for
   // `seconds`, then all workers move to the next phase together.
@@ -96,6 +103,25 @@ class WorkloadDriver {
                                       double seconds, int ring_depth,
                                       const PageOpFn& op_fn,
                                       double warmup_seconds = 0.0);
+
+  // Interleaved transaction executor (the tentpole of the interleaved-
+  // execution issue): each worker drives a ring of `ring_depth` TxnMachine
+  // continuations over the async miss path. A machine that parks on a
+  // buffer miss (WouldBlock) yields its worker to a sibling; the worker
+  // harvests fired FetchContexts each pass and resumes the parked
+  // machines, converting per-transaction miss stalls into device queue
+  // depth exactly as RunAsyncPageOps does for raw page ops. `factory` is
+  // invoked ring_depth times per worker. ring_depth <= 1 still runs
+  // through the machinery (one machine, parking and resuming serially) —
+  // use Run() with the blocking procedure for the true K=1 baseline.
+  // Latency is begin → commit/abort, parked time included. At the end of
+  // the run, in-flight transactions are stepped to completion (drained),
+  // not cancelled.
+  static DriverResult RunInterleaved(BufferManager* bm, int num_threads,
+                                     double seconds, int ring_depth,
+                                     const TxnMachineFactory& factory,
+                                     double warmup_seconds = 0.0,
+                                     double slice_seconds = 0.0);
 };
 
 }  // namespace spitfire

@@ -425,4 +425,289 @@ Status TpccWorkload::StockLevel(Xoshiro256& rng) {
   return db_->Commit(txn.get());
 }
 
+// ---------------------------------------------------------------------------
+// Interleaved machines
+// ---------------------------------------------------------------------------
+
+Status TpccNewOrderMachine::Finish(const Status& st) {
+  txn_->fetch_ctx = nullptr;
+  if (st.ok()) {
+    const Status cst = w_->db_->Commit(txn_.get());
+    txn_.reset();
+    return cst;
+  }
+  (void)w_->db_->Abort(txn_.get());
+  txn_.reset();
+  return st.IsAborted() ? st : Status::Aborted(st.ToString());
+}
+
+void TpccNewOrderMachine::Cancel() {
+  if (txn_ == nullptr) return;
+  txn_->fetch_ctx = nullptr;
+  (void)w_->db_->Abort(txn_.get());
+  txn_.reset();
+}
+
+Status TpccNewOrderMachine::Step(Xoshiro256& rng, FetchContext* ctx) {
+  SPITFIRE_DCHECK(ctx == nullptr || !ctx->pending());
+  const TpccConfig& cfg = w_->config_;
+  if (txn_ == nullptr) {
+    wid_ = w_->RandomWarehouse(rng);
+    did_ = 1 + static_cast<uint32_t>(
+                   rng.NextUint64(cfg.districts_per_warehouse));
+    cid_ = 1 + static_cast<uint32_t>(
+                   rng.NextUint64(cfg.customers_per_district));
+    ol_cnt_ = 5 + static_cast<uint32_t>(rng.NextUint64(11));
+    for (uint32_t i = 0; i < ol_cnt_; ++i) {
+      item_ids_[i] = 1 + static_cast<uint32_t>(rng.NextUint64(cfg.num_items));
+      qtys_[i] = 1 + static_cast<uint32_t>(rng.NextUint64(10));
+    }
+    entry_d_ = rng.Next();
+    o_id_ = 0;
+    line_ = 1;
+    phase_ = Phase::kReadWarehouse;
+    txn_ = w_->db_->Begin();
+  }
+  txn_->fetch_ctx = ctx;
+  for (;;) {
+    switch (phase_) {
+      case Phase::kReadWarehouse: {
+        TpccWorkload::WarehouseTuple wt{};
+        const Status st = w_->table(TpccWorkload::kWarehouse)
+                              ->Read(txn_.get(),
+                                     TpccWorkload::WarehouseKey(wid_), &wt);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        phase_ = Phase::kReadDistrict;
+        break;
+      }
+      case Phase::kReadDistrict: {
+        // Read + one write. A park inside Update happens before the write
+        // applied, so the re-run re-reads next_o_id and recomputes o_id_ —
+        // no re-roll.
+        TpccWorkload::DistrictTuple dt{};
+        const uint64_t dkey = TpccWorkload::DistrictKey(wid_, did_);
+        Table* districts = w_->table(TpccWorkload::kDistrict);
+        Status st = districts->Read(txn_.get(), dkey, &dt);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        o_id_ = dt.next_o_id;
+        dt.next_o_id++;
+        st = districts->Update(txn_.get(), dkey, &dt);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        phase_ = Phase::kReadCustomer;
+        break;
+      }
+      case Phase::kReadCustomer: {
+        TpccWorkload::CustomerTuple ct{};
+        const Status st =
+            w_->table(TpccWorkload::kCustomer)
+                ->Read(txn_.get(),
+                       TpccWorkload::CustomerKey(wid_, did_, cid_), &ct);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        phase_ = Phase::kLineStock;
+        break;
+      }
+      case Phase::kLineStock: {
+        const uint32_t i_id = item_ids_[line_ - 1];
+        const uint32_t qty = qtys_[line_ - 1];
+        TpccWorkload::ItemTuple item{};
+        Status st = w_->table(TpccWorkload::kItem)
+                        ->Read(txn_.get(), TpccWorkload::ItemKey(i_id), &item);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        TpccWorkload::StockTuple stock{};
+        const uint64_t skey = TpccWorkload::StockKey(wid_, i_id);
+        Table* stocks = w_->table(TpccWorkload::kStock);
+        st = stocks->Read(txn_.get(), skey, &stock);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        stock.quantity = stock.quantity >= qty + 10
+                             ? stock.quantity - qty
+                             : stock.quantity + 91 - qty;
+        stock.ytd += qty;
+        stock.order_cnt++;
+        st = stocks->Update(txn_.get(), skey, &stock);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        // Stage the order line for the next phase while the item and
+        // stock reads are at hand.
+        ol_ = TpccWorkload::OrderLineTuple{};
+        ol_.i_id = i_id;
+        ol_.supply_w_id = wid_;
+        ol_.quantity = qty;
+        ol_.amount = qty * item.price;
+        std::memcpy(ol_.dist_info, stock.dist[did_ - 1],
+                    sizeof(ol_.dist_info));
+        phase_ = Phase::kLineInsert;
+        break;
+      }
+      case Phase::kLineInsert: {
+        const Status st =
+            w_->table(TpccWorkload::kOrderLine)
+                ->Insert(txn_.get(),
+                         TpccWorkload::OrderLineKey(wid_, did_, o_id_, line_),
+                         &ol_);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        ++line_;
+        phase_ = line_ <= ol_cnt_ ? Phase::kLineStock : Phase::kInsertOrder;
+        break;
+      }
+      case Phase::kInsertOrder: {
+        TpccWorkload::OrderTuple ot{};
+        ot.c_id = cid_;
+        ot.carrier_id = 0;
+        ot.ol_cnt = ol_cnt_;
+        ot.all_local = 1;
+        ot.entry_d = entry_d_;
+        const Status st =
+            w_->table(TpccWorkload::kOrder)
+                ->Insert(txn_.get(), TpccWorkload::OrderKey(wid_, did_, o_id_),
+                         &ot);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        phase_ = Phase::kInsertNewOrder;
+        break;
+      }
+      case Phase::kInsertNewOrder: {
+        TpccWorkload::NewOrderTuple no{};
+        const Status st =
+            w_->table(TpccWorkload::kNewOrder)
+                ->Insert(txn_.get(), TpccWorkload::OrderKey(wid_, did_, o_id_),
+                         &no);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        phase_ = Phase::kCommit;
+        break;
+      }
+      case Phase::kCommit:
+        return Finish(Status::OK());
+    }
+  }
+}
+
+Status TpccPaymentMachine::Finish(const Status& st) {
+  txn_->fetch_ctx = nullptr;
+  if (st.ok()) {
+    const Status cst = w_->db_->Commit(txn_.get());
+    txn_.reset();
+    return cst;
+  }
+  (void)w_->db_->Abort(txn_.get());
+  txn_.reset();
+  return st.IsAborted() ? st : Status::Aborted(st.ToString());
+}
+
+void TpccPaymentMachine::Cancel() {
+  if (txn_ == nullptr) return;
+  txn_->fetch_ctx = nullptr;
+  (void)w_->db_->Abort(txn_.get());
+  txn_.reset();
+}
+
+Status TpccPaymentMachine::Step(Xoshiro256& rng, FetchContext* ctx) {
+  SPITFIRE_DCHECK(ctx == nullptr || !ctx->pending());
+  const TpccConfig& cfg = w_->config_;
+  if (txn_ == nullptr) {
+    wid_ = w_->RandomWarehouse(rng);
+    did_ = 1 + static_cast<uint32_t>(
+                   rng.NextUint64(cfg.districts_per_warehouse));
+    cid_ = 1 + static_cast<uint32_t>(
+                   rng.NextUint64(cfg.customers_per_district));
+    amount_ = 1.0 + static_cast<double>(rng.NextUint64(499'900)) / 100.0;
+    ht_ = TpccWorkload::HistoryTuple{};
+    ht_.c_id = cid_;
+    ht_.c_d_id = did_;
+    ht_.c_w_id = wid_;
+    ht_.d_id = did_;
+    ht_.w_id = wid_;
+    ht_.amount = amount_;
+    FillString(rng, ht_.data, sizeof(ht_.data));
+    hkey_ = w_->history_seq_.fetch_add(1, std::memory_order_relaxed) |
+            (static_cast<uint64_t>(wid_) << 40);
+    phase_ = Phase::kWarehouse;
+    txn_ = w_->db_->Begin();
+  }
+  txn_->fetch_ctx = ctx;
+  for (;;) {
+    switch (phase_) {
+      case Phase::kWarehouse: {
+        TpccWorkload::WarehouseTuple wt{};
+        const uint64_t wkey = TpccWorkload::WarehouseKey(wid_);
+        Table* warehouses = w_->table(TpccWorkload::kWarehouse);
+        Status st = warehouses->Read(txn_.get(), wkey, &wt);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        wt.ytd += amount_;
+        st = warehouses->Update(txn_.get(), wkey, &wt);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        phase_ = Phase::kDistrict;
+        break;
+      }
+      case Phase::kDistrict: {
+        TpccWorkload::DistrictTuple dt{};
+        const uint64_t dkey = TpccWorkload::DistrictKey(wid_, did_);
+        Table* districts = w_->table(TpccWorkload::kDistrict);
+        Status st = districts->Read(txn_.get(), dkey, &dt);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        dt.ytd += amount_;
+        st = districts->Update(txn_.get(), dkey, &dt);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        phase_ = Phase::kCustomer;
+        break;
+      }
+      case Phase::kCustomer: {
+        TpccWorkload::CustomerTuple ct{};
+        const uint64_t ckey = TpccWorkload::CustomerKey(wid_, did_, cid_);
+        Table* customers = w_->table(TpccWorkload::kCustomer);
+        Status st = customers->Read(txn_.get(), ckey, &ct);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        ct.balance -= amount_;
+        ct.ytd_payment += amount_;
+        ct.payment_cnt++;
+        st = customers->Update(txn_.get(), ckey, &ct);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        phase_ = Phase::kHistory;
+        break;
+      }
+      case Phase::kHistory: {
+        const Status st = w_->table(TpccWorkload::kHistory)
+                              ->Insert(txn_.get(), hkey_, &ht_);
+        if (st.IsWouldBlock()) return st;
+        if (!st.ok()) return Finish(st);
+        phase_ = Phase::kCommit;
+        break;
+      }
+      case Phase::kCommit:
+        return Finish(Status::OK());
+    }
+  }
+}
+
+Status TpccTxnMachine::Step(Xoshiro256& rng, FetchContext* ctx) {
+  if (new_order_.in_flight()) return new_order_.Step(rng, ctx);
+  if (payment_.in_flight()) return payment_.Step(rng, ctx);
+  // Idle: pick the next type with NEW-ORDER / PAYMENT renormalized from
+  // the standard mix percentages.
+  const TpccConfig& cfg = w_->config();
+  const uint32_t total = cfg.pct_new_order + cfg.pct_payment;
+  const bool pick_new_order =
+      total == 0 || rng.NextUint64(total) < cfg.pct_new_order;
+  return pick_new_order ? new_order_.Step(rng, ctx)
+                        : payment_.Step(rng, ctx);
+}
+
+void TpccTxnMachine::Cancel() {
+  new_order_.Cancel();
+  payment_.Cancel();
+}
+
 }  // namespace spitfire

@@ -2,9 +2,11 @@
 #define SPITFIRE_WORKLOAD_TPCC_H_
 
 #include <atomic>
+#include <memory>
 
 #include "common/random.h"
 #include "db/database.h"
+#include "workload/txn_machine.h"
 
 namespace spitfire {
 
@@ -168,6 +170,9 @@ class TpccWorkload {
   const TpccConfig& config() const { return config_; }
 
  private:
+  friend class TpccNewOrderMachine;
+  friend class TpccPaymentMachine;
+
   Table* table(TableId id) { return db_->GetTable(id); }
   uint32_t RandomWarehouse(Xoshiro256& rng) {
     return 1 + static_cast<uint32_t>(rng.NextUint64(config_.num_warehouses));
@@ -176,6 +181,102 @@ class TpccWorkload {
   Database* db_;
   TpccConfig config_;
   std::atomic<uint64_t> history_seq_{0};
+};
+
+// NEW-ORDER as a parked continuation (see TxnMachine). Phase shape:
+//   read W → read D + bump/update next_o_id → read C →
+//   per line: (read item, read stock, update stock) → insert ORDER-LINE →
+//   insert ORDER → insert NEW-ORDER → commit.
+// Every random decision (warehouse, district, customer, line items,
+// quantities) is drawn when the transaction begins; each phase ends in at
+// most one write and advances only once that write succeeded, so a re-run
+// after a parked miss never re-rolls next_o_id or double-decrements stock.
+class TpccNewOrderMachine : public TxnMachine {
+ public:
+  explicit TpccNewOrderMachine(TpccWorkload* workload) : w_(workload) {}
+
+  Status Step(Xoshiro256& rng, FetchContext* ctx) override;
+  void Cancel() override;
+  bool in_flight() const override { return txn_ != nullptr; }
+
+ private:
+  enum class Phase : uint8_t {
+    kReadWarehouse,
+    kReadDistrict,
+    kReadCustomer,
+    kLineStock,
+    kLineInsert,
+    kInsertOrder,
+    kInsertNewOrder,
+    kCommit,
+  };
+  static constexpr uint32_t kMaxLines = 15;
+
+  Status Finish(const Status& st);
+
+  TpccWorkload* w_;
+  std::unique_ptr<Transaction> txn_;
+  Phase phase_ = Phase::kReadWarehouse;
+  // Decisions drawn at begin.
+  uint32_t wid_ = 0, did_ = 0, cid_ = 0, ol_cnt_ = 0;
+  uint32_t item_ids_[kMaxLines] = {};
+  uint32_t qtys_[kMaxLines] = {};
+  uint64_t entry_d_ = 0;
+  // Progress state.
+  uint32_t o_id_ = 0;
+  uint32_t line_ = 1;
+  TpccWorkload::OrderLineTuple ol_{};  // staged by kLineStock for kLineInsert
+};
+
+// PAYMENT as a parked continuation: read+update W → read+update D →
+// read+update C → insert HISTORY → commit. Same phase discipline as
+// NEW-ORDER (one write per phase, drawn-up-front decisions).
+class TpccPaymentMachine : public TxnMachine {
+ public:
+  explicit TpccPaymentMachine(TpccWorkload* workload) : w_(workload) {}
+
+  Status Step(Xoshiro256& rng, FetchContext* ctx) override;
+  void Cancel() override;
+  bool in_flight() const override { return txn_ != nullptr; }
+
+ private:
+  enum class Phase : uint8_t {
+    kWarehouse,
+    kDistrict,
+    kCustomer,
+    kHistory,
+    kCommit,
+  };
+
+  Status Finish(const Status& st);
+
+  TpccWorkload* w_;
+  std::unique_ptr<Transaction> txn_;
+  Phase phase_ = Phase::kWarehouse;
+  uint32_t wid_ = 0, did_ = 0, cid_ = 0;
+  double amount_ = 0;
+  uint64_t hkey_ = 0;
+  TpccWorkload::HistoryTuple ht_{};
+};
+
+// The interleavable slice of the TPC-C mix: picks NEW-ORDER vs PAYMENT
+// per transaction (the two types renormalized — together 88% of the
+// standard mix) and delegates to the corresponding machine.
+class TpccTxnMachine : public TxnMachine {
+ public:
+  explicit TpccTxnMachine(TpccWorkload* workload)
+      : new_order_(workload), payment_(workload), w_(workload) {}
+
+  Status Step(Xoshiro256& rng, FetchContext* ctx) override;
+  void Cancel() override;
+  bool in_flight() const override {
+    return new_order_.in_flight() || payment_.in_flight();
+  }
+
+ private:
+  TpccNewOrderMachine new_order_;
+  TpccPaymentMachine payment_;
+  TpccWorkload* w_;
 };
 
 }  // namespace spitfire

@@ -2,9 +2,11 @@
 #define SPITFIRE_WORKLOAD_YCSB_H_
 
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "db/database.h"
+#include "workload/txn_machine.h"
 
 namespace spitfire {
 
@@ -20,6 +22,11 @@ struct YcsbConfig {
   double zipf_theta = 0.3;
   double read_ratio = 1.0;
   uint32_t table_id = 1;
+  // Fraction of transactions that run a short range scan instead of a
+  // point op (YCSB-E flavor); the remainder splits read/update by
+  // read_ratio. Defaults preserve the original two-op mixes.
+  double scan_ratio = 0.0;
+  uint64_t scan_length = 100;
 
   static YcsbConfig ReadOnly(uint64_t n = 100'000) {
     return {n, 0.3, 1.0, 1};
@@ -50,6 +57,11 @@ class YcsbWorkload {
 
   const YcsbConfig& config() const { return config_; }
   Table* table() { return table_; }
+  Database* db() { return db_; }
+
+  // Draws a key from the workload's zipfian (shared with the interleaved
+  // machine below so both executors sample the same distribution).
+  uint64_t SampleKey(Xoshiro256& rng) { return zipf_.Next(rng); }
 
  private:
   uint64_t NextKey(Xoshiro256& rng) { return zipf_.Next(rng); }
@@ -59,6 +71,35 @@ class YcsbWorkload {
   YcsbConfig config_;
   Table* table_ = nullptr;
   ScrambledZipfianGenerator zipf_;
+};
+
+// One YCSB transaction as a parked continuation (see TxnMachine): phases
+// kRead → [kUpdate] → kCommit, or kScan → kCommit for the scan flavor.
+// All random decisions (key, op kind, new column value) are drawn when the
+// transaction begins, so a phase re-run after a parked miss replays the
+// identical operation. Running every machine with ring depth 1 on a
+// blocking driver is behaviorally the K=1 degenerate case of
+// YcsbWorkload::RunTransaction.
+class YcsbTxnMachine : public TxnMachine {
+ public:
+  explicit YcsbTxnMachine(YcsbWorkload* workload);
+
+  Status Step(Xoshiro256& rng, FetchContext* ctx) override;
+  void Cancel() override;
+  bool in_flight() const override { return txn_ != nullptr; }
+
+ private:
+  enum class Phase : uint8_t { kRead, kUpdate, kScan, kCommit };
+
+  Status Finish(const Status& st);
+
+  YcsbWorkload* w_;
+  std::unique_ptr<Transaction> txn_;
+  Phase phase_ = Phase::kRead;
+  uint64_t key_ = 0;
+  bool is_read_ = true;
+  uint64_t update_value_ = 0;
+  std::vector<std::byte> tuple_;
 };
 
 }  // namespace spitfire

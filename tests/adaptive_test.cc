@@ -159,6 +159,16 @@ class TunerHarness {
     for (int i = 0; i < count; ++i) Window(mix, fetch_scale);
   }
 
+  // A latency-bound scan window: almost no fetches (one op in flight per
+  // multi-hundred-µs device read), but heavy sampled hit traffic through
+  // the replacer. The activity gate must count this as a live window.
+  void ScanWindow(uint64_t sampled) {
+    cum_.dram_hits += 2;  // far below min_window_fetches on its own
+    cum_.replacer_sampled += sampled;
+    cum_.read_ahead_installs += sampled / 8;
+    tuner_.Step(cum_, window_seconds_);
+  }
+
   OnlineTuner& tuner() { return tuner_; }
   const MigrationPolicy& applied() const { return applied_; }
 
@@ -252,6 +262,34 @@ TEST(OnlineTunerTest, IdleWindowsAreIgnored) {
   EXPECT_EQ(h.tuner().reconvergences(), 0u);
   EXPECT_TRUE(h.tuner().converged());
   EXPECT_EQ(h.tuner().windows(), windows_before + 20);  // still counted
+}
+
+TEST(OnlineTunerTest, ScanWindowsCountAsActivity) {
+  // A pure scan phase is fetch-starved but replacer-busy. Gating on
+  // fetches alone made the tuner sit idle through such phases; the
+  // activity gate must keep annealing on sampled accesses alone.
+  OnlineTunerOptions opts;
+  TunerHarness h(opts);
+  int w = 0;
+  while (!h.tuner().converged() && w < kConvergenceBudget) {
+    h.ScanWindow(4096);  // 2 fetches + 4096 sampled per window
+    ++w;
+  }
+  EXPECT_TRUE(h.tuner().converged())
+      << "tuner ignored scan-phase windows; still annealing after " << w;
+  EXPECT_EQ(h.tuner().windows(), static_cast<uint64_t>(w));
+}
+
+TEST(OnlineTunerTest, SubThresholdScanWindowsStillIgnored) {
+  // The gate widened to replacer-visible activity, but a genuinely idle
+  // window (total activity below the minimum) must still be skipped.
+  OnlineTunerOptions opts;
+  TunerHarness h(opts);
+  h.Windows(kConvergenceBudget, kPointMix);
+  ASSERT_TRUE(h.tuner().converged());
+  for (int i = 0; i < 20; ++i) h.ScanWindow(32);  // 2 + 32 + 4 < 256
+  EXPECT_EQ(h.tuner().reconvergences(), 0u);
+  EXPECT_TRUE(h.tuner().converged());
 }
 
 TEST(GridSearchTest, BudgetFiltersCandidates) {
