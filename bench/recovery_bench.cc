@@ -1,0 +1,154 @@
+// Recovery-time benchmark: how long a crash-restart takes as a function
+// of (a) the checkpoint interval that ran before the crash and (b) the
+// dirty-page backlog accumulated since the last checkpoint.
+//
+// Both sweeps run the same shape: load a table, run update transactions,
+// crash (Database::Crash keeps the simulated devices), then time
+// Database::Recover. RecoveryStats from the recovered instance report how
+// much of the log the durable redo horizon let recovery skip — the
+// mechanism the checkpoint-interval sweep is measuring. The paper's
+// Section 6.6 point (NVM-resident pages survive the crash, so a
+// three-tier instance restarts warm) shows up as the with/without-NVM
+// pair in the backlog sweep.
+//
+// Output: one JSON line per point (BENCH_recovery.json in CI).
+// SPITFIRE_BENCH_SCALE scales transaction counts.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "db/database.h"
+#include "db/table.h"
+
+namespace spitfire::bench {
+namespace {
+
+struct Row {
+  uint64_t v;
+  uint64_t pad[31];  // 256 B tuple → 63 rows per 16 KB page
+};
+
+constexpr uint64_t kRows = 2048;  // ~33 heap pages
+
+DatabaseOptions MakeOptions(bool with_nvm) {
+  DatabaseOptions o;
+  o.dram_frames = 64;
+  o.nvm_frames = with_nvm ? 192 : 0;
+  o.policy = with_nvm ? MigrationPolicy::Lazy() : MigrationPolicy::Eager();
+  o.enable_wal = true;
+  o.log_staging_size = 1ull << 20;
+  return o;
+}
+
+struct Point {
+  double recovery_ms = 0;
+  uint64_t redo_applied = 0;
+  uint64_t redo_skipped = 0;
+  uint64_t log_records = 0;
+};
+
+// Loads kRows rows, runs `updates` single-row update transactions
+// (spread over `touch_rows` distinct rows), checkpointing every
+// `checkpoint_every` commits (0 = never), crashes, and times recovery.
+Point RunPoint(bool with_nvm, uint64_t updates, uint64_t touch_rows,
+               uint64_t checkpoint_every) {
+  const DatabaseOptions opts = MakeOptions(with_nvm);
+  DatabaseEnv env;
+  {
+    auto db = Database::Create(opts).MoveValue();
+    Table* t = db->CreateTable(1, sizeof(Row)).value();
+    {
+      auto txn = db->Begin();
+      for (uint64_t k = 0; k < kRows; ++k) {
+        Row r{};
+        r.v = k;
+        SPITFIRE_CHECK(t->Insert(txn.get(), k, &r).ok());
+      }
+      SPITFIRE_CHECK(db->Commit(txn.get()).ok());
+    }
+    SPITFIRE_CHECK(db->Checkpoint().ok());
+    Xoshiro256 rng(7);
+    for (uint64_t i = 0; i < updates; ++i) {
+      auto txn = db->Begin();
+      const uint64_t k =
+          rng.NextUint64(std::max<uint64_t>(1, touch_rows)) *
+          (kRows / std::max<uint64_t>(1, touch_rows));
+      Row r{};
+      r.v = k + i;
+      if (!t->Update(txn.get(), k % kRows, &r).ok()) {
+        db->Abort(txn.get());
+        continue;
+      }
+      if (!db->Commit(txn.get()).ok()) continue;
+      if (checkpoint_every != 0 && (i + 1) % checkpoint_every == 0) {
+        SPITFIRE_CHECK(db->Checkpoint().ok());
+      }
+    }
+    env = Database::Crash(std::move(db));
+  }
+  Point p;
+  Timer timer;
+  auto r = Database::Recover(opts, std::move(env));
+  p.recovery_ms = timer.ElapsedSeconds() * 1e3;
+  SPITFIRE_CHECK(r.ok());
+  const auto& st = r.value()->recovery_stats();
+  p.redo_applied = st.redo_applied;
+  p.redo_skipped = st.redo_skipped;
+  p.log_records = st.log_records;
+  return p;
+}
+
+void Emit(const char* sweep, bool with_nvm, uint64_t updates,
+          uint64_t checkpoint_every, const Point& p) {
+  JsonLine line;
+  line.Str("bench", "recovery")
+      .Str("sweep", sweep)
+      .Str("hierarchy", with_nvm ? "dram-nvm-ssd" : "dram-ssd")
+      .Num("updates", updates)
+      .Num("checkpoint_every", checkpoint_every)
+      .Num("recovery_ms", p.recovery_ms)
+      .Num("log_records", p.log_records)
+      .Num("redo_applied", p.redo_applied)
+      .Num("redo_skipped", p.redo_skipped);
+  line.Print();
+}
+
+void Main() {
+  LatencySimulator::SetScale(0.0);  // time the work, not the device model
+  const double scale = EnvScale();
+  const auto n = [&](uint64_t v) {
+    return std::max<uint64_t>(64, static_cast<uint64_t>(v * scale));
+  };
+
+  PrintBanner("recovery", "restart time vs checkpoint interval / backlog");
+
+  // Sweep 1: fixed update stream, varying checkpoint interval. A tighter
+  // interval advances the durable redo horizon more often, so recovery
+  // replays a shorter log suffix. The intervals deliberately do not
+  // divide the update count: the crash lands mid-interval and the redo
+  // tail is what accumulated since the last checkpoint.
+  const uint64_t kUpdates = n(4000);
+  for (uint64_t every : {uint64_t{0}, n(3000), n(1500), n(700), n(300)}) {
+    const Point p = RunPoint(/*with_nvm=*/true, kUpdates, kRows / 4, every);
+    Emit("checkpoint_interval", true, kUpdates, every, p);
+  }
+
+  // Sweep 2: dirty-page backlog. One checkpoint after load, then an
+  // uncheckpointed update burst over a growing fraction of the table;
+  // everything since the checkpoint must be replayed. The dram-ssd pair
+  // shows the recovery-overhead cost of losing all buffered state.
+  for (uint64_t updates : {n(500), n(1000), n(2000), n(4000)}) {
+    for (const bool with_nvm : {true, false}) {
+      const Point p = RunPoint(with_nvm, updates, kRows / 2, 0);
+      Emit("backlog", with_nvm, updates, 0, p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spitfire::bench
+
+int main() { spitfire::bench::Main(); }

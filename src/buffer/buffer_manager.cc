@@ -124,10 +124,10 @@ BufferManager::~BufferManager() {
   if (io_ != nullptr) io_->Shutdown();
 }
 
-Status BufferManager::FlushAll(bool include_nvm) {
+Status BufferManager::FlushAll(bool include_nvm, size_t* skipped) {
   Status result = Status::OK();
   for (auto& s : shards_) {
-    const Status st = s->FlushAll(include_nvm);
+    const Status st = s->FlushAll(include_nvm, skipped);
     if (result.ok()) result = st;
   }
   return result;

@@ -85,8 +85,11 @@ class BufferManager {
 
   // Flushes every dirty page (all shards) to SSD. When `include_nvm` is
   // false, dirty NVM-resident pages are left in place (they are
-  // persistent — the paper's recovery-overhead advantage).
-  Status FlushAll(bool include_nvm = false);
+  // persistent — the paper's recovery-overhead advantage). `*skipped`
+  // (optional) sums the dirty pages every shard had to leave behind
+  // because they were actively referenced; a nonzero count means the
+  // sweep was incomplete and must not advance the durable redo horizon.
+  Status FlushAll(bool include_nvm = false, size_t* skipped = nullptr);
 
   // Blocks until every asynchronously staged SSD write has reached the
   // device; returns (and clears) the first async write error.
@@ -144,6 +147,9 @@ class BufferManager {
   size_t NvmResidentPages() const;
   bool IsDramResident(page_id_t pid) const {
     return ShardFor(pid)->IsDramResident(pid);
+  }
+  bool IsNvmResident(page_id_t pid) const {
+    return ShardFor(pid)->IsNvmResident(pid);
   }
 
   page_id_t next_page_id() const {

@@ -1711,10 +1711,18 @@ std::byte* BufferShard::GuardRawData(SharedPageDescriptor* d, Tier tier,
 // ---------------------------------------------------------------------------
 
 Status BufferShard::WriteToSsd(page_id_t pid, const std::byte* data) {
+  // Every page image headed to SSD passes through here — the one place a
+  // whole-page checksum can be stamped so recovery can detect torn or
+  // short page writes. Stamp a private copy: the source frame may be
+  // concurrently repinned the moment the write is staged.
+  thread_local std::unique_ptr<std::byte[]> stamp_buf;
+  if (stamp_buf == nullptr) stamp_buf = std::make_unique<std::byte[]>(kPageSize);
+  std::memcpy(stamp_buf.get(), data, kPageSize);
+  StampPageChecksum(stamp_buf.get());
   // Asynchronous staged write: the scheduler copies the image, so the
-  // frame may be reused (evicted, overwritten) the moment this returns.
-  if (io_ != nullptr) return io_->WritePage(SsdOffset(pid), data);
-  return ssd_->Write(SsdOffset(pid), data, kPageSize);
+  // buffer may be reused the moment this returns.
+  if (io_ != nullptr) return io_->WritePage(SsdOffset(pid), stamp_buf.get());
+  return ssd_->Write(SsdOffset(pid), stamp_buf.get(), kPageSize);
 }
 
 Status BufferShard::DrainIo() {
@@ -1728,7 +1736,7 @@ Status BufferShard::FlushPage(page_id_t pid) {
   return drained;
 }
 
-Status BufferShard::FlushPageImpl(page_id_t pid) {
+Status BufferShard::FlushPageImpl(page_id_t pid, size_t* skipped) {
   SharedPageDescriptor* d = nullptr;
   if (!mapping_table_.Find(pid, &d)) return Status::OK();  // never buffered
   SpinLatchGuard gd(d->dram_latch);
@@ -1762,10 +1770,14 @@ Status BufferShard::FlushPageImpl(page_id_t pid) {
     const bool need_nvm =
         nvm_resident && (mini_dirty || clg_dirty || full_dirty);
     if (need_nvm && !d->nvm.TryRetire()) {
+      if (skipped != nullptr) ++*skipped;
       return Status::OK();  // NVM copy actively referenced; later round
     }
     if (!d->dram.TryRetire()) {  // actively referenced
       if (need_nvm) d->nvm.Publish(DramMode::kFull, 0);
+      if (skipped != nullptr && (mini_dirty || clg_dirty || full_dirty)) {
+        ++*skipped;
+      }
       return Status::OK();
     }
     Status st = Status::OK();
@@ -1808,7 +1820,10 @@ Status BufferShard::FlushPageImpl(page_id_t pid) {
   }
 
   if (d->NvmResident() && d->nvm.dirty.load(std::memory_order_relaxed)) {
-    if (!d->nvm.TryRetire()) return Status::OK();  // actively referenced
+    if (!d->nvm.TryRetire()) {
+      if (skipped != nullptr) ++*skipped;
+      return Status::OK();  // actively referenced
+    }
     const frame_id_t nf = d->nvm.frame.load(std::memory_order_relaxed);
     std::byte* ptr = nvm_pool_->FramePtr(nf);
     nvm_->OnDirectRead(nvm_pool_->FrameOffset(nf), kPageSize,
@@ -1821,7 +1836,7 @@ Status BufferShard::FlushPageImpl(page_id_t pid) {
   return Status::OK();
 }
 
-Status BufferShard::FlushAll(bool include_nvm) {
+Status BufferShard::FlushAll(bool include_nvm, size_t* skipped) {
   Status result = Status::OK();
   if (include_nvm) {
     // Collect first: FlushPage re-enters the mapping table, so it must not
@@ -1832,7 +1847,13 @@ Status BufferShard::FlushAll(bool include_nvm) {
           pids.push_back(pid);
         });
     for (page_id_t pid : pids) {
-      const Status st = FlushPage(pid);
+      Status st = FlushPageImpl(pid, skipped);
+      // Drain per page rather than once per sweep: the I/O scheduler would
+      // otherwise coalesce the whole batch into a handful of device ops,
+      // and this path feeds checkpoints whose write accounting (and fault
+      // injection points) assume one write per flushed page.
+      const Status drained = DrainIo();
+      if (st.ok()) st = drained;
       if (!st.ok()) result = st;
     }
     return result;
@@ -1850,9 +1871,13 @@ Status BufferShard::FlushAll(bool include_nvm) {
         // NVM-before-DRAM retire order: the dirty DRAM copy makes the NVM
         // copy stale, see FlushPage / TryEvictDramFrame.
         const bool nvm_resident = d->NvmResident();
-        if (nvm_resident && !d->nvm.TryRetire()) return;
+        if (nvm_resident && !d->nvm.TryRetire()) {
+          if (skipped != nullptr) ++*skipped;
+          return;
+        }
         if (!d->dram.TryRetire()) {  // actively referenced
           if (nvm_resident) d->nvm.Publish(DramMode::kFull, 0);
+          if (skipped != nullptr) ++*skipped;
           return;
         }
         std::byte* ptr = dram_pool_->FramePtr(
@@ -1874,9 +1899,13 @@ Status BufferShard::FlushAll(bool include_nvm) {
       } else if (mode == DramMode::kCacheLineGrained && d->cl.dirty.Any()) {
         SpinLatchGuard gn(d->nvm_latch);
         // NVM-before-DRAM retire order, as above.
-        if (!d->nvm.TryRetire()) return;
+        if (!d->nvm.TryRetire()) {
+          if (skipped != nullptr) ++*skipped;
+          return;
+        }
         if (!d->dram.TryRetire()) {  // actively referenced
           d->nvm.Publish(DramMode::kFull, 0);
+          if (skipped != nullptr) ++*skipped;
           return;
         }
         WriteBackUnitsToNvm(d);
@@ -1976,6 +2005,13 @@ bool BufferShard::IsDramResident(page_id_t pid) const {
   auto* self = const_cast<BufferShard*>(this);
   if (!self->mapping_table_.Find(pid, &d)) return false;
   return d->DramResident();
+}
+
+bool BufferShard::IsNvmResident(page_id_t pid) const {
+  SharedPageDescriptor* d = nullptr;
+  auto* self = const_cast<BufferShard*>(this);
+  if (!self->mapping_table_.Find(pid, &d)) return false;
+  return d->NvmResident();
 }
 
 size_t BufferShard::NvmResidentPages() const {

@@ -300,8 +300,12 @@ class BufferShard {
 
   // Flushes every dirty page to SSD. When `include_nvm` is false, dirty
   // NVM-resident pages are left in place (they are persistent — the
-  // paper's recovery-overhead advantage of app-direct mode).
-  Status FlushAll(bool include_nvm = false);
+  // paper's recovery-overhead advantage of app-direct mode). Pages whose
+  // copies are actively referenced are skipped (a later round catches
+  // them); `*skipped` (optional) counts them so callers like the
+  // checkpointer know whether the sweep was complete — an incomplete
+  // sweep must not advance the durable redo horizon.
+  Status FlushAll(bool include_nvm = false, size_t* skipped = nullptr);
 
   // Blocks until every asynchronously staged SSD write has reached the
   // device; returns (and clears) the first async write error. No-op when
@@ -360,6 +364,9 @@ class BufferShard {
   // Whether `pid` currently has a full DRAM frame (racy; tests/bench —
   // the scan-resistance property test checks hot-set retention with it).
   bool IsDramResident(page_id_t pid) const;
+  // Whether `pid` currently has an NVM frame (racy; recovery uses it to
+  // decide which tier sourced a page image).
+  bool IsNvmResident(page_id_t pid) const;
 
   // Reconfigures the sequential read-ahead window (0 disables). Not
   // thread-safe against concurrent fetches; meant for tests and setup
@@ -493,7 +500,9 @@ class BufferShard {
   Status WriteToSsd(page_id_t pid, const std::byte* data);
 
   // FlushPage body without the I/O drain (FlushAll batches the drain).
-  Status FlushPageImpl(page_id_t pid);
+  // `*skipped` (optional) is incremented when a dirty copy could not be
+  // flushed because it was actively referenced.
+  Status FlushPageImpl(page_id_t pid, size_t* skipped = nullptr);
 
   // Loads the units covering [offset, offset+size) of a cache-line-grained
   // page from its NVM copy. Caller holds the dram latch.

@@ -1,0 +1,28 @@
+#ifndef SPITFIRE_COMMON_CHECKSUM_H_
+#define SPITFIRE_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace spitfire {
+
+// 64-bit FNV-1a over a byte range. Used to detect torn/short device writes
+// on structures recovery trusts (page images, catalog slots, log file
+// header). Not cryptographic; collision resistance against random
+// corruption is all that's needed.
+inline uint64_t Checksum64(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  // A zero checksum is reserved as "unstamped"; remap the (astronomically
+  // rare) real zero so verifiers can distinguish the two.
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_COMMON_CHECKSUM_H_

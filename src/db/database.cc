@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <set>
+#include <vector>
 
+#include "common/checksum.h"
 #include "storage/dram_device.h"
+#include "storage/fault_injector.h"
 
 namespace spitfire {
 
@@ -22,7 +25,34 @@ struct CatalogPayload {
   uint32_t num_tables;
   CatalogEntry entries[kMaxTables];
 };
-static_assert(sizeof(CatalogPayload) <= kPagePayloadSize);
+
+// The catalog is written as two versioned, checksummed slots within page
+// 0's payload, alternating by version parity. The catalog page is flushed
+// with a whole-page write, which a crash can tear — but the slot NOT being
+// updated is rewritten with bytes identical to what is already on the
+// device, so a torn write can corrupt at most the slot being written;
+// the previous version in the other slot still validates. Readers pick
+// the valid slot with the highest version.
+struct CatalogSlot {
+  uint64_t version = 0;
+  uint64_t checksum = 0;
+  CatalogPayload payload{};
+
+  void Stamp() {
+    checksum = 0;
+    checksum = Checksum64(this, sizeof(*this));
+  }
+  bool Valid() const {
+    if (payload.magic != kCatalogMagic) return false;
+    if (payload.num_tables > kMaxTables) return false;
+    CatalogSlot tmp = *this;
+    tmp.checksum = 0;
+    return Checksum64(&tmp, sizeof(tmp)) == checksum;
+  }
+};
+constexpr size_t kCatalogSlotStride = 2048;
+static_assert(sizeof(CatalogSlot) <= kCatalogSlotStride);
+static_assert(2 * kCatalogSlotStride <= kPagePayloadSize);
 }  // namespace
 
 Database::Database(const DatabaseOptions& opts, DatabaseEnv env)
@@ -117,10 +147,18 @@ Result<std::unique_ptr<Database>> Database::Create(
 }
 
 Result<std::unique_ptr<Database>> Database::Recover(
-    const DatabaseOptions& opts, DatabaseEnv env) {
+    const DatabaseOptions& opts, DatabaseEnv env, DatabaseEnv* env_on_error) {
   auto db = std::unique_ptr<Database>(new Database(opts, std::move(env)));
-  SPITFIRE_RETURN_NOT_OK(db->InitCommon(/*fresh=*/false));
-  SPITFIRE_RETURN_NOT_OK(db->RunRecovery());
+  Status st = db->InitCommon(/*fresh=*/false);
+  if (st.ok()) st = db->RunRecovery();
+  if (!st.ok()) {
+    if (db->ckpt_ != nullptr) db->ckpt_->Stop();
+    // Hand the devices back before the engine is torn down (the device
+    // objects do not move — only ownership does — so the buffer manager's
+    // raw pointers stay valid through its destructor).
+    if (env_on_error != nullptr) *env_on_error = std::move(db->env_);
+    return st;
+  }
   return db;
 }
 
@@ -136,20 +174,23 @@ DatabaseEnv Database::Crash(std::unique_ptr<Database> db) {
 Status Database::WriteCatalog() {
   auto g_r = bm_->FetchPage(kCatalogPid, AccessIntent::kWrite);
   SPITFIRE_RETURN_NOT_OK(g_r.status());
-  CatalogPayload payload{};
-  payload.magic = kCatalogMagic;
+  CatalogSlot slot{};
+  slot.payload.magic = kCatalogMagic;
   {
     std::lock_guard<std::mutex> g(schema_mu_);
-    payload.num_tables = static_cast<uint32_t>(tables_.size());
+    slot.version = ++catalog_version_;
+    slot.payload.num_tables = static_cast<uint32_t>(tables_.size());
     size_t i = 0;
     for (const auto& [id, entry] : tables_) {
-      payload.entries[i++] = CatalogEntry{
+      slot.payload.entries[i++] = CatalogEntry{
           id, static_cast<uint32_t>(entry.tuple_size),
           entry.index->meta_pid()};
     }
   }
-  SPITFIRE_RETURN_NOT_OK(
-      g_r.value().WriteAt(kPageHeaderSize, sizeof(payload), &payload));
+  slot.Stamp();
+  const size_t off =
+      kPageHeaderSize + (slot.version % 2) * kCatalogSlotStride;
+  SPITFIRE_RETURN_NOT_OK(g_r.value().WriteAt(off, sizeof(slot), &slot));
   g_r.value().Release();
   return bm_->FlushPage(kCatalogPid);
 }
@@ -226,7 +267,11 @@ Status Database::Abort(Transaction* txn) {
     abort.type = LogRecordType::kAbort;
     abort.txn_id = txn->id();
     abort.prev_lsn = txn->last_lsn;
-    SPITFIRE_RETURN_NOT_OK(lm_->Append(abort).status());
+    // Best-effort: recovery never needs the abort record (it redoes only
+    // transactions with a commit record, and the versions above were
+    // already rolled back in place). A full staging buffer or a dying
+    // device must not leave the transaction slot occupied forever.
+    (void)lm_->Append(abort);
   }
   txn->set_state(TxnState::kAborted);
   tm_.Finish(txn);
@@ -234,8 +279,31 @@ Status Database::Abort(Transaction* txn) {
 }
 
 Status Database::Checkpoint() {
-  SPITFIRE_RETURN_NOT_OK(bm_->FlushAll(/*include_nvm=*/false));
-  if (lm_ != nullptr) SPITFIRE_RETURN_NOT_OK(lm_->Drain());
+  // Sample the watermark BEFORE the flush: every transaction with
+  // ts <= watermark has finished, so its versions are in the buffer before
+  // the sweep starts and a clean sweep makes them durable. Writes racing
+  // the sweep belong to transactions above the watermark and stay covered
+  // by redo.
+  const timestamp_t watermark = tm_.MinActiveTs() - 1;
+  size_t skipped = 0;
+  SPITFIRE_RETURN_NOT_OK(bm_->FlushAll(/*include_nvm=*/false, &skipped));
+  if (lm_ != nullptr) {
+    SPITFIRE_RETURN_NOT_OK(lm_->Drain());
+    // Only a complete sweep may advance the durable redo horizon: a page
+    // skipped because it was actively referenced may hold the only copy
+    // of a version at or below the watermark.
+    if (skipped == 0) {
+      SPITFIRE_RETURN_NOT_OK(lm_->SetDurableHorizon(watermark));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::CheckIntegrity(std::string* why) {
+  std::lock_guard<std::mutex> g(schema_mu_);
+  for (auto& [id, entry] : tables_) {
+    SPITFIRE_RETURN_NOT_OK(entry.table->ValidateHeap(why));
+  }
   return Status::OK();
 }
 
@@ -247,6 +315,7 @@ Status Database::Checkpoint() {
 // ---------------------------------------------------------------------------
 
 Status Database::RunRecovery() {
+  recovery_stats_ = RecoveryStats{};
   bm_->SetNextPageId(1);  // catalog must be addressable
   if (bm_->nvm_pool() != nullptr) {
     SPITFIRE_RETURN_NOT_OK(bm_->RecoverNvmResidentPages());
@@ -267,16 +336,35 @@ Status Database::RunRecovery() {
     bm_->SetNextPageId(std::max(bm_->next_page_id(), max_pid));
   }
 
-  // Read the catalog.
+  // Read the catalog: both slots, newest valid version wins. The page is
+  // read from NVM when resident (NVM writes are durable at completion);
+  // otherwise raw from SSD — deliberately NOT through FetchPage, so a torn
+  // image is judged by the slot checksums before anything trusts it.
   CatalogPayload payload{};
   {
-    auto g_r = bm_->FetchPage(kCatalogPid, AccessIntent::kRead);
-    SPITFIRE_RETURN_NOT_OK(g_r.status());
-    SPITFIRE_RETURN_NOT_OK(
-        g_r.value().ReadAt(kPageHeaderSize, sizeof(payload), &payload));
-    if (payload.magic != kCatalogMagic) {
-      return Status::Corruption("catalog page invalid");
+    std::vector<std::byte> raw(kPageSize);
+    if (bm_->nvm_pool() != nullptr && bm_->IsNvmResident(kCatalogPid)) {
+      auto g_r = bm_->FetchPage(kCatalogPid, AccessIntent::kRead);
+      SPITFIRE_RETURN_NOT_OK(g_r.status());
+      SPITFIRE_RETURN_NOT_OK(g_r.value().ReadAt(0, kPageSize, raw.data()));
+    } else {
+      SPITFIRE_RETURN_NOT_OK(
+          env_.db_ssd->Read(kCatalogPid * kPageSize, raw.data(), kPageSize));
     }
+    bool found = false;
+    CatalogSlot best{};
+    for (size_t s = 0; s < 2; ++s) {
+      CatalogSlot slot;
+      std::memcpy(&slot, raw.data() + kPageHeaderSize + s * kCatalogSlotStride,
+                  sizeof(slot));
+      if (slot.Valid() && (!found || slot.version > best.version)) {
+        best = slot;
+        found = true;
+      }
+    }
+    if (!found) return Status::Corruption("catalog page invalid");
+    payload = best.payload;
+    catalog_version_ = best.version;
   }
 
   // Re-create tables with fresh indexes (the pre-crash index pages may be
@@ -297,17 +385,56 @@ Status Database::RunRecovery() {
   }
 
   // Classify surviving pages; heap pages are adopted by their tables.
-  const page_id_t horizon = bm_->next_page_id();
-  for (page_id_t pid = 1; pid < horizon; ++pid) {
-    auto g_r = bm_->FetchPage(pid, AccessIntent::kRead);
-    if (!g_r.ok()) continue;
-    PageHeader hdr;
-    SPITFIRE_RETURN_NOT_OK(g_r.value().ReadAt(0, sizeof(hdr), &hdr));
-    if (!hdr.IsValid() || hdr.page_id != pid) continue;
-    if (IsHeapPageType(hdr.page_type)) {
-      Table* t = GetTable(HeapPageTableId(hdr.page_type));
-      if (t != nullptr) t->AdoptPage(pid);
+  // NVM-resident copies are trusted (NVM writes are durable at
+  // completion). SSD-only pages are read raw and checksum-verified — a
+  // mismatch is the signature of a torn or short page write, and such a
+  // page is quarantined, never adopted.
+  std::vector<page_id_t> quarantined;
+  {
+    const page_id_t horizon_pid = bm_->next_page_id();
+    std::vector<std::byte> frame(kPageSize);
+    for (page_id_t pid = 1; pid < horizon_pid; ++pid) {
+      PageHeader hdr{};
+      if (bm_->nvm_pool() != nullptr && bm_->IsNvmResident(pid)) {
+        auto g_r = bm_->FetchPage(pid, AccessIntent::kRead);
+        if (!g_r.ok()) continue;
+        SPITFIRE_RETURN_NOT_OK(g_r.value().ReadAt(0, sizeof(hdr), &hdr));
+      } else {
+        if (!env_.db_ssd->Read(pid * kPageSize, frame.data(), kPageSize)
+                 .ok()) {
+          continue;
+        }
+        std::memcpy(&hdr, frame.data(), sizeof(hdr));
+        if (hdr.IsValid() && hdr.page_id == pid &&
+            !VerifyPageChecksum(frame.data())) {
+          quarantined.push_back(pid);
+          continue;
+        }
+      }
+      if (!hdr.IsValid() || hdr.page_id != pid) continue;
+      if (IsHeapPageType(hdr.page_type)) {
+        Table* t = GetTable(HeapPageTableId(hdr.page_type));
+        if (t != nullptr) t->AdoptPage(pid);
+      }
     }
+  }
+  recovery_stats_.quarantined_pages = quarantined.size();
+
+  if (!quarantined.empty()) {
+    // A torn page may have destroyed heap state at or below the durable
+    // redo horizon, so the horizon is void. Clear it BEFORE the healing
+    // writes below: a crash after healing but before recovery finishes
+    // must not let the NEXT recovery trust a horizon whose heap
+    // prerequisites no longer exist. Full-log redo then rebuilds the lost
+    // content — the log file is never truncated, so it always reaches
+    // back far enough.
+    if (lm_ != nullptr) SPITFIRE_RETURN_NOT_OK(lm_->SetDurableHorizon(0));
+    const std::byte zeroed[sizeof(PageHeader)] = {};
+    for (page_id_t pid : quarantined) {
+      SPITFIRE_RETURN_NOT_OK(
+          env_.db_ssd->Write(pid * kPageSize, zeroed, sizeof(zeroed)));
+    }
+    SPITFIRE_RETURN_NOT_OK(env_.db_ssd->Persist(0, 0));
   }
 
   // Rebuild indexes from the heap, scrubbing uncommitted versions.
@@ -319,11 +446,17 @@ Status Database::RunRecovery() {
     }
   }
 
-  // Analysis + redo from the log.
+  // Analysis + redo from the log. With a clean checkpoint horizon and no
+  // quarantined pages, committed work at or below the horizon is already
+  // durable in the heap and its redo is skipped — recovery time tracks
+  // the log written since the last checkpoint, not the total log.
   if (lm_ != nullptr) {
     auto recs_r = lm_->ReadAll();
     SPITFIRE_RETURN_NOT_OK(recs_r.status());
     const std::vector<LogRecord>& recs = recs_r.value();
+    recovery_stats_.log_records = recs.size();
+    const timestamp_t redo_horizon =
+        quarantined.empty() ? lm_->durable_horizon() : 0;
     std::set<txn_id_t> committed;
     for (const LogRecord& r : recs) {
       max_ts = std::max(max_ts, r.txn_id);
@@ -336,17 +469,27 @@ Status Database::RunRecovery() {
           r.type != LogRecordType::kDelete) {
         continue;
       }
+      if (r.txn_id <= redo_horizon) {
+        ++recovery_stats_.redo_skipped;
+        continue;
+      }
       Table* t = GetTable(r.table_id);
       if (t == nullptr) continue;
       const void* after =
           r.type == LogRecordType::kDelete ? nullptr : r.after.data();
       SPITFIRE_RETURN_NOT_OK(t->RecoveryApply(r.key, after, /*ts=*/r.txn_id));
+      ++recovery_stats_.redo_applied;
     }
   }
   tm_.AdvanceTo(max_ts + 1);
 
-  // Persist the rebuilt catalog (fresh index roots) and checkpoint.
+  // Persist the rebuilt catalog (fresh index roots) and checkpoint. A
+  // crash anywhere in this tail must leave the database re-recoverable:
+  // the catalog write is slot-versioned, the checkpoint's flush writes
+  // checksummed pages (a tear quarantines on the next recovery), and the
+  // horizon only advances after a clean sweep.
   SPITFIRE_RETURN_NOT_OK(WriteCatalog());
+  FaultInjector::Point("recovery.before_checkpoint");
   return Checkpoint();
 }
 

@@ -77,9 +77,13 @@ class Database {
 
   // Creates a fresh database (formats devices).
   static Result<std::unique_ptr<Database>> Create(const DatabaseOptions& opts);
-  // Recovers a database from devices that survived a crash.
-  static Result<std::unique_ptr<Database>> Recover(const DatabaseOptions& opts,
-                                                   DatabaseEnv env);
+  // Recovers a database from devices that survived a crash. On failure the
+  // devices are normally destroyed with the half-built instance; pass
+  // `env_on_error` to get them back instead, so a caller can retry — the
+  // crash-during-recovery fuzz cases re-crash and re-recover in a loop.
+  static Result<std::unique_ptr<Database>> Recover(
+      const DatabaseOptions& opts, DatabaseEnv env,
+      DatabaseEnv* env_on_error = nullptr);
   // Tears the instance down WITHOUT flushing (simulating a crash) and
   // returns the devices for a subsequent Recover().
   static DatabaseEnv Crash(std::unique_ptr<Database> db);
@@ -93,14 +97,33 @@ class Database {
   Status Commit(Transaction* txn);
   Status Abort(Transaction* txn);
 
-  // Flushes dirty DRAM pages and drains the log.
+  // Flushes dirty DRAM pages, drains the log, and — when the flush left
+  // nothing behind — advances the durable redo horizon so the next
+  // recovery can skip redo of everything checkpointed here.
   Status Checkpoint();
+
+  // Walks every table's heap and index and verifies the invariants
+  // recovery promises: allocated versions are committed (no uncommitted
+  // leftovers), version chains are well-formed, and the index agrees with
+  // the heap. Used by the crash fuzzer's post-recovery oracle.
+  Status CheckIntegrity(std::string* why = nullptr);
+
+  // What the last RunRecovery did (zeroed outside of Recover()).
+  struct RecoveryStats {
+    size_t quarantined_pages = 0;  // torn SSD pages refused and healed
+    size_t redo_applied = 0;
+    size_t redo_skipped = 0;  // below the durable horizon
+    size_t log_records = 0;
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
   BufferManager* buffer_manager() { return bm_.get(); }
   TransactionManager* txn_manager() { return &tm_; }
   LogManager* log_manager() { return lm_.get(); }
   Checkpointer* checkpointer() { return ckpt_.get(); }
   const DatabaseOptions& options() const { return opts_; }
+  // The live devices (e.g. for FaultInjector::AttachNvm).
+  const DatabaseEnv& env() const { return env_; }
 
  private:
   Database(const DatabaseOptions& opts, DatabaseEnv env);
@@ -120,6 +143,10 @@ class Database {
   std::unique_ptr<Checkpointer> ckpt_;
   TransactionManager tm_;
   bool commit_forces_drain_ = false;
+  RecoveryStats recovery_stats_;
+  // Monotone catalog write counter; parity selects the on-page slot
+  // (see WriteCatalog). Guarded by schema_mu_.
+  uint64_t catalog_version_ = 0;
 
   std::mutex schema_mu_;
   struct TableEntry {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 #include <map>
+#include <set>
 
 #include "common/timer.h"
 
@@ -502,6 +503,8 @@ Status Table::RebuildFromHeap(timestamp_t* max_ts) {
   }
   // newest committed version per key
   std::map<uint64_t, std::pair<timestamp_t, rid_t>> heads;
+  // every surviving committed version: rid -> (key, begin_ts)
+  std::map<rid_t, std::pair<uint64_t, timestamp_t>> live;
   std::vector<rid_t> holes;
   for (page_id_t pid : pages) {
     for (uint32_t slot = 0; slot < slots_per_page_; ++slot) {
@@ -524,18 +527,118 @@ Status Table::RebuildFromHeap(timestamp_t* max_ts) {
       h->writer = 0;  // stale lock from a crashed transaction
       ref.guard.MarkDirty();
       if (max_ts != nullptr && h->begin_ts > *max_ts) *max_ts = h->begin_ts;
+      live[rid] = {h->key, h->begin_ts};
       auto it = heads.find(h->key);
       if (it == heads.end() || it->second.first < h->begin_ts) {
         heads[h->key] = {h->begin_ts, rid};
       }
     }
   }
+
+  // Sever chain links whose target no longer exists or cannot be this
+  // version's predecessor: the scrub above (and page quarantine in the
+  // recovery scan) removes slots that surviving versions may still point
+  // at, and a dangling prev would send readers into a freed — soon
+  // reused — slot.
+  for (const auto& [rid, kv] : live) {
+    SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(rid, AccessIntent::kWrite));
+    const rid_t prev = ref.hdr->prev;
+    if (prev == kInvalidRid) continue;
+    auto it = live.find(prev);
+    if (it == live.end() || it->second.first != kv.first ||
+        it->second.second > kv.second) {
+      ref.hdr->prev = kInvalidRid;
+      ref.guard.MarkDirty();
+    }
+  }
+
+  // Scrub committed versions no head reaches (tails orphaned by the
+  // severing above): nothing can ever read them, and leaving them
+  // allocated leaks their slots.
+  std::set<rid_t> reachable;
+  for (const auto& [key, entry] : heads) {
+    rid_t cur = entry.second;
+    while (cur != kInvalidRid && reachable.insert(cur).second) {
+      SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(cur, AccessIntent::kRead));
+      cur = ref.hdr->prev;
+    }
+  }
+  for (const auto& [rid, kv] : live) {
+    if (reachable.count(rid) != 0) continue;
+    SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(rid, AccessIntent::kWrite));
+    ref.hdr->flags = 0;
+    ref.hdr->writer = 0;
+    ref.guard.MarkDirty();
+    holes.push_back(rid);
+  }
+
   for (const auto& [key, entry] : heads) {
     SPITFIRE_RETURN_NOT_OK(index_->Upsert(key, entry.second));
   }
   {
     std::lock_guard<std::mutex> g(alloc_mu_);
     for (rid_t rid : holes) free_list_.push_back({rid, 0});
+  }
+  return Status::OK();
+}
+
+Status Table::ValidateHeap(std::string* why) {
+  auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return Status::Corruption(msg);
+  };
+  std::vector<page_id_t> pages;
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    pages = pages_;
+  }
+  std::map<rid_t, std::pair<uint64_t, timestamp_t>> live;
+  for (page_id_t pid : pages) {
+    for (uint32_t slot = 0; slot < slots_per_page_; ++slot) {
+      const rid_t rid = MakeRid(pid, slot);
+      SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(rid, AccessIntent::kRead));
+      const VersionHeader* h = ref.hdr;
+      if ((h->flags & kFlagAllocated) == 0) continue;
+      if (h->begin_ts == kMaxTimestamp) {
+        return fail("uncommitted version survived recovery");
+      }
+      if (h->writer != 0) {
+        return fail("version still write-locked on a quiescent table");
+      }
+      live[rid] = {h->key, h->begin_ts};
+    }
+  }
+  std::map<uint64_t, std::pair<timestamp_t, rid_t>> heads;
+  for (const auto& [rid, kv] : live) {
+    auto it = heads.find(kv.first);
+    if (it == heads.end() || it->second.first < kv.second) {
+      heads[kv.first] = {kv.second, rid};
+    }
+  }
+  for (const auto& [key, entry] : heads) {
+    // Chain walk: every hop must land on an allocated slot of the same
+    // key with a begin_ts no newer than its successor's.
+    rid_t cur = entry.second;
+    timestamp_t succ_ts = kMaxTimestamp;
+    size_t hops = 0;
+    while (cur != kInvalidRid) {
+      if (++hops > live.size() + 1) return fail("version chain cycle");
+      auto it = live.find(cur);
+      if (it == live.end()) return fail("chain links to a missing slot");
+      if (it->second.first != key) return fail("chain crosses keys");
+      if (it->second.second > succ_ts) {
+        return fail("chain not ordered newest-first");
+      }
+      succ_ts = it->second.second;
+      SPITFIRE_ASSIGN_OR_RETURN(SlotRef ref, PinSlot(cur, AccessIntent::kRead));
+      cur = ref.hdr->prev;
+    }
+    uint64_t idx_head = 0;
+    const Status st = index_->Lookup(key, &idx_head);
+    if (!st.ok()) return fail("key present in heap but missing from index");
+    if (idx_head != entry.second) {
+      return fail("index head is not the newest committed version");
+    }
   }
   return Status::OK();
 }

@@ -103,6 +103,12 @@ class Table {
   // version at least as new as `ts` (idempotent logical redo). A null
   // tuple re-applies a delete (tombstone).
   Status RecoveryApply(uint64_t key, const void* tuple, timestamp_t ts);
+  // Verifies heap/index invariants on a QUIESCENT table (no active
+  // transactions): every allocated version is committed and unlocked,
+  // version chains are well-formed (same key, newest-first, acyclic, no
+  // dangling links), and the index maps each key to its newest committed
+  // version. Returns Corruption (and fills *why) on the first violation.
+  Status ValidateHeap(std::string* why = nullptr);
 
   size_t slots_per_page() const { return slots_per_page_; }
   uint64_t allocated_pages() const {

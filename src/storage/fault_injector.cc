@@ -1,0 +1,211 @@
+#include "storage/fault_injector.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/constants.h"
+#include "common/macros.h"
+#include "storage/nvm_device.h"
+
+namespace spitfire {
+
+std::atomic<FaultInjector*> FaultInjector::instance_{nullptr};
+
+FaultInjector::FaultInjector(const Options& opts)
+    : opts_(opts), rng_(opts.seed) {}
+
+void FaultInjector::Install(const Options& opts) {
+  FaultInjector* prev =
+      instance_.exchange(new FaultInjector(opts), std::memory_order_acq_rel);
+  delete prev;
+}
+
+void FaultInjector::Uninstall() {
+  FaultInjector* prev = instance_.exchange(nullptr, std::memory_order_acq_rel);
+  delete prev;
+}
+
+void FaultInjector::AttachNvm(NvmDevice* nvm) {
+  SPITFIRE_CHECK(nvm != nullptr);
+  nvm_ = nvm;
+  nvm_live_ = nvm->DirectPointer(0);
+  nvm_capacity_ = nvm->capacity();
+  nvm_shadow_ = std::make_unique<std::byte[]>(nvm_capacity_);
+  std::memcpy(nvm_shadow_.get(), nvm_live_, nvm_capacity_);
+}
+
+void FaultInjector::RestoreNvm() {
+  SPITFIRE_CHECK(nvm_shadow_ != nullptr);
+  std::memcpy(nvm_live_, nvm_shadow_.get(), nvm_capacity_);
+}
+
+bool FaultInjector::CountOp(Mode* mode) {
+  if (tripped_.load(std::memory_order_acquire)) return false;
+  if (opts_.kill_after_ops == 0) {
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const uint64_t n = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n != opts_.kill_after_ops) return false;
+  // Exactly one thread sees the tripping count; draw its mode.
+  std::lock_guard<std::mutex> g(mu_);
+  int candidates[3];
+  int nc = 0;
+  if (opts_.enable_torn) candidates[nc++] = 0;
+  if (opts_.enable_short) candidates[nc++] = 1;
+  if (opts_.enable_drop) candidates[nc++] = 2;
+  const int pick = nc == 0 ? 2 : candidates[rng_() % nc];
+  *mode = pick == 0 ? Mode::kTorn : pick == 1 ? Mode::kShort : Mode::kDrop;
+  return true;
+}
+
+size_t FaultInjector::SurvivingPrefix(Mode mode, size_t size) {
+  std::lock_guard<std::mutex> g(mu_);
+  switch (mode) {
+    case Mode::kTorn: {
+      // First K whole cache lines land, the rest do not.
+      const size_t lines = size / kCacheLineSize;
+      if (lines == 0) return 0;
+      return (rng_() % lines) * kCacheLineSize;
+    }
+    case Mode::kShort:
+      return size == 0 ? 0 : rng_() % size;
+    case Mode::kDrop:
+    case Mode::kPoint:
+      return 0;
+  }
+  return 0;
+}
+
+void FaultInjector::NoteTrip(const char* what, uint64_t detail) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    std::ostringstream os;
+    os << what << " detail=" << detail
+       << " at_op=" << ops_.load(std::memory_order_relaxed);
+    trip_desc_ = os.str();
+  }
+  tripped_.store(true, std::memory_order_release);
+}
+
+Status FaultInjector::OnSsdWrite(uint64_t offset, size_t size,
+                                 size_t* allowed) {
+  *allowed = size;
+  Mode mode;
+  if (CountOp(&mode)) {
+    *allowed = SurvivingPrefix(mode, size);
+    NoteTrip(mode == Mode::kTorn   ? "ssd_write torn"
+             : mode == Mode::kShort ? "ssd_write short"
+                                    : "ssd_write drop",
+             *allowed);
+    return Status::IoError("fault injection: ssd write killed");
+  }
+  if (tripped_.load(std::memory_order_acquire)) {
+    *allowed = 0;
+    return Status::IoError("fault injection: device down");
+  }
+  (void)offset;
+  return Status::OK();
+}
+
+Status FaultInjector::OnSsdPersist() {
+  Mode mode;
+  if (CountOp(&mode)) {
+    NoteTrip("ssd_persist drop", 0);
+    return Status::IoError("fault injection: ssd persist killed");
+  }
+  if (tripped_.load(std::memory_order_acquire)) {
+    return Status::IoError("fault injection: device down");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnNvmWrite(uint64_t offset, size_t size) {
+  Mode mode;
+  if (CountOp(&mode)) {
+    // Aligned 8-byte stores are failure-atomic on persistent memory, so
+    // even a "short" NVM fault cannot tear inside a word — a partially
+    // durable timestamp would model a failure real hardware excludes.
+    const size_t keep = SurvivingPrefix(mode, size) & ~size_t{7};
+    if (nvm_shadow_ != nullptr && keep > 0) {
+      std::memcpy(nvm_shadow_.get() + offset, nvm_live_ + offset, keep);
+    }
+    NoteTrip(mode == Mode::kTorn   ? "nvm_write torn"
+             : mode == Mode::kShort ? "nvm_write short"
+                                    : "nvm_write drop",
+             keep);
+    return Status::IoError("fault injection: nvm write killed");
+  }
+  if (tripped_.load(std::memory_order_acquire)) {
+    return Status::IoError("fault injection: device down");
+  }
+  if (nvm_shadow_ != nullptr) {
+    std::memcpy(nvm_shadow_.get() + offset, nvm_live_ + offset, size);
+  }
+  return Status::OK();
+}
+
+void FaultInjector::OnNvmDirectWrite(uint64_t offset, size_t size) {
+  // Same durability semantics as OnNvmWrite, but the caller cannot
+  // observe a failure — a lost range surfaces at recovery.
+  (void)OnNvmWrite(offset, size);
+}
+
+Status FaultInjector::OnNvmPersist(uint64_t offset, size_t size) {
+  // clwb operates on whole cache lines: expand the range to line
+  // boundaries, as the hardware would.
+  uint64_t begin = offset / kCacheLineSize * kCacheLineSize;
+  uint64_t end =
+      (offset + size + kCacheLineSize - 1) / kCacheLineSize * kCacheLineSize;
+  if (nvm_shadow_ != nullptr && end > nvm_capacity_) end = nvm_capacity_;
+  Mode mode;
+  if (CountOp(&mode)) {
+    // Persist faults act at cache-line granularity even in kShort mode:
+    // a line either writes back or does not.
+    size_t keep = SurvivingPrefix(mode, end - begin);
+    keep = keep / kCacheLineSize * kCacheLineSize;
+    if (nvm_shadow_ != nullptr && keep > 0) {
+      std::memcpy(nvm_shadow_.get() + begin, nvm_live_ + begin, keep);
+    }
+    NoteTrip("nvm_persist torn", keep);
+    return Status::IoError("fault injection: nvm persist killed");
+  }
+  if (tripped_.load(std::memory_order_acquire)) {
+    return Status::IoError("fault injection: device down");
+  }
+  if (nvm_shadow_ != nullptr) {
+    std::memcpy(nvm_shadow_.get() + begin, nvm_live_ + begin, end - begin);
+  }
+  return Status::OK();
+}
+
+void FaultInjector::HitPoint(const char* site) {
+  if (tripped_.load(std::memory_order_acquire)) return;
+  if (opts_.kill_point.empty() || opts_.kill_point != site) return;
+  const uint64_t n = point_hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n != opts_.kill_point_hits) return;
+  NoteTrip(site, n);
+}
+
+void FaultInjector::Point(const char* site) {
+  FaultInjector* fi = Get();
+  if (fi != nullptr) fi->HitPoint(site);
+}
+
+std::string FaultInjector::ToString() const {
+  std::ostringstream os;
+  os << "FaultInjector{seed=" << opts_.seed
+     << " kill_after_ops=" << opts_.kill_after_ops;
+  if (!opts_.kill_point.empty()) {
+    os << " kill_point=" << opts_.kill_point << ":" << opts_.kill_point_hits;
+  }
+  os << " ops_seen=" << ops_.load(std::memory_order_relaxed);
+  if (tripped()) {
+    std::lock_guard<std::mutex> g(const_cast<std::mutex&>(mu_));
+    os << " TRIPPED[" << trip_desc_ << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace spitfire

@@ -1,0 +1,141 @@
+#ifndef SPITFIRE_STORAGE_FAULT_INJECTOR_H_
+#define SPITFIRE_STORAGE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+
+#include "common/status.h"
+
+namespace spitfire {
+
+class NvmDevice;
+
+// Process-wide crash/fault injector for the simulated storage devices.
+//
+// Fault model (see DESIGN.md "Fault model and crash consistency"):
+//  - Durability ops are counted: every SSD data transfer-out, SSD persist,
+//    NVM device-mediated write, NVM direct-write notification, and NVM
+//    persist. The injector "trips" on the Nth counted op (seeded), or when
+//    a named kill point is hit, with a failure mode drawn from the seed:
+//      torn  — only the first K cache lines of the op's range reach the
+//              durable medium,
+//      short — only a byte prefix of the range reaches the medium,
+//      drop  — nothing reaches the medium (a dropped flush).
+//  - After the trip, every durability op fails with IoError and reaches
+//    the medium not at all; reads are unaffected, so running threads can
+//    unwind and the harness can tear the engine down.
+//  - SSD writes are durable at write-completion (the simulated device has
+//    no volatile write cache), so faults act on the write itself and an
+//    SSD Persist can only trip/fail, never lose earlier completed writes.
+//  - NVM durability is modeled with a shadow image: device-mediated
+//    Write()/OnDirectWrite() ranges are copied live -> shadow at return
+//    (they model ntstore + sfence), raw DirectPointer stores reach the
+//    shadow only when Persist() covers them (clwb + sfence). After the
+//    engine is torn down, RestoreNvm() copies shadow -> live, which is
+//    exactly the state an instant power cut would have left.
+//
+// Disabled cost: one relaxed atomic pointer load and a branch per device
+// op (Get() returns nullptr when no injector is installed).
+//
+// All hooks are thread-safe. Install/Uninstall must not race device ops
+// (install before load or between phases, uninstall after teardown).
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    // Trip on the Nth counted durability op (0 = never trip by count).
+    uint64_t kill_after_ops = 0;
+    // Trip when the named kill point is hit for the Nth time ("" = none).
+    std::string kill_point;
+    uint64_t kill_point_hits = 1;
+    // Failure modes eligible for the tripping op.
+    bool enable_torn = true;
+    bool enable_short = true;
+    bool enable_drop = true;
+  };
+
+  enum class Mode { kTorn, kShort, kDrop, kPoint };
+
+  // Installs a process-wide injector. The previous one (if any) is
+  // destroyed. The NVM shadow starts detached; call AttachNvm().
+  static void Install(const Options& opts);
+  static void Uninstall();
+  // nullptr when no injector is installed (the fast path).
+  static FaultInjector* Get() {
+    return instance_.load(std::memory_order_acquire);
+  }
+  // Convenience: true iff an injector is installed and has tripped.
+  static bool IsTripped() {
+    FaultInjector* fi = Get();
+    return fi != nullptr && fi->tripped();
+  }
+
+  // Snapshots the device's current content as the durable image. Must be
+  // called before the ops whose durability is under test.
+  void AttachNvm(NvmDevice* nvm);
+  // Copies the durable image back over the live mapping — the post-crash
+  // NVM state. Call after engine teardown, before recovery.
+  void RestoreNvm();
+
+  // --- device hooks ---
+
+  // SSD transfer-out: *allowed is set to the byte count that reaches the
+  // medium (= size normally). Returns IoError on and after the trip.
+  Status OnSsdWrite(uint64_t offset, size_t size, size_t* allowed);
+  // SSD flush: completed writes are already durable, so this can only
+  // trip/fail (a dropped fdatasync), never truncate anything.
+  Status OnSsdPersist();
+  // NVM device-mediated write (durable at return). *allowed as above;
+  // the caller must copy only the allowed prefix to the durable image —
+  // this class does that itself given the attached device.
+  Status OnNvmWrite(uint64_t offset, size_t size);
+  // NVM direct-store notification (void-returning caller; losses surface
+  // at recovery, which is the point).
+  void OnNvmDirectWrite(uint64_t offset, size_t size);
+  // NVM persist: copies the covered live range to the durable image.
+  Status OnNvmPersist(uint64_t offset, size_t size);
+
+  // Named kill point in engine code (e.g. "recovery.before_checkpoint").
+  // Trips the injector (Mode::kPoint — everything after fails) when it
+  // matches the configured kill point.
+  static void Point(const char* site);
+
+  bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+  uint64_t ops_seen() const { return ops_.load(std::memory_order_relaxed); }
+  // One-line repro description: seed, kill spec, and what tripped where.
+  std::string ToString() const;
+
+ private:
+  explicit FaultInjector(const Options& opts);
+
+  // Returns true if this call is the tripping op and fills *mode.
+  bool CountOp(Mode* mode);
+  // Applies the tripping mode to an op of `size` bytes: byte prefix that
+  // survives. Deterministic given the seed.
+  size_t SurvivingPrefix(Mode mode, size_t size);
+  void NoteTrip(const char* what, uint64_t detail);
+  void HitPoint(const char* site);
+
+  Options opts_;
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> point_hits_{0};
+  std::atomic<bool> tripped_{false};
+  std::mutex mu_;  // guards rng_ and trip_desc_
+  std::mt19937_64 rng_;
+  std::string trip_desc_;
+
+  NvmDevice* nvm_ = nullptr;
+  std::byte* nvm_live_ = nullptr;
+  uint64_t nvm_capacity_ = 0;
+  std::unique_ptr<std::byte[]> nvm_shadow_;
+
+  static std::atomic<FaultInjector*> instance_;
+};
+
+}  // namespace spitfire
+
+#endif  // SPITFIRE_STORAGE_FAULT_INJECTOR_H_

@@ -6,6 +6,8 @@
 
 #include <cstring>
 
+#include "storage/fault_injector.h"
+
 namespace spitfire {
 
 NvmDevice::NvmDevice(uint64_t capacity, DeviceProfile profile)
@@ -56,8 +58,20 @@ Status NvmDevice::Read(uint64_t offset, void* dst, size_t size) {
 Status NvmDevice::Write(uint64_t offset, const void* src, size_t size) {
   SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
   std::memcpy(base_ + offset, src, size);
+  if (FaultInjector* fi = FaultInjector::Get()) {
+    // Device-mediated writes are durable at return; the injector mirrors
+    // the range into its durable image (or loses it, on/after the trip).
+    SPITFIRE_RETURN_NOT_OK(fi->OnNvmWrite(offset, size));
+  }
   AccountWrite(size, /*sequential=*/false);
   return Status::OK();
+}
+
+void NvmDevice::OnDirectWrite(uint64_t offset, size_t bytes, bool sequential) {
+  if (FaultInjector* fi = FaultInjector::Get()) {
+    fi->OnNvmDirectWrite(offset, bytes);
+  }
+  Device::OnDirectWrite(offset, bytes, sequential);
 }
 
 Status NvmDevice::ReadFineGrained(uint64_t offset, void* dst, size_t size) {
@@ -78,6 +92,9 @@ std::byte* NvmDevice::DirectPointer(uint64_t offset) {
 
 Status NvmDevice::Persist(uint64_t offset, size_t size) {
   SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  if (FaultInjector* fi = FaultInjector::Get()) {
+    SPITFIRE_RETURN_NOT_OK(fi->OnNvmPersist(offset, size));
+  }
   // clwb writes the cache lines back without evicting them; sfence orders
   // the write-backs. In simulation this is a per-cache-line delay.
   const size_t lines = (size + kCacheLineSize - 1) / kCacheLineSize;

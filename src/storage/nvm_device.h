@@ -45,6 +45,14 @@ class NvmDevice : public Device {
   // sfence. On file backing it additionally msyncs the range.
   Status Persist(uint64_t offset, size_t size) override;
 
+  // In-place stores through DirectPointer() that upper layers report here
+  // are modeled as durable at return (ntstore + sfence), matching how the
+  // buffer manager treats NVM-resident page content; raw stores that are
+  // NOT reported become durable only via Persist(). The fault injector
+  // keys its NVM durable image off this distinction.
+  void OnDirectWrite(uint64_t offset, size_t bytes,
+                     bool sequential = false) override;
+
   bool file_backed() const { return fd_ >= 0; }
 
  private:

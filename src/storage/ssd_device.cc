@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/constants.h"
+#include "storage/fault_injector.h"
 
 namespace spitfire {
 
@@ -89,6 +90,15 @@ Status SsdDevice::TransferIn(uint64_t offset, void* dst, size_t size) {
 
 Status SsdDevice::TransferOut(uint64_t offset, const void* src, size_t size) {
   SPITFIRE_RETURN_NOT_OK(CheckRange(offset, size));
+  Status inj_status = Status::OK();
+  if (FaultInjector* fi = FaultInjector::Get()) {
+    size_t allowed = size;
+    inj_status = fi->OnSsdWrite(offset, size, &allowed);
+    // The surviving prefix still reaches the medium (a torn/short write);
+    // the caller sees the failure status below.
+    size = allowed;
+    if (size == 0) return inj_status;
+  }
   if (fd_ >= 0) {
     const auto* p = static_cast<const std::byte*>(src);
     size_t done = 0;
@@ -107,7 +117,7 @@ Status SsdDevice::TransferOut(uint64_t offset, const void* src, size_t size) {
     std::memcpy(mem_.get() + offset, src, size);
     UnlockRange(offset, size, /*exclusive=*/true);
   }
-  return Status::OK();
+  return inj_status;
 }
 
 Status SsdDevice::Read(uint64_t offset, void* dst, size_t size) {
@@ -145,6 +155,9 @@ Status SsdDevice::BeginWrite(uint64_t offset, const void* src, size_t size,
 }
 
 Status SsdDevice::Persist(uint64_t offset, size_t size) {
+  if (FaultInjector* fi = FaultInjector::Get()) {
+    SPITFIRE_RETURN_NOT_OK(fi->OnSsdPersist());
+  }
   if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
     return Status::IoError("fdatasync");
   }

@@ -2,14 +2,34 @@
 
 #include <cstring>
 
+#include "common/checksum.h"
+#include "storage/fault_injector.h"
+
 namespace spitfire {
 
 namespace {
 struct FileHeader {
   uint32_t magic;
   uint32_t pad;
-  uint64_t length;  // durable record bytes after kLogDataOffset
+  uint64_t version;        // slot with the larger valid version wins
+  uint64_t length;         // durable record bytes after kLogDataOffset
+  uint64_t checkpoint_ts;  // durable redo horizon
+  uint64_t checksum;       // Checksum64 over the fields above
+
+  void Stamp() {
+    checksum = 0;
+    checksum = Checksum64(this, sizeof(*this));
+  }
+  bool Valid(uint32_t magic_want) const {
+    if (magic != magic_want) return false;
+    FileHeader copy = *this;
+    copy.checksum = 0;
+    return Checksum64(&copy, sizeof(copy)) == checksum;
+  }
 };
+// Two header slots in the log device's first page, written alternately.
+constexpr uint64_t kHeaderSlotStride = 128;
+static_assert(sizeof(FileHeader) <= kHeaderSlotStride);
 }  // namespace
 
 LogManager::LogManager(const Options& opts) : opts_(opts) {
@@ -23,13 +43,20 @@ Result<std::unique_ptr<LogManager>> LogManager::Create(const Options& opts) {
   auto lm = std::unique_ptr<LogManager>(new LogManager(opts));
   SPITFIRE_RETURN_NOT_OK(lm->staging_->Format(/*base_lsn=*/0));
   lm->file_bytes_ = 0;
+  // Invalidate both header slots (the device may hold a stale log) before
+  // stamping version 1.
+  FileHeader zero{};
+  for (int slot = 0; slot < 2; ++slot) {
+    SPITFIRE_RETURN_NOT_OK(
+        opts.log_ssd->Write(slot * kHeaderSlotStride, &zero, sizeof(zero)));
+  }
   SPITFIRE_RETURN_NOT_OK(lm->WriteFileHeader());
   return lm;
 }
 
 Result<std::unique_ptr<LogManager>> LogManager::Attach(const Options& opts) {
   auto lm = std::unique_ptr<LogManager>(new LogManager(opts));
-  SPITFIRE_RETURN_NOT_OK(lm->ReadFileHeader(&lm->file_bytes_));
+  SPITFIRE_RETURN_NOT_OK(lm->ReadFileHeader());
   const Status staging_st = lm->staging_->Attach();
   if (!staging_st.ok()) {
     if (opts.nvm->profile().persistent) return staging_st;
@@ -38,26 +65,55 @@ Result<std::unique_ptr<LogManager>> LogManager::Attach(const Options& opts) {
     // complete. Re-format the staging area to continue after the file.
     SPITFIRE_RETURN_NOT_OK(lm->staging_->Format(lm->file_bytes_));
   }
-  // Consistency: the staged region begins where the durable file ends
-  // (drains always run to completion before the header advances).
-  if (lm->staging_->base_lsn() < lm->file_bytes_) {
-    return Status::Corruption("log staging overlaps durable file");
+  // The staged region may begin BEFORE the durable file end: a crash
+  // between the drain's file append and the staging consume leaves the
+  // drained records in both places. That overlap is legal — the next
+  // drain rewrites the same bytes at the same offsets. A staged region
+  // beginning past the file end would mean lost records, which the drain
+  // protocol makes impossible.
+  if (lm->staging_->base_lsn() > lm->file_bytes_) {
+    return Status::Corruption("gap between durable log file and staging");
   }
   return lm;
 }
 
 Status LogManager::WriteFileHeader() {
-  FileHeader h{kLogMagic, 0, file_bytes_};
-  SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Write(0, &h, sizeof(h)));
-  return opts_.log_ssd->Persist(0, sizeof(h));
+  FileHeader h{};
+  h.magic = kLogMagic;
+  h.version = ++header_version_;
+  h.length = file_bytes_;
+  h.checkpoint_ts = horizon_ts_;
+  h.Stamp();
+  const uint64_t off = (h.version % 2) * kHeaderSlotStride;
+  SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Write(off, &h, sizeof(h)));
+  return opts_.log_ssd->Persist(off, sizeof(h));
 }
 
-Status LogManager::ReadFileHeader(uint64_t* len) {
-  FileHeader h{};
-  SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Read(0, &h, sizeof(h)));
-  if (h.magic != kLogMagic) return Status::Corruption("log file header");
-  *len = h.length;
+Status LogManager::ReadFileHeader() {
+  const FileHeader* best = nullptr;
+  FileHeader slots[2];
+  for (int i = 0; i < 2; ++i) {
+    SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Read(i * kHeaderSlotStride,
+                                               &slots[i], sizeof(slots[i])));
+    if (slots[i].Valid(kLogMagic) &&
+        (best == nullptr || slots[i].version > best->version)) {
+      best = &slots[i];
+    }
+  }
+  if (best == nullptr) return Status::Corruption("log file header");
+  if (kLogDataOffset + best->length > opts_.log_ssd->capacity()) {
+    return Status::Corruption("log file header length exceeds device");
+  }
+  file_bytes_ = best->length;
+  horizon_ts_ = best->checkpoint_ts;
+  header_version_ = best->version;
   return Status::OK();
+}
+
+Status LogManager::SetDurableHorizon(timestamp_t ts) {
+  std::lock_guard<std::mutex> g(drain_mu_);
+  horizon_ts_ = ts;
+  return WriteFileHeader();
 }
 
 Result<lsn_t> LogManager::Append(const LogRecord& record) {
@@ -143,16 +199,31 @@ Status LogManager::PersistGroup(const std::vector<std::byte>& payload,
 Status LogManager::Drain() {
   std::lock_guard<std::mutex> g(drain_mu_);
   std::vector<std::byte> bytes;
-  Result<lsn_t> first = staging_->Drain(&bytes);
+  Result<lsn_t> first = staging_->Peek(&bytes);
   SPITFIRE_RETURN_NOT_OK(first.status());
   if (bytes.empty()) return Status::OK();
-  SPITFIRE_CHECK(first.value() == file_bytes_);
-  SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Write(
-      kLogDataOffset + file_bytes_, bytes.data(), bytes.size()));
-  SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Persist(kLogDataOffset + file_bytes_,
-                                                bytes.size()));
-  file_bytes_ += bytes.size();
-  return WriteFileHeader();
+  const lsn_t base = first.value();
+  // base < file_bytes_ happens after a crash between the file append and
+  // the staging consume: the front of the staged range is already in the
+  // file and is simply rewritten with identical bytes (which also repairs
+  // a torn first attempt). base > file_bytes_ would be a hole.
+  if (base > file_bytes_) {
+    return Status::Corruption("staged log bytes past durable file end");
+  }
+  SPITFIRE_RETURN_NOT_OK(
+      opts_.log_ssd->Write(kLogDataOffset + base, bytes.data(), bytes.size()));
+  SPITFIRE_RETURN_NOT_OK(
+      opts_.log_ssd->Persist(kLogDataOffset + base, bytes.size()));
+  FaultInjector::Point("wal.drain.file_written");
+  const uint64_t end = base + bytes.size();
+  if (end > file_bytes_) {
+    file_bytes_ = end;
+    SPITFIRE_RETURN_NOT_OK(WriteFileHeader());
+  }
+  FaultInjector::Point("wal.drain.header_written");
+  // Consume the staging buffer LAST: every byte it held is now durable in
+  // the file and recorded by the header.
+  return staging_->MarkDrained(bytes.size());
 }
 
 Status LogManager::MaybeDrain() {
@@ -161,6 +232,11 @@ Status LogManager::MaybeDrain() {
 }
 
 Result<std::vector<LogRecord>> LogManager::ReadAll() {
+  // Move the persistent staged tail into the file first (Section 5.2:
+  // "the NVM log buffer needs to be appended to the log file since the
+  // buffer is persistent") via the crash-safe drain protocol, then read
+  // the complete file.
+  SPITFIRE_RETURN_NOT_OK(Drain());
   std::vector<std::byte> bytes;
   {
     std::lock_guard<std::mutex> g(drain_mu_);
@@ -168,21 +244,6 @@ Result<std::vector<LogRecord>> LogManager::ReadAll() {
     if (file_bytes_ > 0) {
       SPITFIRE_RETURN_NOT_OK(
           opts_.log_ssd->Read(kLogDataOffset, bytes.data(), file_bytes_));
-    }
-    std::vector<std::byte> staged;
-    Result<lsn_t> first = staging_->Drain(&staged);
-    SPITFIRE_RETURN_NOT_OK(first.status());
-    if (!staged.empty()) {
-      // Recovery appends the persistent staged tail to the file
-      // (Section 5.2: "the NVM log buffer needs to be appended to the log
-      // file since the buffer is persistent").
-      SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Write(
-          kLogDataOffset + file_bytes_, staged.data(), staged.size()));
-      SPITFIRE_RETURN_NOT_OK(opts_.log_ssd->Persist(
-          kLogDataOffset + file_bytes_, staged.size()));
-      file_bytes_ += staged.size();
-      SPITFIRE_RETURN_NOT_OK(WriteFileHeader());
-      bytes.insert(bytes.end(), staged.begin(), staged.end());
     }
   }
   std::vector<LogRecord> records;

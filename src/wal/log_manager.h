@@ -49,7 +49,11 @@ class LogManager {
   // first if the buffer cannot hold the record.
   Result<lsn_t> Append(const LogRecord& record);
 
-  // Appends the staged NVM bytes to the SSD log file.
+  // Appends the staged NVM bytes to the SSD log file. Crash-safe protocol:
+  // file write + persist + header update all complete BEFORE the staging
+  // buffer is consumed, so a crash anywhere in between leaves the records
+  // in at least one durable place; the overlap (records in both) heals by
+  // idempotent rewrite, since a record's LSN is its file offset.
   Status Drain();
   // Drains only if the staged volume passed the threshold.
   Status MaybeDrain();
@@ -57,6 +61,14 @@ class LogManager {
   // Reads the entire log (SSD file followed by the staged NVM tail) into
   // records, in LSN order. Used by recovery.
   Result<std::vector<LogRecord>> ReadAll();
+
+  // Durable redo horizon: every committed version with begin_ts <= the
+  // horizon is durable in the heap (flushed by a complete checkpoint), so
+  // recovery may skip re-applying records with txn_id <= horizon. Stored
+  // in the log file header; advanced by Database::Checkpoint after a
+  // clean full flush and reset to 0 when recovery quarantines a page.
+  Status SetDurableHorizon(timestamp_t ts);
+  timestamp_t durable_horizon() const { return horizon_ts_; }
 
   lsn_t next_lsn() const { return staging_->next_lsn(); }
   uint64_t durable_file_bytes() const { return file_bytes_; }
@@ -72,8 +84,13 @@ class LogManager {
  private:
   explicit LogManager(const Options& opts);
 
+  // The file header lives in two alternating versioned + checksummed slots
+  // in the log device's first page: a torn or short header write leaves
+  // the other slot intact, so recovery always finds a consistent header
+  // (it loses at most the newest length update, which the drain protocol
+  // makes idempotent to reapply).
   Status WriteFileHeader();
-  Status ReadFileHeader(uint64_t* len);
+  Status ReadFileHeader();
 
   // One commit group: records serialized back to back, persisted with a
   // single staging append. The creator of the group is its leader.
@@ -97,6 +114,8 @@ class LogManager {
   std::unique_ptr<NvmLogBuffer> staging_;
   std::mutex drain_mu_;
   uint64_t file_bytes_ = 0;  // durable bytes in the SSD log file
+  timestamp_t horizon_ts_ = 0;
+  uint64_t header_version_ = 0;
 
   mutable std::mutex group_mu_;
   std::condition_variable group_cv_;

@@ -37,8 +37,23 @@ class NvmLogBuffer {
   // the buffer cannot hold them (caller must drain first).
   Result<lsn_t> Append(const std::byte* data, size_t len);
 
-  // Copies the un-drained bytes into *out and logically empties the
-  // buffer, advancing base LSN. Returns the LSN of the first drained byte.
+  // Copies the staged bytes into *out WITHOUT modifying the buffer.
+  // Returns the LSN of the first staged byte. Pair with MarkDrained()
+  // once the bytes are durable elsewhere.
+  Result<lsn_t> Peek(std::vector<std::byte>* out);
+
+  // Durably consumes the first `n` staged bytes (the amount a prior Peek
+  // returned; appends that landed since stay staged). Only call after the
+  // peeked bytes are durable on SSD: a crash between the SSD append and
+  // this call leaves the records in both places, which the drain protocol
+  // resolves by idempotent rewrite (LSN == file offset); calling it
+  // earlier loses committed records — the exact bug the crash fuzzer
+  // caught in the original drain ordering.
+  Status MarkDrained(uint64_t n);
+
+  // Peek + MarkDrained in one step. Retained for callers that recycle the
+  // buffer without a durability handoff (benchmarks); the crash-safe
+  // drain path in LogManager uses the split protocol.
   Result<lsn_t> Drain(std::vector<std::byte>* out);
 
   // Bytes currently staged.
@@ -51,11 +66,17 @@ class NvmLogBuffer {
   static constexpr uint64_t kHeaderSize = 64;
   static constexpr uint32_t kMagic = 0x4E4C4F47;  // "NLOG"
 
+  // The header occupies (and must keep fitting) a single cache line: the
+  // simulated Persist() is line-granular, so one header persist is
+  // failure-atomic in the fault model. `head` is the physical payload
+  // offset of the oldest staged byte (LSN base_lsn); appends land at
+  // head + used, and head returns to 0 whenever the buffer empties.
   struct Header {
     uint32_t magic;
     uint32_t pad;
-    uint64_t used;  // persisted byte count
+    uint64_t used;  // staged byte count
     lsn_t base_lsn;
+    uint64_t head;  // physical offset of the first staged byte
   };
 
   Header* header() {
